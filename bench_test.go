@@ -1,0 +1,367 @@
+package spatialtree
+
+// Benchmark harness: one benchmark per reproduction experiment E1-E12
+// (see DESIGN.md §5 for the claim each one checks, and EXPERIMENTS.md
+// for recorded results). Beyond wall-clock ns/op, the benchmarks report
+// the spatial-model metrics as custom units: energy/vertex (the
+// quantity the paper's O(n) and O(n log n) bounds normalize),
+// model-depth, and where relevant the ratio against the PRAM baseline.
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkE9 -benchmem
+
+import (
+	"testing"
+
+	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/eulertour"
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/listrank"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/order"
+	"spatialtree/internal/par"
+	"spatialtree/internal/pram"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+	"spatialtree/internal/vtree"
+)
+
+const benchN = 1 << 14
+
+// BenchmarkE1CurveConstants measures the distance-bound constant scan
+// (E1: α = 3 for Hilbert, unbounded for Z).
+func BenchmarkE1CurveConstants(b *testing.B) {
+	for _, c := range []sfc.Curve{sfc.Hilbert{}, sfc.ZOrder{}, sfc.Peano{}} {
+		b.Run(c.Name(), func(b *testing.B) {
+			side := c.Side(1 << 12)
+			var alpha float64
+			for i := 0; i < b.N; i++ {
+				alpha = sfc.MeasureDistanceBoundSampled(c, side).Alpha
+			}
+			b.ReportMetric(alpha, "alpha")
+		})
+	}
+}
+
+// BenchmarkE2BadLayouts measures the Section III worst cases: BFS on a
+// perfect binary tree vs light-first.
+func BenchmarkE2BadLayouts(b *testing.B) {
+	t := tree.PerfectBinary(14)
+	for _, ord := range []string{"bfs", "light-first"} {
+		b.Run(ord, func(b *testing.B) {
+			o, _ := order.ByName(ord, t, rng.New(1))
+			var per float64
+			for i := 0; i < b.N; i++ {
+				p := layout.New(t, o, sfc.Hilbert{})
+				per = layout.ParentChildEnergy(p).PerMessage
+			}
+			b.ReportMetric(per, "dist/msg")
+		})
+	}
+}
+
+// BenchmarkE3EnergyBound measures the Theorem 1 kernel on light-first
+// layouts across curves.
+func BenchmarkE3EnergyBound(b *testing.B) {
+	t := tree.RandomBoundedDegree(benchN, 2, rng.New(3))
+	for _, c := range []sfc.Curve{sfc.Hilbert{}, sfc.Moore{}, sfc.Peano{}} {
+		b.Run(c.Name(), func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				p := layout.LightFirst(t, c)
+				per = layout.ParentChildEnergy(p).PerVertex
+			}
+			b.ReportMetric(per, "energy/vertex")
+		})
+	}
+}
+
+// BenchmarkE4ZOrder measures Theorem 2: the Z-order kernel and its
+// diagonal split.
+func BenchmarkE4ZOrder(b *testing.B) {
+	t := tree.RandomBoundedDegree(benchN, 2, rng.New(4))
+	var diagPer float64
+	for i := 0; i < b.N; i++ {
+		p := layout.LightFirst(t, sfc.ZOrder{})
+		z := layout.MeasureZDiagnostics(p)
+		diagPer = float64(z.Diagonal) / float64(t.N())
+	}
+	b.ReportMetric(diagPer, "diag-energy/vertex")
+}
+
+// BenchmarkE5VirtualTree measures Theorem 3: local broadcast over a
+// star through the virtual tree.
+func BenchmarkE5VirtualTree(b *testing.B) {
+	t := tree.Star(benchN)
+	vt := vtree.Build(t, eulertour.SortedChildrenBySize(t, t.SubtreeSizes()))
+	rank := order.LightFirst(t).Rank
+	vals := make([]int64, t.N())
+	var depth int64
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N(), sfc.Hilbert{})
+		vtree.LocalBroadcast(s, vt, rank, vals)
+		depth = s.Depth()
+	}
+	b.ReportMetric(float64(depth), "model-depth")
+}
+
+// BenchmarkE6ListRanking measures Theorem 5 (spatial) vs Wyllie (PRAM).
+func BenchmarkE6ListRanking(b *testing.B) {
+	r := rng.New(6)
+	next := make([]int, benchN)
+	perm := r.Perm(benchN)
+	for i := 0; i+1 < benchN; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	next[perm[benchN-1]] = -1
+	b.Run("spatial", func(b *testing.B) {
+		var energy int64
+		for i := 0; i < b.N; i++ {
+			s := machine.New(benchN, sfc.Hilbert{})
+			listrank.Spatial(s, next, nil, rng.New(uint64(i)))
+			energy = s.Energy()
+		}
+		b.ReportMetric(float64(energy)/float64(benchN), "energy/vertex")
+	})
+	b.Run("wyllie-pram", func(b *testing.B) {
+		var energy int64
+		for i := 0; i < b.N; i++ {
+			s := machine.New(benchN, sfc.Hilbert{})
+			listrank.Wyllie(s, next, nil)
+			energy = s.Energy()
+		}
+		b.ReportMetric(float64(energy)/float64(benchN), "energy/vertex")
+	})
+}
+
+// BenchmarkE7LayoutCreation measures Theorem 4: the full light-first
+// layout construction pipeline.
+func BenchmarkE7LayoutCreation(b *testing.B) {
+	t := tree.RandomAttachment(benchN/2, rng.New(7))
+	var energy, depth int64
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N()*2, sfc.Hilbert{})
+		eulertour.LightFirstLayout(s, t, rng.New(uint64(i)))
+		energy, depth = s.Energy(), s.Depth()
+	}
+	b.ReportMetric(float64(energy), "model-energy")
+	b.ReportMetric(float64(depth), "model-depth")
+}
+
+// BenchmarkE8Compact measures Lemma 10/11: contraction rounds.
+func BenchmarkE8Compact(b *testing.B) {
+	t := tree.RandomBoundedDegree(benchN, 2, rng.New(8))
+	rank := order.LightFirst(t).Rank
+	vals := make([]int64, t.N())
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N(), sfc.Hilbert{})
+		_, st := treefix.BottomUp(s, t, rank, vals, treefix.Add, rng.New(uint64(i)))
+		rounds = st.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE9Treefix measures Lemmas 11/12: the spatial treefix against
+// the executable PRAM baseline.
+func BenchmarkE9Treefix(b *testing.B) {
+	t := tree.RandomBoundedDegree(benchN, 2, rng.New(9))
+	rank := order.LightFirst(t).Rank
+	vals := make([]int64, t.N())
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b.Run("spatial", func(b *testing.B) {
+		var energy, depth int64
+		for i := 0; i < b.N; i++ {
+			s := machine.New(t.N(), sfc.Hilbert{})
+			treefix.BottomUp(s, t, rank, vals, treefix.Add, rng.New(uint64(i)))
+			energy, depth = s.Energy(), s.Depth()
+		}
+		b.ReportMetric(float64(energy)/float64(t.N()), "energy/vertex")
+		b.ReportMetric(float64(depth), "model-depth")
+	})
+	b.Run("pram-direct", func(b *testing.B) {
+		var energy, depth int64
+		for i := 0; i < b.N; i++ {
+			s := machine.New(2*t.N(), sfc.Hilbert{})
+			pram.TreefixDirect(s, t, vals)
+			energy, depth = s.Energy(), s.Depth()
+		}
+		b.ReportMetric(float64(energy)/float64(t.N()), "energy/vertex")
+		b.ReportMetric(float64(depth), "model-depth")
+	})
+}
+
+// BenchmarkE10PathDecomp measures §VI-A: layers of the heavy-light
+// decomposition (via the batched-LCA machinery).
+func BenchmarkE10PathDecomp(b *testing.B) {
+	t := tree.RandomAttachment(benchN, rng.New(10))
+	rank := order.LightFirst(t).Rank
+	qs := []lca.Query{{U: 0, V: t.N() - 1}}
+	var layers int
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N(), sfc.Hilbert{})
+		_, st := lca.Batched(s, t, rank, qs, rng.New(uint64(i)))
+		layers = st.Layers
+	}
+	b.ReportMetric(float64(layers), "layers")
+}
+
+// BenchmarkE11LCA measures Theorem 6: a full disjoint query batch.
+func BenchmarkE11LCA(b *testing.B) {
+	t := tree.RandomAttachment(benchN, rng.New(11))
+	rank := order.LightFirst(t).Rank
+	perm := rng.New(12).Perm(t.N())
+	var qs []lca.Query
+	for i := 0; i+1 < t.N(); i += 2 {
+		qs = append(qs, lca.Query{U: perm[i], V: perm[i+1]})
+	}
+	var energy, depth int64
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N(), sfc.Hilbert{})
+		lca.Batched(s, t, rank, qs, rng.New(uint64(i)))
+		energy, depth = s.Energy(), s.Depth()
+	}
+	b.ReportMetric(float64(energy)/float64(t.N()), "energy/vertex")
+	b.ReportMetric(float64(depth), "model-depth")
+}
+
+// BenchmarkE12Parallel measures the goroutine executors' wall-clock
+// scaling (treefix bottom-up sum; see also the LCA engine below).
+func BenchmarkE12Parallel(b *testing.B) {
+	t := tree.RandomAttachment(1<<20, rng.New(13))
+	vals := make([]int64, t.N())
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for _, w := range []int{1, 2, 4, par.Workers()} {
+		b.Run("treefix-w"+itoa(w), func(b *testing.B) {
+			e := treefix.NewEngine(t, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.BottomUpSum(vals)
+			}
+		})
+	}
+	qs := make([]lca.Query, 1<<17)
+	qr := rng.New(14)
+	for i := range qs {
+		qs[i] = lca.Query{U: qr.Intn(t.N()), V: qr.Intn(t.N())}
+	}
+	for _, w := range []int{1, par.Workers()} {
+		b.Run("lca-queries-w"+itoa(w), func(b *testing.B) {
+			e := lca.NewEngine(t, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.BatchLCA(qs)
+			}
+		})
+	}
+}
+
+// BenchmarkExprEval measures the §V-cited application: Miller-Reif
+// expression evaluation by rake contraction on the simulator.
+func BenchmarkExprEval(b *testing.B) {
+	e := exprtree.Random(benchN/2, rng.New(21))
+	rank := order.LightFirst(e.Tree).Rank
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		_, st := exprtree.EvalSpatial(s, e, rank)
+		rounds = st.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkMinCut measures the Karger 1-respecting-cut application:
+// one batched LCA plus two treefix sums.
+func BenchmarkMinCut(b *testing.B) {
+	r := rng.New(22)
+	t := tree.RandomAttachment(benchN, r)
+	edges := mincut.RandomGraph(t, benchN/2, 10, r)
+	rank := order.LightFirst(t).Rank
+	var energy int64
+	for i := 0; i < b.N; i++ {
+		s := machine.New(t.N(), sfc.Hilbert{})
+		if _, err := mincut.OneRespecting(s, t, rank, edges, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+		energy = s.Energy()
+	}
+	b.ReportMetric(float64(energy)/float64(t.N()), "energy/vertex")
+}
+
+// BenchmarkAblationOrders measures the messaging kernel per vertex order
+// (the DESIGN.md ablation: the layout supplies the bound, not the code).
+func BenchmarkAblationOrders(b *testing.B) {
+	t := tree.RandomBoundedDegree(benchN, 2, rng.New(23))
+	for _, name := range order.Names() {
+		b.Run(name, func(b *testing.B) {
+			o, _ := order.ByName(name, t, rng.New(1))
+			var per float64
+			for i := 0; i < b.N; i++ {
+				p := layout.New(t, o, sfc.Hilbert{})
+				per = layout.ParentChildEnergy(p).PerVertex
+			}
+			b.ReportMetric(per, "energy/vertex")
+		})
+	}
+}
+
+// BenchmarkDynamicInserts measures the §VII future-work extension:
+// leaf insertions into a dynamically maintained layout, including
+// amortized rebuilds.
+func BenchmarkDynamicInserts(b *testing.B) {
+	r := rng.New(24)
+	t := tree.RandomAttachment(1<<12, r)
+	d, err := dynlayout.New(t, sfc.Hilbert{}, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.InsertLeaf(r.Intn(d.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ratio := float64(d.KernelCost().Energy) / float64(d.FreshKernelCost().Energy)
+	b.ReportMetric(ratio, "kernel-vs-fresh")
+	b.ReportMetric(float64(d.Rebuilds), "rebuilds")
+}
+
+// BenchmarkSequentialBaselines provides the host-oracle costs for
+// context (not a paper experiment).
+func BenchmarkSequentialBaselines(b *testing.B) {
+	t := tree.RandomAttachment(1<<20, rng.New(15))
+	vals := make([]int64, t.N())
+	b.Run("treefix-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			treefix.SequentialBottomUp(t, vals, treefix.Add)
+		}
+	})
+	b.Run("lca-oracle-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lca.NewOracle(t)
+		}
+	})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

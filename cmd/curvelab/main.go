@@ -1,0 +1,95 @@
+// Command curvelab inspects the space-filling curves: renders them as
+// ASCII, measures their distance-bound constants (Section III-B of the
+// paper) and alignment factors (Lemmas 3-4).
+//
+// Usage examples:
+//
+//	curvelab -curve hilbert -side 8 -draw
+//	curvelab -measure -side 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/xstat"
+)
+
+func main() {
+	var (
+		name    = flag.String("curve", "hilbert", "curve name (or 'all')")
+		side    = flag.Int("side", 16, "grid side (rounded up to the curve's legal side)")
+		draw    = flag.Bool("draw", false, "render curve indices on the grid")
+		measure = flag.Bool("measure", false, "measure distance-bound and alignment constants")
+	)
+	flag.Parse()
+
+	var curves []sfc.Curve
+	if *name == "all" {
+		curves = sfc.Registry()
+	} else {
+		c, err := sfc.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "curvelab:", err)
+			os.Exit(2)
+		}
+		curves = []sfc.Curve{c}
+	}
+
+	if *measure {
+		tb := &xstat.Table{
+			Title:  "curve locality constants",
+			Header: []string{"curve", "side", "alpha (dist/√gap)", "continuous", "closed", "align(all)", "align(aligned)"},
+		}
+		for _, c := range curves {
+			s := c.Side(*side * *side)
+			db := sfc.MeasureDistanceBoundSampled(c, s)
+			tb.Add(c.Name(), xstat.I(s), xstat.F(db.Alpha, 3),
+				fmt.Sprint(sfc.IsContinuous(c, s)), fmt.Sprint(sfc.IsClosed(c, s)),
+				xstat.F(sfc.AlignmentFactor(c, min(s, 32)), 2),
+				xstat.F(sfc.AlignedWindowFactor(c, min(s, 32)), 2))
+		}
+		fmt.Println(tb.String())
+	}
+
+	if *draw || !*measure {
+		for _, c := range curves {
+			s := c.Side(*side * *side)
+			if s > 32 {
+				fmt.Printf("%s: side %d too large to draw (use -side <= 32)\n", c.Name(), s)
+				continue
+			}
+			fmt.Printf("%s (side %d):\n%s\n", c.Name(), s, render(c, s))
+		}
+	}
+}
+
+// render prints the curve's linear index at each grid cell, row y =
+// side-1 (top) down to 0.
+func render(c sfc.Curve, side int) string {
+	width := len(fmt.Sprint(side*side - 1))
+	rows := make([][]string, side)
+	for y := range rows {
+		rows[y] = make([]string, side)
+	}
+	for i := 0; i < side*side; i++ {
+		x, y := c.XY(i, side)
+		rows[y][x] = fmt.Sprintf("%*d", width, i)
+	}
+	var b strings.Builder
+	for y := side - 1; y >= 0; y-- {
+		b.WriteString(strings.Join(rows[y], " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

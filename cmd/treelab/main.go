@@ -1,0 +1,176 @@
+// Command treelab explores tree layouts interactively: generate a tree
+// family, lay it out under a chosen order and curve, and report the
+// local-messaging kernel costs (the quantities Theorems 1 and 2 bound),
+// optionally rendering the placement as ASCII.
+//
+// Usage examples:
+//
+//	treelab -family caterpillar -n 4096 -order dfs -curve hilbert
+//	treelab -family random -n 1024 -all-orders
+//	treelab -family star -n 64 -draw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialtree/internal/layout"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/xstat"
+)
+
+func buildTree(family string, n int, r *rng.RNG) (*tree.Tree, error) {
+	switch family {
+	case "path":
+		return tree.Path(n), nil
+	case "star":
+		return tree.Star(n), nil
+	case "caterpillar":
+		return tree.Caterpillar(n), nil
+	case "broom":
+		return tree.Broom(n), nil
+	case "random":
+		return tree.RandomAttachment(n, r), nil
+	case "random-bin":
+		return tree.RandomBoundedDegree(n, 2, r), nil
+	case "preferential":
+		return tree.PreferentialAttachment(n, r), nil
+	case "yule":
+		return tree.Yule((n+1)/2, r), nil
+	case "perfect-bin":
+		levels := 1
+		for (1<<levels)-1 < n {
+			levels++
+		}
+		return tree.PerfectBinary(levels), nil
+	case "comb":
+		return tree.Comb(n/4+1, 3), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
+}
+
+// Families lists the -family values.
+const families = "path star caterpillar broom random random-bin preferential yule perfect-bin comb"
+
+func main() {
+	var (
+		family    = flag.String("family", "random", "tree family: "+families)
+		n         = flag.Int("n", 1024, "approximate vertex count")
+		orderName = flag.String("order", "light-first", "vertex order: "+strings.Join(order.Names(), " "))
+		curveName = flag.String("curve", "hilbert", "space-filling curve")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		allOrders = flag.Bool("all-orders", false, "compare every order on the chosen curve")
+		allCurves = flag.Bool("all-curves", false, "compare every curve with the chosen order")
+		draw      = flag.Bool("draw", false, "render the placement as ASCII (small n)")
+	)
+	flag.Parse()
+	r := rng.New(*seed)
+
+	t, err := buildTree(*family, *n, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treelab:", err)
+		os.Exit(2)
+	}
+	st := t.Summarize()
+	fmt.Printf("tree: family=%s n=%d height=%d maxdeg=%d leaves=%d\n\n",
+		*family, st.N, st.Height, st.MaxDegree, st.Leaves)
+
+	measure := func(oName, cName string) (*layout.Placement, layout.Report, error) {
+		c, err := sfc.ByName(cName)
+		if err != nil {
+			return nil, layout.Report{}, err
+		}
+		o, ok := order.ByName(oName, t, rng.New(*seed))
+		if !ok {
+			return nil, layout.Report{}, fmt.Errorf("unknown order %q", oName)
+		}
+		p := layout.New(t, o, c)
+		return p, layout.Measure(p), nil
+	}
+
+	tb := &xstat.Table{
+		Title:  "layout kernel costs (each vertex messages its children once)",
+		Header: []string{"order", "curve", "side", "energy", "energy/vertex", "per-msg", "max-edge"},
+	}
+	add := func(rep layout.Report) {
+		tb.Add(rep.Order, rep.Curve, xstat.I(rep.Side), xstat.I(rep.Kernel.Energy),
+			xstat.F(rep.Kernel.PerVertex, 3), xstat.F(rep.Kernel.PerMessage, 2),
+			xstat.I(rep.Kernel.MaxDist))
+	}
+
+	var shown *layout.Placement
+	switch {
+	case *allOrders:
+		for _, oName := range order.Names() {
+			p, rep, err := measure(oName, *curveName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "treelab:", err)
+				os.Exit(2)
+			}
+			if oName == *orderName {
+				shown = p
+			}
+			add(rep)
+		}
+	case *allCurves:
+		for _, c := range sfc.Registry() {
+			p, rep, err := measure(*orderName, c.Name())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "treelab:", err)
+				os.Exit(2)
+			}
+			if c.Name() == *curveName {
+				shown = p
+			}
+			add(rep)
+		}
+	default:
+		p, rep, err := measure(*orderName, *curveName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treelab:", err)
+			os.Exit(2)
+		}
+		shown = p
+		add(rep)
+	}
+	fmt.Println(tb.String())
+
+	if *draw && shown != nil {
+		if shown.Side > 64 {
+			fmt.Println("(grid too large to draw; use -n <= 4096)")
+			return
+		}
+		fmt.Println(render(shown))
+	}
+}
+
+// render draws the grid, marking each cell with the depth class of the
+// vertex stored there ('.' = empty, digits = depth mod 10, 'R' = root).
+func render(p *layout.Placement) string {
+	side := p.Side
+	grid := make([][]byte, side)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", side))
+	}
+	depths := p.Tree.Depths()
+	for v := 0; v < p.Tree.N(); v++ {
+		x, y := p.Pos(v)
+		switch {
+		case v == p.Tree.Root():
+			grid[y][x] = 'R'
+		default:
+			grid[y][x] = byte('0' + depths[v]%10)
+		}
+	}
+	var b strings.Builder
+	for y := side - 1; y >= 0; y-- { // y grows upward
+		b.Write(grid[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

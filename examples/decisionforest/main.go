@@ -1,0 +1,89 @@
+// Decision forest: the machine-learning workload from the paper's
+// introduction (decision trees and random forests benefit from spatial
+// locality). We grow a forest of CART-shaped trees, lay each tree out on
+// its own region of the grid, and compare the spatial cost of the two
+// messaging patterns a forest evaluation needs:
+//
+//   - downward: each split node forwards a batch descriptor to its
+//     children (local broadcast ≈ top-down treefix);
+//   - upward: leaves return per-leaf sample counts that are aggregated
+//     at every split (bottom-up treefix).
+//
+// The same computation is timed wall-clock with the goroutine engine,
+// amortizing the layout across repeated inferences as the paper suggests
+// (Section I-D).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	spatialtree "spatialtree"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+func main() {
+	const (
+		forest   = 16
+		samples  = 100000
+		leafSize = 16
+	)
+	r := rng.New(7)
+
+	var totalLF, totalBFS int64
+	var nodes int
+	engines := make([]*treefixEngine, 0, forest)
+	for i := 0; i < forest; i++ {
+		t := tree.DecisionTree(samples, leafSize, r)
+		nodes += t.N()
+
+		lf, err := spatialtree.Layout(t, "hilbert")
+		if err != nil {
+			panic(err)
+		}
+		bfs, _ := spatialtree.LayoutWithOrder(t, "bfs", "hilbert", 1)
+
+		// Upward aggregation: leaves hold sample counts (synthetic),
+		// splits sum them.
+		vals := make([]int64, t.N())
+		for v := 0; v < t.N(); v++ {
+			if t.IsLeaf(v) {
+				vals[v] = int64(r.Intn(leafSize) + 1)
+			}
+		}
+		up := spatialtree.TreefixSum(t, lf, vals)
+		upBFS := spatialtree.TreefixSum(t, bfs, vals)
+		totalLF += up.Cost.Energy
+		totalBFS += upBFS.Cost.Energy
+
+		engines = append(engines, &treefixEngine{t: t, vals: vals,
+			eng: spatialtree.ParallelTreefixEngine(t, 0)})
+	}
+	fmt.Printf("forest: %d trees, %d nodes total\n", forest, nodes)
+	fmt.Printf("aggregation energy: light-first=%d bfs=%d (%.1fx)\n",
+		totalLF, totalBFS, float64(totalBFS)/float64(totalLF))
+
+	// Wall-clock: repeated aggregation passes over the whole forest with
+	// the goroutine engines (layout amortized — built once above).
+	const passes = 20
+	start := time.Now()
+	var sink int64
+	for p := 0; p < passes; p++ {
+		for _, fe := range engines {
+			sums := fe.eng.BottomUpSum(fe.vals)
+			sink += sums[fe.t.Root()]
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("wall-clock: %d aggregation passes over the forest in %v (%.1f Mnodes/s, checksum %d)\n",
+		passes, elapsed.Round(time.Millisecond),
+		float64(passes*nodes)/elapsed.Seconds()/1e6, sink)
+}
+
+type treefixEngine struct {
+	t    *tree.Tree
+	vals []int64
+	eng  interface{ BottomUpSum([]int64) []int64 }
+}

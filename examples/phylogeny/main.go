@@ -1,0 +1,90 @@
+// Phylogeny: the computational-biology workload from the paper's
+// introduction. We grow a Yule-process phylogenetic tree over a set of
+// taxa, lay it out on the grid, and run the two batched analyses the
+// paper's kernels support:
+//
+//   - clade sizes (how many extant taxa descend from every ancestral
+//     split) via a bottom-up treefix sum, and
+//   - most-recent-common-ancestor queries for sampled taxon pairs via
+//     batched LCA,
+//
+// reporting the spatial-model cost of each step and the layout's effect.
+package main
+
+import (
+	"fmt"
+
+	spatialtree "spatialtree"
+)
+
+func main() {
+	const taxa = 8192
+	t := spatialtree.PhylogeneticTree(taxa, 2024)
+	fmt.Printf("phylogeny: %d taxa, %d tree nodes, height %d\n", taxa, t.N(), t.Height())
+
+	pl, err := spatialtree.Layout(t, "hilbert")
+	if err != nil {
+		panic(err)
+	}
+
+	// Clade sizes: leaves contribute 1, internal splits 0; the subtree
+	// sum at an internal node is the number of extant descendants.
+	vals := make([]int64, t.N())
+	leaves := 0
+	for v := 0; v < t.N(); v++ {
+		if t.IsLeaf(v) {
+			vals[v] = 1
+			leaves++
+		}
+	}
+	clades := spatialtree.TreefixSum(t, pl, vals)
+	if clades.Sums[t.Root()] != int64(leaves) {
+		panic("clade count mismatch")
+	}
+	// Largest non-root clade:
+	var best int64
+	for v := 0; v < t.N(); v++ {
+		if v != t.Root() && clades.Sums[v] > best {
+			best = clades.Sums[v]
+		}
+	}
+	fmt.Printf("clade sizes: total taxa=%d largest internal clade=%d\n", leaves, best)
+	fmt.Printf("  cost: energy=%d depth=%d rounds=%d\n",
+		clades.Cost.Energy, clades.Cost.Depth, clades.Rounds)
+
+	// MRCA queries for disjoint taxon pairs (each vertex in one query —
+	// the Theorem 6 regime).
+	var leafIDs []int
+	for v := 0; v < t.N(); v++ {
+		if t.IsLeaf(v) {
+			leafIDs = append(leafIDs, v)
+		}
+	}
+	var queries []spatialtree.Query
+	for i := 0; i+1 < len(leafIDs) && len(queries) < 2048; i += 2 {
+		queries = append(queries, spatialtree.Query{U: leafIDs[i], V: leafIDs[i+1]})
+	}
+	mrca := spatialtree.BatchedLCA(t, pl, queries, 5)
+	oracle := spatialtree.LCAOracle(t)
+	depths := t.Depths()
+	deepest := 0
+	for i, q := range queries {
+		if mrca.Answers[i] != oracle.LCA(q.U, q.V) {
+			panic("MRCA mismatch against oracle")
+		}
+		if d := depths[mrca.Answers[i]]; d > deepest {
+			deepest = d
+		}
+	}
+	fmt.Printf("mrca: %d taxon pairs, deepest MRCA at depth %d\n", len(queries), deepest)
+	fmt.Printf("  cost: energy=%d depth=%d layers=%d\n",
+		mrca.Cost.Energy, mrca.Cost.Depth, mrca.Layers)
+
+	// The layout matters: re-run the clade computation on a scattered
+	// placement (PRAM-style, no locality).
+	scatter, _ := spatialtree.LayoutWithOrder(t, "light-first", "scatter", 1)
+	cladesScatter := spatialtree.TreefixSum(t, scatter, vals)
+	fmt.Printf("scatter placement: energy=%d (%.1fx light-first) — the paper's point\n",
+		cladesScatter.Cost.Energy,
+		float64(cladesScatter.Cost.Energy)/float64(clades.Cost.Energy))
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a tree, lay it out with the paper's light-first ×
+// Hilbert layout, run a treefix sum and a batch of LCA queries on the
+// spatial-computer simulator, and print the exact model costs (energy =
+// distance-weighted communication volume, depth = longest dependent
+// message chain).
+package main
+
+import (
+	"fmt"
+
+	spatialtree "spatialtree"
+)
+
+func main() {
+	const n = 1 << 14
+	t := spatialtree.RandomTree(n, 42)
+	fmt.Printf("tree: n=%d height=%d maxdeg=%d\n", t.N(), t.Height(), t.MaxDegree())
+
+	// The paper's layout: light-first order on the Hilbert curve.
+	pl, err := spatialtree.Layout(t, "hilbert")
+	if err != nil {
+		panic(err)
+	}
+	kernel := spatialtree.KernelEnergy(pl)
+	fmt.Printf("layout: side=%d kernel-energy/vertex=%.2f (Theorem 1: O(1))\n",
+		pl.Side, kernel.PerVertex)
+
+	// Treefix sum: subtree sizes (value 1 per vertex).
+	ones := make([]int64, t.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	res := spatialtree.TreefixSum(t, pl, ones)
+	fmt.Printf("treefix: root sum=%d rounds=%d energy=%d depth=%d\n",
+		res.Sums[t.Root()], res.Rounds, res.Cost.Energy, res.Cost.Depth)
+
+	// Compare against a BFS layout: same algorithm, polynomially more
+	// energy (Section III).
+	bfs, _ := spatialtree.LayoutWithOrder(t, "bfs", "hilbert", 1)
+	resBFS := spatialtree.TreefixSum(t, bfs, ones)
+	fmt.Printf("same treefix on BFS layout: energy=%d (%.1fx light-first)\n",
+		resBFS.Cost.Energy, float64(resBFS.Cost.Energy)/float64(res.Cost.Energy))
+
+	// Batched LCA (Theorem 6).
+	queries := []spatialtree.Query{
+		{U: 17, V: 4093},
+		{U: 1, V: 2},
+		{U: 0, V: n - 1},
+		{U: 12345, V: 54321 % n},
+	}
+	lcaRes := spatialtree.BatchedLCA(t, pl, queries, 7)
+	for i, q := range queries {
+		fmt.Printf("LCA(%d, %d) = %d\n", q.U, q.V, lcaRes.Answers[i])
+	}
+	fmt.Printf("lca batch: layers=%d energy=%d depth=%d\n",
+		lcaRes.Layers, lcaRes.Cost.Energy, lcaRes.Cost.Depth)
+}

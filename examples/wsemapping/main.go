@@ -1,0 +1,73 @@
+// WSE mapping: estimates what the paper's layout buys on hardware with
+// the Cerebras WSE-2's parameters (Section I-A: 850,000 cores on a
+// die-sized 2D mesh, one 32-bit message per cycle per hop, ~2-cycle
+// launch latency). We map a million-vertex tree onto a WSE-scale grid,
+// measure the messaging kernel under several layouts, and convert
+// energy/depth into rough on-chip traffic and latency figures.
+//
+// This is an estimate, not a cycle-accurate simulation: the spatial
+// computer model abstracts the interconnect, which is exactly the
+// paper's methodology.
+package main
+
+import (
+	"fmt"
+
+	spatialtree "spatialtree"
+)
+
+// WSE-2-like parameters.
+const (
+	wseCores      = 850000
+	cyclesPerHop  = 1
+	launchCycles  = 2
+	clockGHz      = 1.1
+	corePitchMM   = 0.027 // ~21.6mm x 21.6mm per die region of 800x800 cores
+	gridSideCores = 922   // ceil(sqrt(850000))
+)
+
+func main() {
+	const n = 1 << 20 // one vertex per core, ~1M cores (paper's regime)
+	t := spatialtree.RandomTree(n, 99)
+	fmt.Printf("mapping a %d-vertex tree onto a %dx%d WSE-scale core grid\n",
+		t.N(), gridSideCores, gridSideCores)
+	fmt.Printf("(model: %d cores, %.1f GHz, %d cycle/hop, %d cycle launch)\n\n",
+		wseCores, clockGHz, cyclesPerHop, launchCycles)
+
+	fmt.Printf("%-22s %14s %12s %14s %12s\n",
+		"layout", "hops total", "hops/vertex", "traffic mm", "est latency")
+	for _, cfg := range []struct{ order, curve string }{
+		{"light-first", "hilbert"},
+		{"light-first", "zorder"},
+		{"bfs", "hilbert"},
+		{"random", "hilbert"},
+	} {
+		pl, err := spatialtree.LayoutWithOrder(t, cfg.order, cfg.curve, 1)
+		if err != nil {
+			panic(err)
+		}
+		k := spatialtree.KernelEnergy(pl)
+		// Energy = total Manhattan hops of one parent->children kernel.
+		trafficMM := float64(k.Energy) * corePitchMM
+		// Latency estimate for the kernel: the longest single edge plus
+		// launch overhead (all messages go out in parallel waves).
+		latencyCycles := float64(launchCycles) + float64(k.MaxDist*cyclesPerHop)
+		latencyUS := latencyCycles / (clockGHz * 1e3)
+		fmt.Printf("%-22s %14d %12.2f %14.0f %10.3fus\n",
+			cfg.order+"/"+cfg.curve, k.Energy, k.PerVertex, trafficMM, latencyUS)
+	}
+
+	fmt.Println()
+	pl, _ := spatialtree.Layout(t, "hilbert")
+	ones := make([]int64, t.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	res := spatialtree.TreefixSum(t, pl, ones)
+	cycles := float64(res.Cost.Depth) * (launchCycles + 8) // per-step budget
+	fmt.Printf("full treefix sum (subtree sizes) on the light-first layout:\n")
+	fmt.Printf("  energy=%d hops, depth=%d message steps, rounds=%d\n",
+		res.Cost.Energy, res.Cost.Depth, res.Rounds)
+	fmt.Printf("  est. wall time at %.1f GHz: %.1f us (depth-bound, not bandwidth-bound)\n",
+		clockGHz, cycles/(clockGHz*1e3))
+}

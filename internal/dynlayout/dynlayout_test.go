@@ -1,0 +1,184 @@
+package dynlayout
+
+import (
+	"testing"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func TestNewNearStaticLayout(t *testing.T) {
+	// The spread-out layout pays at most a constant factor (≈√2 on a
+	// distance-bound curve) over the dense light-first optimum.
+	tr := tree.RandomAttachment(200, rng.New(1))
+	d, err := New(tr, sfc.Hilbert{}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, fresh := d.KernelCost().Energy, d.FreshKernelCost().Energy
+	if got < fresh {
+		t.Fatalf("spread kernel %d beats dense optimum %d (impossible)", got, fresh)
+	}
+	if float64(got) > 2.5*float64(fresh) {
+		t.Fatalf("spread kernel %d more than 2.5x dense optimum %d", got, fresh)
+	}
+	if d.Rebuilds != 0 {
+		t.Fatal("construction must not count as a rebuild")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(tree.MustFromParents(nil), sfc.Hilbert{}, 0.1); err == nil {
+		t.Error("empty tree accepted")
+	}
+	tr := tree.Path(4)
+	if _, err := New(tr, sfc.Hilbert{}, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	d, _ := New(tr, sfc.Hilbert{}, 0.5)
+	if _, err := d.InsertLeaf(99); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestPositionsStayInjective(t *testing.T) {
+	r := rng.New(2)
+	d, _ := New(tree.RandomAttachment(50, r), sfc.Hilbert{}, 0.2)
+	for i := 0; i < 2000; i++ {
+		if _, err := d.InsertLeaf(r.Intn(d.N())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool, d.N())
+	for v := 0; v < d.N(); v++ {
+		x, y := d.Pos(v)
+		key := y*d.Side() + x
+		if seen[key] {
+			t.Fatalf("two vertices share processor (%d,%d)", x, y)
+		}
+		seen[key] = true
+	}
+	if d.N() != 2050 {
+		t.Fatalf("n = %d, want 2050", d.N())
+	}
+}
+
+func TestTreeStructureMaintained(t *testing.T) {
+	r := rng.New(3)
+	d, _ := New(tree.Path(10), sfc.Hilbert{}, 0.3)
+	for i := 0; i < 500; i++ {
+		if _, err := d.InsertLeaf(r.Intn(d.N())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tree() must validate (MustFromParents would panic otherwise) and
+	// have the right size.
+	if d.Tree().N() != 510 {
+		t.Fatalf("tree n = %d", d.Tree().N())
+	}
+}
+
+func TestKernelStaysNearOptimal(t *testing.T) {
+	// Between rebuilds the kernel must stay within a modest factor of
+	// the fresh layout; right after a rebuild they coincide.
+	r := rng.New(4)
+	d, _ := New(tree.RandomAttachment(512, r), sfc.Hilbert{}, 0.2)
+	worst := 1.0
+	for i := 0; i < 3000; i++ {
+		if _, err := d.InsertLeaf(r.Intn(d.N())); err != nil {
+			t.Fatal(err)
+		}
+		if i%250 == 0 {
+			ratio := float64(d.KernelCost().Energy) / float64(d.FreshKernelCost().Energy)
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 4.0 {
+		t.Errorf("dynamic kernel drifted to %.2fx the fresh layout", worst)
+	}
+	if d.Rebuilds == 0 {
+		t.Error("expected rebuilds over 3000 inserts with epsilon 0.2")
+	}
+}
+
+func TestRebuildCountMatchesEpsilon(t *testing.T) {
+	// Inserts between rebuilds ≈ ε·n, so the count over a doubling
+	// should be around ln(2)/ε plus grid-growth rebuilds.
+	r := rng.New(5)
+	eps := 0.25
+	d, _ := New(tree.RandomAttachment(1000, r), sfc.Hilbert{}, eps)
+	for i := 0; i < 1000; i++ {
+		d.InsertLeaf(r.Intn(d.N()))
+	}
+	if d.Rebuilds < 2 || d.Rebuilds > 8 {
+		t.Errorf("rebuilds = %d over a doubling with eps=%.2f, want a handful", d.Rebuilds, eps)
+	}
+}
+
+func TestGridGrowth(t *testing.T) {
+	// Start at capacity; every insert must still succeed.
+	d, _ := New(tree.Path(16), sfc.Hilbert{}, 10 /* effectively never rebuild by drift */)
+	if d.Side() != 8 { // spread factor 2: needs 32 slots
+		t.Fatalf("side = %d, want 8", d.Side())
+	}
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		if _, err := d.InsertLeaf(r.Intn(d.N())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Side() < 16 { // 116 vertices × spread 2 = 232 slots
+		t.Fatalf("grid did not grow: side %d for n=%d", d.Side(), d.N())
+	}
+	if d.N() != 116 {
+		t.Fatalf("n = %d", d.N())
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	r := rng.New(7)
+	d, _ := New(tree.RandomAttachment(256, r), sfc.Hilbert{}, 0.1)
+	for i := 0; i < 600; i++ {
+		d.InsertLeaf(r.Intn(d.N()))
+	}
+	if d.ParkEnergy <= 0 {
+		t.Error("parking energy not charged")
+	}
+	if d.Rebuilds > 0 && d.MigrateEnergy <= 0 {
+		t.Error("migration energy not charged despite rebuilds")
+	}
+	// Amortized: migration energy per insert should be O(√n/ε)-ish, not
+	// O(n). With n≈856 and ε=0.1, allow a generous constant.
+	perInsert := float64(d.MigrateEnergy) / 600
+	if perInsert > 40*29/0.1 {
+		t.Errorf("amortized migration energy %.1f per insert looks unbounded", perInsert)
+	}
+}
+
+func TestParkingStaysLocal(t *testing.T) {
+	// With few inserts and a sparse grid, parked leaves should sit very
+	// close to their parents.
+	d, _ := New(tree.Path(100), sfc.Hilbert{}, 100)
+	v, err := d.InsertLeaf(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, py := d.Pos(50)
+	vx, vy := d.Pos(v)
+	if dist := abs(px-vx) + abs(py-vy); dist > 2*d.Side() {
+		t.Errorf("parked leaf %d away from parent", dist)
+	}
+	if d.ParkEnergy == 0 {
+		t.Error("no parking energy charged")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,292 @@
+// Package eulertour implements the paper's layout construction
+// (Section IV, Theorem 4): computing the light-first order of a tree on
+// the spatial computer in O(n^{3/2}) energy — matching the permutation
+// lower bound — and low depth, using Euler tours ranked by the
+// random-mate list-ranking algorithm of Theorem 5.
+//
+// Pipeline (following the paper's four steps):
+//
+//  1. Build the Euler tour of the tree with arbitrary child order and
+//     rank it; the positions of a vertex's down- and up-edge give its
+//     subtree size locally (step 1 of the paper).
+//  2. Re-build the tour visiting children in increasing subtree-size
+//     order (step 2). The required sibling reordering is charged as one
+//     global sort of the (parent, size, id) keys.
+//  3. Rank the new tour, keep each vertex's first occurrence, and count
+//     preceding first-occurrences with a parallel prefix sum (step 3) —
+//     this is the light-first rank.
+//  4. Permute the vertices to their new positions (step 4).
+//
+// Note on depth: the paper states O(log n) depth for layout creation; our
+// pipeline's sorting step (Batcher network) has Θ(log² n) depth, so the
+// measured depth is O(log² n). The energy bound O(n^{3/2}) — the claim
+// that separates the approach from PRAM simulation — is unaffected.
+package eulertour
+
+import (
+	"sort"
+
+	"spatialtree/internal/listrank"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+// Result is the outcome of the spatial layout construction.
+type Result struct {
+	// Order is the computed light-first order (vertex -> rank).
+	Order order.Order
+	// Sizes are the subtree sizes recovered from the first Euler tour.
+	Sizes []int
+	// Stages records the cumulative simulator cost after each pipeline
+	// stage, for the experiment tables.
+	Stages []StageCost
+}
+
+// StageCost names the simulator cost consumed up to the end of a stage.
+type StageCost struct {
+	Name string
+	Cost machine.Cost
+}
+
+// edge ids: down(v) = 2v, up(v) = 2v+1, defined for v != root.
+func down(v int) int { return 2 * v }
+func up(v int) int   { return 2*v + 1 }
+
+// buildTourNext returns the successor array of the Euler tour edge list
+// under the given child order, plus the head edge. Slots of the root are
+// unused (-2). The tour is the standard one: next(down(v)) enters v's
+// first child or returns up; next(up(v)) proceeds to v's next sibling or
+// returns up from the parent.
+func buildTourNext(t *tree.Tree, childOf func(v int) []int) (next []int, head int) {
+	n := t.N()
+	next = make([]int, 2*n)
+	for i := range next {
+		next[i] = -2
+	}
+	head = -1
+	root := t.Root()
+	rootCh := childOf(root)
+	if len(rootCh) > 0 {
+		head = down(rootCh[0])
+	}
+	for v := 0; v < n; v++ {
+		ch := childOf(v)
+		if v != root {
+			if len(ch) > 0 {
+				next[down(v)] = down(ch[0])
+			} else {
+				next[down(v)] = up(v)
+			}
+		}
+		// Successor of each child's up-edge: next sibling's down-edge,
+		// or v's own up-edge (or end of tour at the root).
+		for i, c := range ch {
+			if i+1 < len(ch) {
+				next[up(c)] = down(ch[i+1])
+			} else if v == root {
+				next[up(c)] = -1
+			} else {
+				next[up(c)] = up(v)
+			}
+		}
+	}
+	return next, head
+}
+
+// LightFirstLayout computes the light-first order of t on the simulator,
+// charging every message. Vertex v initially resides at processor rank v
+// (the "input layout"); edge nodes of the tour are co-located with their
+// vertex, respecting O(1) words per processor. The grid must hold at
+// least 2n processors (positions for the 2(n-1) tour edges); callers
+// should create the sim with machine.New(2*n, curve).
+func LightFirstLayout(s *machine.Sim, t *tree.Tree, r *rng.RNG) Result {
+	n := t.N()
+	res := Result{Sizes: make([]int, n)}
+	if n == 0 {
+		res.Order = order.Order{Name: "light-first"}
+		return res
+	}
+	if s.Procs() < 2*n {
+		panic("eulertour: simulator grid too small; create with machine.New(2*n, curve)")
+	}
+	if n == 1 {
+		res.Order = order.Order{Name: "light-first", Rank: []int{0}}
+		res.Sizes[0] = 1
+		res.Stages = append(res.Stages, StageCost{"total", s.Cost()})
+		return res
+	}
+	root := t.Root()
+	stage := func(name string) { res.Stages = append(res.Stages, StageCost{name, s.Cost()}) }
+
+	// Processor of each tour edge: its vertex's home.
+	eproc := make([]int, 2*n)
+	for v := 0; v < n; v++ {
+		eproc[down(v)] = v
+		eproc[up(v)] = v
+	}
+
+	// --- Stage 1: first tour (arbitrary child order) + ranking.
+	// Charge the sibling-successor wiring: the parent tells each child
+	// its tour successors (one message per tree edge).
+	pairs := make([][2]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != root {
+			pairs = append(pairs, [2]int{t.Parent(v), v})
+		}
+	}
+	s.SendBatch(pairs)
+	next1, _ := buildTourNext(t, t.Children)
+	ranks1 := rankTour(s, next1, eproc, r, root)
+	L := 2 * (n - 1)
+	idx1 := make([]int, 2*n)
+	for e := 0; e < 2*n; e++ {
+		if next1[e] != -2 {
+			idx1[e] = (L - 1) - int(ranks1[e])
+		}
+	}
+	stage("tour1+rank")
+
+	// --- Subtree sizes from first/last tour positions (local: both
+	// edges of v live at v's processor).
+	for v := 0; v < n; v++ {
+		if v == root {
+			res.Sizes[v] = n
+		} else {
+			res.Sizes[v] = (idx1[up(v)]-idx1[down(v)]+1)/2 + 0
+		}
+	}
+	stage("sizes")
+
+	// --- Stage 2: sort children by (parent, size, id). Charged as one
+	// global sort of n-1 keys on the grid.
+	if n >= 1<<20 {
+		panic("eulertour: key packing supports n < 2^20")
+	}
+	keys := make([]int64, s.Procs())
+	payload := make([]int64, s.Procs())
+	i := 0
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		keys[i] = ((int64(t.Parent(v))<<21)|int64(res.Sizes[v]))<<21 | int64(v)
+		payload[i] = int64(v)
+		i++
+	}
+	machine.SortByKey(s, keys, payload, n-1)
+	sortedChildren := make([][]int, n)
+	for j := 0; j < n-1; j++ {
+		v := int(payload[j])
+		p := t.Parent(v)
+		sortedChildren[p] = append(sortedChildren[p], v)
+	}
+	stage("sort")
+
+	// --- Stage 3: second tour in light-first child order + ranking.
+	next2, _ := buildTourNext(t, func(v int) []int { return sortedChildren[v] })
+	ranks2 := rankTour(s, next2, eproc, r, root)
+	idx2 := make([]int, 2*n)
+	for e := 0; e < 2*n; e++ {
+		if next2[e] != -2 {
+			idx2[e] = (L - 1) - int(ranks2[e])
+		}
+	}
+	stage("tour2+rank")
+
+	// --- Stage 4: compact first occurrences with a prefix sum over tour
+	// positions. Each down-edge ships an indicator to the processor at
+	// its tour position; the inclusive prefix sum of indicators at
+	// position idx2[down(v)] is v's light-first rank (the root is rank 0).
+	ind := make([]int64, s.Procs())
+	pairs = pairs[:0]
+	for v := 0; v < n; v++ {
+		if v != root {
+			pairs = append(pairs, [2]int{v, idx2[down(v)]})
+			ind[idx2[down(v)]] = 1
+		}
+	}
+	s.SendBatch(pairs)
+	machine.PrefixSum(s, ind[:L], func(a, b int64) int64 { return a + b })
+	// Ship each vertex's rank back to its home processor.
+	rank := make([]int, n)
+	rank[root] = 0
+	pairs = pairs[:0]
+	for v := 0; v < n; v++ {
+		if v != root {
+			pairs = append(pairs, [2]int{idx2[down(v)], v})
+			rank[v] = int(ind[idx2[down(v)]])
+		}
+	}
+	s.SendBatch(pairs)
+	stage("compact")
+
+	// --- Stage 5: physically permute the vertex payloads into their
+	// light-first positions (the Θ(n^{3/2}) global permutation).
+	payloadV := make([]int, n)
+	for v := range payloadV {
+		payloadV[v] = v
+	}
+	machine.PermuteInts(s, payloadV, rank)
+	stage("permute")
+
+	res.Order = order.Order{Name: "light-first", Rank: rank}
+	return res
+}
+
+// rankTour runs the spatial list-ranking algorithm on the tour edge
+// array, skipping the root's unused slots. Returns distance-to-tail per
+// edge id (unused slots hold 0).
+func rankTour(s *machine.Sim, next []int, eproc []int, r *rng.RNG, root int) []int64 {
+	// Compact the edge array: listrank wants nodes 0..m-1.
+	m := 0
+	id := make([]int, len(next)) // edge id -> compact id
+	back := make([]int, 0, len(next))
+	for e, nx := range next {
+		if nx != -2 {
+			id[e] = m
+			back = append(back, e)
+			m++
+		} else {
+			id[e] = -1
+		}
+	}
+	cnext := make([]int, m)
+	cproc := make([]int, m)
+	for e, nx := range next {
+		if nx == -2 {
+			continue
+		}
+		if nx == -1 {
+			cnext[id[e]] = -1
+		} else {
+			cnext[id[e]] = id[nx]
+		}
+		cproc[id[e]] = eproc[e]
+	}
+	cr := listrank.Spatial(s, cnext, cproc, r)
+	out := make([]int64, len(next))
+	for ci, e := range back {
+		out[e] = cr[ci]
+	}
+	return out
+}
+
+// SortedChildrenBySize is a host helper mirroring stage 2, used by tests
+// and the virtual-tree builder: children of every vertex ordered by
+// ascending (subtree size, id).
+func SortedChildrenBySize(t *tree.Tree, sizes []int) [][]int {
+	out := make([][]int, t.N())
+	for v := 0; v < t.N(); v++ {
+		ch := append([]int(nil), t.Children(v)...)
+		sort.Slice(ch, func(i, j int) bool {
+			if sizes[ch[i]] != sizes[ch[j]] {
+				return sizes[ch[i]] < sizes[ch[j]]
+			}
+			return ch[i] < ch[j]
+		})
+		out[v] = ch
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package eulertour
+
+import (
+	"math"
+	"testing"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func newSim(n int) *machine.Sim { return machine.New(2*n+2, sfc.Hilbert{}) }
+
+func TestBuildTourNextPath(t *testing.T) {
+	tr := tree.Path(3) // 0 -> 1 -> 2
+	next, head := buildTourNext(tr, tr.Children)
+	// Tour: down(1) down(2) up(2) up(1).
+	if head != down(1) {
+		t.Fatalf("head = %d, want down(1)=%d", head, down(1))
+	}
+	want := map[int]int{down(1): down(2), down(2): up(2), up(2): up(1), up(1): -1}
+	for e, w := range want {
+		if next[e] != w {
+			t.Fatalf("next[%d] = %d, want %d", e, next[e], w)
+		}
+	}
+	// Root slots unused.
+	if next[down(0)] != -2 || next[up(0)] != -2 {
+		t.Fatal("root edge slots must be unused")
+	}
+}
+
+func TestBuildTourNextIsValidList(t *testing.T) {
+	r := rng.New(1)
+	trees := []*tree.Tree{
+		tree.Path(10), tree.Star(10), tree.PerfectBinary(4),
+		tree.Caterpillar(11), tree.RandomAttachment(60, r),
+		tree.PreferentialAttachment(50, r),
+	}
+	for _, tr := range trees {
+		next, head := buildTourNext(tr, tr.Children)
+		count := 0
+		seen := make(map[int]bool)
+		for e := head; e != -1; e = next[e] {
+			if seen[e] {
+				t.Fatalf("n=%d: tour revisits edge %d", tr.N(), e)
+			}
+			seen[e] = true
+			count++
+			if count > 2*tr.N() {
+				t.Fatalf("n=%d: tour cycles", tr.N())
+			}
+		}
+		if count != 2*(tr.N()-1) {
+			t.Fatalf("n=%d: tour has %d edges, want %d", tr.N(), count, 2*(tr.N()-1))
+		}
+	}
+}
+
+func TestLayoutMatchesHostLightFirst(t *testing.T) {
+	r := rng.New(2)
+	trees := []*tree.Tree{
+		tree.Path(8), tree.Star(9), tree.PerfectBinary(5),
+		tree.Caterpillar(17), tree.Broom(14), tree.Comb(4, 3),
+		tree.RandomAttachment(150, r), tree.PreferentialAttachment(120, r),
+		tree.Yule(60, r),
+	}
+	for _, tr := range trees {
+		s := newSim(tr.N())
+		res := LightFirstLayout(s, tr, rng.New(uint64(tr.N())))
+		host := order.LightFirst(tr)
+		for v := 0; v < tr.N(); v++ {
+			if res.Order.Rank[v] != host.Rank[v] {
+				t.Fatalf("n=%d: rank[%d] = %d, host says %d",
+					tr.N(), v, res.Order.Rank[v], host.Rank[v])
+			}
+		}
+		if !order.IsLightFirst(tr, res.Order) {
+			t.Fatalf("n=%d: pipeline order fails light-first validation", tr.N())
+		}
+	}
+}
+
+func TestLayoutSubtreeSizes(t *testing.T) {
+	r := rng.New(3)
+	tr := tree.RandomAttachment(200, r)
+	s := newSim(tr.N())
+	res := LightFirstLayout(s, tr, r)
+	want := tr.SubtreeSizes()
+	for v := range want {
+		if res.Sizes[v] != want[v] {
+			t.Fatalf("size[%d] = %d, want %d", v, res.Sizes[v], want[v])
+		}
+	}
+}
+
+func TestLayoutSmallCases(t *testing.T) {
+	// n = 1 and n = 2.
+	one := tree.Path(1)
+	s := newSim(1)
+	res := LightFirstLayout(s, one, rng.New(1))
+	if len(res.Order.Rank) != 1 || res.Order.Rank[0] != 0 || res.Sizes[0] != 1 {
+		t.Fatalf("n=1 result: %+v", res)
+	}
+	two := tree.Path(2)
+	s = newSim(2)
+	res = LightFirstLayout(s, two, rng.New(1))
+	if res.Order.Rank[0] != 0 || res.Order.Rank[1] != 1 {
+		t.Fatalf("n=2 ranks: %v", res.Order.Rank)
+	}
+}
+
+func TestLayoutManySeeds(t *testing.T) {
+	// Las Vegas: any seed gives the same (correct) order.
+	r := rng.New(4)
+	tr := tree.PreferentialAttachment(300, r)
+	host := order.LightFirst(tr)
+	for seed := uint64(0); seed < 8; seed++ {
+		s := newSim(tr.N())
+		res := LightFirstLayout(s, tr, rng.New(seed))
+		for v := range host.Rank {
+			if res.Order.Rank[v] != host.Rank[v] {
+				t.Fatalf("seed %d: rank mismatch at %d", seed, v)
+			}
+		}
+	}
+}
+
+func TestTheorem4EnergyExponent(t *testing.T) {
+	// Energy should scale like n^{3/2}.
+	var ns, es []float64
+	for _, bits := range []int{9, 11, 13} {
+		n := 1 << bits
+		tr := tree.RandomAttachment(n, rng.New(uint64(bits)))
+		s := newSim(n)
+		LightFirstLayout(s, tr, rng.New(7))
+		ns = append(ns, float64(n))
+		es = append(es, float64(s.Energy()))
+	}
+	slope := logLogSlope(ns, es)
+	if slope < 1.3 || slope > 1.75 {
+		t.Errorf("layout energy exponent %.3f, want about 1.5", slope)
+	}
+}
+
+func TestLayoutDepthPolylog(t *testing.T) {
+	n := 1 << 13
+	tr := tree.RandomAttachment(n, rng.New(5))
+	s := newSim(n)
+	LightFirstLayout(s, tr, rng.New(6))
+	logn := 13.0
+	if d := float64(s.Depth()); d > 10*logn*logn {
+		t.Errorf("layout depth %.0f above O(log² n) envelope (%0.f)", d, 10*logn*logn)
+	}
+}
+
+func TestStagesRecorded(t *testing.T) {
+	tr := tree.PerfectBinary(6)
+	s := newSim(tr.N())
+	res := LightFirstLayout(s, tr, rng.New(8))
+	wantStages := []string{"tour1+rank", "sizes", "sort", "tour2+rank", "compact", "permute"}
+	if len(res.Stages) != len(wantStages) {
+		t.Fatalf("stages = %d, want %d", len(res.Stages), len(wantStages))
+	}
+	var prev machine.Cost
+	for i, st := range res.Stages {
+		if st.Name != wantStages[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Name, wantStages[i])
+		}
+		if st.Cost.Energy < prev.Energy || st.Cost.Depth < prev.Depth {
+			t.Fatalf("stage %q: cumulative cost decreased", st.Name)
+		}
+		prev = st.Cost
+	}
+}
+
+func TestSortedChildrenBySize(t *testing.T) {
+	tr := tree.MustFromParents([]int{-1, 0, 0, 0, 1, 1, 3})
+	sizes := tr.SubtreeSizes()
+	sc := SortedChildrenBySize(tr, sizes)
+	// Root's children: 2 (size 1), 3 (size 2), 1 (size 3).
+	want := []int{2, 3, 1}
+	for i, c := range want {
+		if sc[0][i] != c {
+			t.Fatalf("sorted children = %v, want %v", sc[0], want)
+		}
+	}
+}
+
+func TestPanicsOnSmallGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized grid")
+		}
+	}()
+	tr := tree.Path(200)
+	s := machine.New(200, sfc.Hilbert{}) // 256 procs; needs 400
+	LightFirstLayout(s, tr, rng.New(1))
+}
+
+func logLogSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

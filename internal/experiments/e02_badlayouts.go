@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"spatialtree/internal/layout"
+	"spatialtree/internal/order"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/xstat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Naive layouts are polynomially worse (BFS on perfect binary trees, DFS on caterpillars)",
+		Claim: "§III: a perfect binary tree in BFS layout has Ω(√n) average neighbor distance; DFS on a caterpillar is similarly poor; light-first is O(1)",
+		Run:   runE2,
+	})
+}
+
+func runE2(cfg Config) []*xstat.Table {
+	levelsList := []int{10, 12, 14, 16}
+	if cfg.Quick {
+		levelsList = []int{8, 10}
+	}
+	curve := sfc.Hilbert{}
+
+	bfs := &xstat.Table{
+		Title:  "E2a: perfect binary tree — average parent-child distance by order (Hilbert curve)",
+		Header: []string{"n", "side", "bfs", "dfs", "light-first", "bfs/lf"},
+	}
+	var ns, bfsAvg []float64
+	for _, levels := range levelsList {
+		t := tree.PerfectBinary(levels)
+		pb := layout.New(t, order.BFS(t), curve)
+		pd := layout.New(t, order.DFS(t), curve)
+		pl := layout.LightFirst(t, curve)
+		kb := layout.ParentChildEnergy(pb)
+		kd := layout.ParentChildEnergy(pd)
+		kl := layout.ParentChildEnergy(pl)
+		bfs.Add(xstat.I(t.N()), xstat.I(pb.Side),
+			xstat.F(kb.PerMessage, 2), xstat.F(kd.PerMessage, 2),
+			xstat.F(kl.PerMessage, 2), xstat.F(kb.PerMessage/kl.PerMessage, 1))
+		ns = append(ns, float64(t.N()))
+		bfsAvg = append(bfsAvg, kb.PerMessage)
+	}
+	bfs.Note("BFS avg-distance growth exponent: %.2f (paper: 0.5 = Ω(√n)); light-first stays O(1)",
+		xstat.LogLogSlope(ns, bfsAvg))
+
+	cat := &xstat.Table{
+		Title:  "E2b: caterpillar — average parent-child distance by order (Hilbert curve)",
+		Header: []string{"n", "dfs(spine-first)", "bfs", "light-first", "dfs/lf"},
+	}
+	ns = ns[:0]
+	var dfsAvg []float64
+	for _, levels := range levelsList {
+		n := 1 << levels
+		t := tree.Caterpillar(n)
+		pd := layout.New(t, order.DFS(t), curve)
+		pb := layout.New(t, order.BFS(t), curve)
+		pl := layout.LightFirst(t, curve)
+		kd := layout.ParentChildEnergy(pd)
+		kb := layout.ParentChildEnergy(pb)
+		kl := layout.ParentChildEnergy(pl)
+		cat.Add(xstat.I(n), xstat.F(kd.PerMessage, 2), xstat.F(kb.PerMessage, 2),
+			xstat.F(kl.PerMessage, 2), xstat.F(kd.PerMessage/kl.PerMessage, 1))
+		ns = append(ns, float64(n))
+		dfsAvg = append(dfsAvg, kd.PerMessage)
+	}
+	cat.Note("DFS avg-distance growth exponent: %.2f (paper: polynomial); light-first stays O(1)",
+		xstat.LogLogSlope(ns, dfsAvg))
+	return []*xstat.Table{bfs, cat}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"spatialtree/internal/layout"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/xstat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "Theorem 1: light-first order on distance-bound curves is energy-bound",
+		Claim: "Theorem 1: total kernel energy ≤ ∆·8c·n; i.e. O(1) energy per vertex, for any bounded-degree tree on any distance-bound curve",
+		Run:   runE3,
+	})
+}
+
+// e3Families are the bounded-degree workloads of Theorem 1.
+func e3Families(n int, r *rng.RNG) map[string]*tree.Tree {
+	levels := 1
+	for (1<<levels)-1 < n {
+		levels++
+	}
+	return map[string]*tree.Tree{
+		"path":        tree.Path(n),
+		"perfect-bin": tree.PerfectBinary(levels),
+		"caterpillar": tree.Caterpillar(n),
+		"random-bin":  tree.RandomBoundedDegree(n, 2, r),
+		"random-3ary": tree.RandomBoundedDegree(n, 3, r),
+	}
+}
+
+func runE3(cfg Config) []*xstat.Table {
+	ns := sizes(cfg, []int{10, 12}, []int{10, 12, 14, 16})
+	curves := []sfc.Curve{sfc.Hilbert{}, sfc.Moore{}, sfc.Peano{}}
+	r := rng.New(cfg.Seed)
+
+	perVertex := &xstat.Table{
+		Title:  "E3: light-first kernel energy per vertex (must stay O(1) as n grows)",
+		Header: []string{"family", "curve", "n", "energy/vertex", "max-edge", "Thm1 bound/n", "ok"},
+	}
+	var famNames []string
+	for name := range e3Families(4, rng.New(1)) {
+		famNames = append(famNames, name)
+	}
+	// Deterministic order for stable output.
+	sortStrings(famNames)
+	for _, fam := range famNames {
+		for _, c := range curves {
+			for _, n := range ns {
+				t := e3Families(n, r)[fam]
+				p := layout.LightFirst(t, c)
+				rep := layout.Measure(p)
+				ok := "yes"
+				if float64(rep.Kernel.Energy) > rep.Bound {
+					ok = "VIOLATED"
+				}
+				perVertex.Add(fam, c.Name(), xstat.I(t.N()),
+					xstat.F(rep.Kernel.PerVertex, 3), xstat.I(rep.Kernel.MaxDist),
+					xstat.F(rep.Bound/float64(t.N()), 1), ok)
+			}
+		}
+	}
+	perVertex.Note("Theorem 1 bound is ∆·8c·n with c = α of the curve; 'ok' checks measured ≤ bound")
+	return []*xstat.Table{perVertex}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"spatialtree/internal/listrank"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/xstat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Theorem 5: list ranking in O(n^{3/2}) energy and O(log n) depth w.h.p.",
+		Claim: "Theorem 5: random-mate contraction list ranking takes O(n^{3/2}) energy and O(log n) depth w.h.p.; Wyllie pointer jumping (PRAM) pays an extra log factor in energy and messages",
+		Run:   runE6,
+	})
+}
+
+func runE6(cfg Config) []*xstat.Table {
+	ns := sizes(cfg, []int{10, 12}, []int{10, 12, 14, 16})
+	r := rng.New(cfg.Seed)
+
+	tb := &xstat.Table{
+		Title:  "E6: list ranking — spatial (Theorem 5) vs Wyllie (PRAM baseline)",
+		Header: []string{"n", "spatial energy", "wyllie energy", "ratio", "sp msgs", "wy msgs", "sp depth", "wy depth"},
+	}
+	var fns, spE []float64
+	for _, n := range ns {
+		next := make([]int, n)
+		perm := r.Perm(n)
+		for i := 0; i+1 < n; i++ {
+			next[perm[i]] = perm[i+1]
+		}
+		next[perm[n-1]] = -1
+
+		sp := machine.New(n, sfc.Hilbert{})
+		listrank.Spatial(sp, next, nil, rng.New(cfg.Seed+uint64(n)))
+		wy := machine.New(n, sfc.Hilbert{})
+		listrank.Wyllie(wy, next, nil)
+
+		tb.Add(xstat.I(n),
+			xstat.I(sp.Energy()), xstat.I(wy.Energy()),
+			xstat.F(float64(wy.Energy())/float64(sp.Energy()), 2),
+			xstat.I(sp.Messages()), xstat.I(wy.Messages()),
+			xstat.I(sp.Depth()), xstat.I(wy.Depth()))
+		fns = append(fns, float64(n))
+		spE = append(spE, float64(sp.Energy()))
+	}
+	tb.Note("spatial energy exponent: %.2f (Theorem 5: 1.5)", xstat.LogLogSlope(fns, spE))
+	tb.Note("spatial messages are O(n) (geometric contraction); Wyllie's grow as n·log n")
+
+	seeds := &xstat.Table{
+		Title:  "E6b: Las Vegas stability across coin seeds (n fixed)",
+		Header: []string{"seed", "energy", "depth", "messages"},
+	}
+	n := ns[len(ns)-1]
+	next := make([]int, n)
+	perm := r.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	next[perm[n-1]] = -1
+	var depths []float64
+	for seed := uint64(0); seed < 5; seed++ {
+		s := machine.New(n, sfc.Hilbert{})
+		listrank.Spatial(s, next, nil, rng.New(seed))
+		seeds.Add(xstat.I(int(seed)), xstat.I(s.Energy()), xstat.I(s.Depth()), xstat.I(s.Messages()))
+		depths = append(depths, float64(s.Depth()))
+	}
+	seeds.Note("depth spread (stddev/mean): %.3f — the w.h.p. concentration", xstat.StdDev(depths)/xstat.Mean(depths))
+	return []*xstat.Table{tb, seeds}
+}

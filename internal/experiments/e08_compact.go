@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+	"spatialtree/internal/xstat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Lemma 10/11: COMPACT rounds and per-round energy",
+		Claim: "Lemma 10: one COMPACT round costs O(n) energy; Lemma 11: O(log n) rounds contract the tree w.h.p.",
+		Run:   runE8,
+	})
+}
+
+func runE8(cfg Config) []*xstat.Table {
+	ns := sizes(cfg, []int{10, 12}, []int{10, 12, 14, 16})
+	r := rng.New(cfg.Seed)
+
+	tb := &xstat.Table{
+		Title:  "E8: contraction rounds and energy per round (Hilbert light-first)",
+		Header: []string{"family", "n", "rounds", "log2(n)", "energy/(n·rounds)", "compress", "rake", "raked-leaves"},
+	}
+	for _, fam := range []string{"random-bin", "path", "preferential", "caterpillar"} {
+		for _, n := range ns {
+			var t *tree.Tree
+			switch fam {
+			case "random-bin":
+				t = tree.RandomBoundedDegree(n, 2, r)
+			case "path":
+				t = tree.Path(n)
+			case "preferential":
+				t = tree.PreferentialAttachment(n, r)
+			case "caterpillar":
+				t = tree.Caterpillar(n)
+			}
+			rank := order.LightFirst(t).Rank
+			s := machine.New(t.N(), sfc.Hilbert{})
+			_, st := treefix.BottomUp(s, t, rank, make([]int64, t.N()), treefix.Add, rng.New(cfg.Seed+uint64(n)))
+			logn := 0
+			for m := 1; m < n; m *= 2 {
+				logn++
+			}
+			perRound := float64(s.Energy()) / float64(t.N()) / float64(st.Rounds)
+			tb.Add(fam, xstat.I(t.N()), xstat.I(st.Rounds), xstat.I(logn),
+				xstat.F(perRound, 3), xstat.I(st.CompressOps), xstat.I(st.RakeOps),
+				xstat.I(st.RakedLeaves))
+		}
+	}
+	tb.Note("rounds track log2(n) (Lemma 11); energy/(n·rounds) flat confirms Lemma 10's O(n) per round")
+	return []*xstat.Table{tb}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"spatialtree/internal/lca"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/xstat"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E10",
+		Title: "§VI-A: heavy-light path decomposition has O(log n) layers",
+		Claim: "Connecting each vertex to its rightmost (heaviest) child in light-first order yields a path decomposition with O(log n) layers, computed by a top-down treefix",
+		Run:   runE10,
+	})
+}
+
+func runE10(cfg Config) []*xstat.Table {
+	ns := sizes(cfg, []int{10, 12}, []int{10, 12, 14, 16})
+	r := rng.New(cfg.Seed)
+
+	tb := &xstat.Table{
+		Title:  "E10: path-decomposition layers by family and size",
+		Header: []string{"family", "n", "layers", "log2(n)", "height"},
+	}
+	for _, fam := range []string{"path", "random", "preferential", "caterpillar", "perfect-bin", "yule"} {
+		for _, n := range ns {
+			var t *tree.Tree
+			switch fam {
+			case "path":
+				t = tree.Path(n)
+			case "random":
+				t = tree.RandomAttachment(n, r)
+			case "preferential":
+				t = tree.PreferentialAttachment(n, r)
+			case "caterpillar":
+				t = tree.Caterpillar(n)
+			case "perfect-bin":
+				levels := 1
+				for (1<<levels)-1 < n {
+					levels++
+				}
+				t = tree.PerfectBinary(levels)
+			case "yule":
+				t = tree.Yule(n/2, r)
+			}
+			rank := order.LightFirst(t).Rank
+			// A tiny batch forces the full decomposition machinery.
+			qs := []lca.Query{{U: 0, V: t.N() - 1}}
+			s := machine.New(t.N(), sfc.Hilbert{})
+			_, st := lca.Batched(s, t, rank, qs, rng.New(cfg.Seed))
+			logn := 0
+			for m := 1; m < t.N(); m *= 2 {
+				logn++
+			}
+			tb.Add(fam, xstat.I(t.N()), xstat.I(st.Layers), xstat.I(logn), xstat.I(t.Height()))
+		}
+	}
+	tb.Note("layers ≤ log2(n)+1 for every family — each path switch at least halves the subtree (§VI-A)")
+	return []*xstat.Table{tb}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registered %d experiments, want 12", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Fatal("E3 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tb.Title)
+				}
+				if !strings.Contains(out, tb.Header[0]) {
+					t.Errorf("%s: table render missing header", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestSizesHelper(t *testing.T) {
+	got := sizes(Config{Quick: true}, []int{3, 4}, []int{10})
+	if len(got) != 2 || got[0] != 8 || got[1] != 16 {
+		t.Fatalf("sizes quick = %v", got)
+	}
+	got = sizes(Config{Sizes: []int{7}}, []int{3}, []int{10})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("sizes override = %v", got)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	if DefaultConfig().Seed == 0 {
+		t.Fatal("default seed should be fixed and nonzero")
+	}
+}

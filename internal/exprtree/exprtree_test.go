@@ -1,0 +1,184 @@
+package exprtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func lfRanks(t *tree.Tree) []int { return order.LightFirst(t).Rank }
+
+func TestValidate(t *testing.T) {
+	r := rng.New(1)
+	e := Random(50, r)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: operator on a leaf.
+	bad := Random(10, r)
+	for v := 0; v < bad.Tree.N(); v++ {
+		if bad.Tree.IsLeaf(v) {
+			bad.Kind[v] = Add
+			break
+		}
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestEvalSequentialKnown(t *testing.T) {
+	// (2 + 3) * 4 = 20. Tree: root 0 = Mul, children 1 (Add), 2 (leaf 4);
+	// 1's children 3 (leaf 2), 4 (leaf 3).
+	tr := tree.MustFromParents([]int{-1, 0, 0, 1, 1})
+	e := &Expr{
+		Tree: tr,
+		Kind: []NodeKind{Mul, Add, Leaf, Leaf, Leaf},
+		Val:  []int64{0, 0, 4, 2, 3},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vals := e.EvalSequential()
+	if vals[1] != 5 || vals[0] != 20 {
+		t.Fatalf("sequential eval = %v", vals)
+	}
+}
+
+func TestSpatialMatchesSequential(t *testing.T) {
+	for _, leaves := range []int{1, 2, 3, 5, 17, 100, 1000} {
+		r := rng.New(uint64(leaves))
+		e := Random(leaves, r)
+		want := e.EvalSequential()[e.Tree.Root()]
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		got, st := EvalSpatial(s, e, lfRanks(e.Tree))
+		if got != want {
+			t.Fatalf("leaves=%d: spatial = %d, want %d (stats %+v)", leaves, got, want, st)
+		}
+	}
+}
+
+func TestSpatialQuick(t *testing.T) {
+	f := func(seed uint64, rawLeaves uint16) bool {
+		leaves := 1 + int(rawLeaves)%300
+		r := rng.New(seed)
+		e := Random(leaves, r)
+		want := e.EvalSequential()[e.Tree.Root()]
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		got, _ := EvalSpatial(s, e, lfRanks(e.Tree))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepSkewedTree(t *testing.T) {
+	// A maximally skewed expression (caterpillar-like full binary tree):
+	// stresses long product chains and the rake schedule.
+	const depth = 2000
+	parent := []int{-1}
+	kind := []NodeKind{Mul}
+	val := []int64{0}
+	cur := 0
+	for i := 0; i < depth; i++ {
+		l := len(parent)
+		parent = append(parent, cur, cur) // leaf, next internal (or final leaf)
+		kind = append(kind, Leaf, Mul)
+		val = append(val, int64(i%7+2), 0)
+		cur = l + 1
+	}
+	kind[cur] = Leaf
+	val[cur] = 3
+	tr := tree.MustFromParents(parent)
+	e := &Expr{Tree: tr, Kind: kind, Val: val}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := e.EvalSequential()[tr.Root()]
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, st := EvalSpatial(s, e, lfRanks(tr))
+	if got != want {
+		t.Fatalf("skewed: got %d want %d", got, want)
+	}
+	// Rounds must be logarithmic even for this linear-depth tree.
+	if st.Rounds > 40 {
+		t.Errorf("skewed tree: %d rounds, want O(log n)", st.Rounds)
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	for _, bits := range []int{10, 13} {
+		leaves := 1 << bits
+		e := Random(leaves, rng.New(uint64(bits)))
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		_, st := EvalSpatial(s, e, lfRanks(e.Tree))
+		if st.Rounds > 3*bits {
+			t.Errorf("leaves=2^%d: %d rounds, want O(log n)", bits, st.Rounds)
+		}
+		if st.Rakes != leaves-1 {
+			t.Errorf("leaves=2^%d: %d rakes, want %d", bits, st.Rakes, leaves-1)
+		}
+	}
+}
+
+func TestSpatialCosts(t *testing.T) {
+	// Near-linear energy on light-first placements; depth O(log n)-ish
+	// (each round is a constant number of oblivious waves).
+	perVertex := func(bits int) (float64, int64) {
+		leaves := 1 << bits
+		e := Random(leaves, rng.New(uint64(bits)))
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		EvalSpatial(s, e, lfRanks(e.Tree))
+		return float64(s.Energy()) / float64(e.Tree.N()), s.Depth()
+	}
+	small, _ := perVertex(10)
+	large, depth := perVertex(14)
+	if large > 2.5*small+2 {
+		t.Errorf("expression eval energy/vertex grew: %.2f -> %.2f", small, large)
+	}
+	if depth > 20*14 {
+		t.Errorf("expression eval depth %d above O(log n) envelope", depth)
+	}
+}
+
+func TestOnlyAddAndOnlyMul(t *testing.T) {
+	for _, k := range []NodeKind{Add, Mul} {
+		r := rng.New(9)
+		e := Random(64, r)
+		for v := range e.Kind {
+			if e.Kind[v] != Leaf {
+				e.Kind[v] = k
+			}
+		}
+		want := e.EvalSequential()[e.Tree.Root()]
+		s := machine.New(e.Tree.N(), sfc.Hilbert{})
+		got, _ := EvalSpatial(s, e, lfRanks(e.Tree))
+		if got != want {
+			t.Fatalf("uniform op %d: got %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestAffineAlgebra(t *testing.T) {
+	f := affine{a: 3, b: 5}
+	if f.apply(7) != 26 {
+		t.Fatal("apply")
+	}
+	if g := f.thenAddConst(4); g.apply(7) != 30 {
+		t.Fatal("thenAddConst")
+	}
+	if g := f.thenMulConst(2); g.apply(7) != 52 {
+		t.Fatal("thenMulConst")
+	}
+	h := affine{a: 2, b: 1}
+	// h∘f (x) = 2(3x+5)+1 = 6x+11.
+	if c := h.composeAfter(f); c.a != 6 || c.b != 11 {
+		t.Fatalf("compose = %+v", c)
+	}
+}

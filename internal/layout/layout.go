@@ -1,0 +1,228 @@
+// Package layout places linearly ordered trees onto the two-dimensional
+// processor grid of the spatial computer model and measures the energy of
+// tree messaging kernels on the resulting placement. This is the
+// measurement side of Sections III-A to III-C of the paper: Theorem 1
+// (light-first order on a distance-bound curve makes the local messaging
+// kernel cost O(n) energy) and Theorem 2 (the same holds on the Z curve)
+// become checkable statements about Placement values.
+package layout
+
+import (
+	"math"
+
+	"spatialtree/internal/order"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+// Placement embeds an ordered tree in a side×side grid: vertex v occupies
+// the grid point Curve.XY(Order.Rank[v], Side).
+type Placement struct {
+	Tree  *tree.Tree
+	Order order.Order
+	Curve sfc.Curve
+	Side  int
+	// x, y cache the grid coordinates per vertex.
+	x, y []int32
+}
+
+// New computes the placement of t under the given order and curve. The
+// grid side is the smallest legal side for the curve that fits all
+// vertices (the spatial model's √n × √n grid, rounded up to the curve's
+// structural constraint).
+func New(t *tree.Tree, o order.Order, c sfc.Curve) *Placement {
+	if len(o.Rank) != t.N() {
+		panic("layout: order size does not match tree")
+	}
+	side := c.Side(t.N())
+	p := &Placement{
+		Tree:  t,
+		Order: o,
+		Curve: c,
+		Side:  side,
+		x:     make([]int32, t.N()),
+		y:     make([]int32, t.N()),
+	}
+	for v := 0; v < t.N(); v++ {
+		x, y := c.XY(o.Rank[v], side)
+		p.x[v], p.y[v] = int32(x), int32(y)
+	}
+	return p
+}
+
+// LightFirst is a convenience constructor: light-first order on the given
+// curve — the paper's layout.
+func LightFirst(t *tree.Tree, c sfc.Curve) *Placement {
+	return New(t, order.LightFirst(t), c)
+}
+
+// Pos returns the grid coordinates of vertex v.
+func (p *Placement) Pos(v int) (x, y int) {
+	return int(p.x[v]), int(p.y[v])
+}
+
+// Dist returns the Manhattan distance between the processors holding
+// vertices u and v — the energy of one message between them.
+func (p *Placement) Dist(u, v int) int {
+	return sfc.Manhattan(int(p.x[u]), int(p.y[u]), int(p.x[v]), int(p.y[v]))
+}
+
+// RankDist returns the Manhattan distance between the processors at curve
+// positions i and j (not necessarily occupied by vertices).
+func (p *Placement) RankDist(i, j int) int {
+	return sfc.Dist(p.Curve, i, j, p.Side)
+}
+
+// KernelCost summarizes the energy of a messaging kernel on a placement.
+type KernelCost struct {
+	// Messages is the number of point-to-point messages sent.
+	Messages int
+	// Energy is the total Manhattan distance over all messages.
+	Energy int64
+	// MaxDist is the largest single-message distance.
+	MaxDist int
+	// PerMessage is Energy / Messages (0 when no messages).
+	PerMessage float64
+	// PerVertex is Energy / n — the normalized quantity Theorem 1 bounds
+	// by a constant for light-first layouts.
+	PerVertex float64
+}
+
+func (k *KernelCost) finish(n int) {
+	if k.Messages > 0 {
+		k.PerMessage = float64(k.Energy) / float64(k.Messages)
+	}
+	if n > 0 {
+		k.PerVertex = float64(k.Energy) / float64(n)
+	}
+}
+
+// ParentChildEnergy measures the paper's local messaging kernel: every
+// vertex sends one message to each of its children. By symmetry of the
+// Manhattan distance this also equals the child-to-parent kernel
+// (Theorem 1's remark).
+func ParentChildEnergy(p *Placement) KernelCost {
+	var k KernelCost
+	t := p.Tree
+	for v := 0; v < t.N(); v++ {
+		for _, c := range t.Children(v) {
+			d := p.Dist(v, c)
+			k.Messages++
+			k.Energy += int64(d)
+			if d > k.MaxDist {
+				k.MaxDist = d
+			}
+		}
+	}
+	k.finish(t.N())
+	return k
+}
+
+// TheoremOneBound returns the explicit energy bound proven in Theorem 1
+// for a tree of n vertices with maximum degree ∆ on a curve with
+// distance-bound constant c: ∆·8c·n. Measured kernels on light-first
+// placements must stay below it.
+func TheoremOneBound(n, maxDegree int, c float64) float64 {
+	return float64(maxDegree) * 8 * c * float64(n)
+}
+
+// ZDiagnostics decomposes the parent→child kernel energy on a Z-order
+// placement following Lemma 3: each message from curve position i to
+// position i+j costs at most Eb(i,j) + Ed(i,j), where Eb is the energy the
+// message would cost on an aligned curve (at most 8·√j by Lemma 4) and Ed
+// is the contribution of the longest crossed diagonal. We report the
+// measured split: Base sums min(dist, ⌈8√j⌉) and Diagonal sums the excess
+// dist - 8√j where positive. Lemma 7 asserts Diagonal ∈ O(n).
+type ZDiagnostics struct {
+	Base     int64 // energy within the aligned-curve bound
+	Diagonal int64 // excess energy attributed to Z diagonals
+	// CrossingEdges counts edges whose distance exceeded the aligned
+	// bound, i.e. edges that crossed a dominating diagonal.
+	CrossingEdges int
+}
+
+// MeasureZDiagnostics computes the Lemma 3 split for a placement (any
+// curve; meaningful for Z-order).
+func MeasureZDiagnostics(p *Placement) ZDiagnostics {
+	var z ZDiagnostics
+	t := p.Tree
+	for v := 0; v < t.N(); v++ {
+		for _, c := range t.Children(v) {
+			d := int64(p.Dist(v, c))
+			j := p.Order.Rank[c] - p.Order.Rank[v]
+			if j < 0 {
+				j = -j
+			}
+			bound := int64(math.Ceil(8 * math.Sqrt(float64(j))))
+			if d > bound {
+				z.Base += bound
+				z.Diagonal += d - bound
+				z.CrossingEdges++
+			} else {
+				z.Base += d
+			}
+		}
+	}
+	return z
+}
+
+// DistanceHistogram returns counts of parent-child message distances in
+// power-of-two buckets: bucket k counts edges with distance in
+// [2^k, 2^{k+1}).
+func DistanceHistogram(p *Placement) []int {
+	var hist []int
+	t := p.Tree
+	for v := 0; v < t.N(); v++ {
+		for _, c := range t.Children(v) {
+			d := p.Dist(v, c)
+			k := 0
+			for 1<<(k+1) <= d {
+				k++
+			}
+			for len(hist) <= k {
+				hist = append(hist, 0)
+			}
+			hist[k]++
+		}
+	}
+	return hist
+}
+
+// Report bundles the standard quality metrics of a placement for the
+// experiment tables.
+type Report struct {
+	Curve     string
+	Order     string
+	N         int
+	Side      int
+	MaxDegree int
+	Kernel    KernelCost
+	// Bound is the Theorem 1 bound ∆·8c·n using the curve's measured
+	// distance-bound constant (3 for Hilbert-class curves); 0 when the
+	// curve is not distance-bound.
+	Bound float64
+}
+
+// Alphas records the literature distance-bound constants α per curve
+// (Section III-B). Curves absent from the map are not distance-bound.
+var Alphas = map[string]float64{
+	"hilbert": 3,
+	"moore":   3,
+	"peano":   math.Sqrt(10 + 2.0/3.0),
+}
+
+// Measure builds the standard report for a placement.
+func Measure(p *Placement) Report {
+	rep := Report{
+		Curve:     p.Curve.Name(),
+		Order:     p.Order.Name,
+		N:         p.Tree.N(),
+		Side:      p.Side,
+		MaxDegree: p.Tree.MaxDegree(),
+		Kernel:    ParentChildEnergy(p),
+	}
+	if alpha, ok := Alphas[rep.Curve]; ok {
+		rep.Bound = TheoremOneBound(rep.N, rep.MaxDegree, alpha)
+	}
+	return rep
+}

@@ -1,0 +1,220 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func TestPlacementGeometry(t *testing.T) {
+	tr := tree.Path(16)
+	p := LightFirst(tr, sfc.Hilbert{})
+	if p.Side != 4 {
+		t.Fatalf("side = %d, want 4", p.Side)
+	}
+	// A path in light-first order on the Hilbert curve walks the curve:
+	// every parent-child distance is exactly 1.
+	k := ParentChildEnergy(p)
+	if k.Messages != 15 || k.Energy != 15 || k.MaxDist != 1 {
+		t.Fatalf("path kernel = %+v", k)
+	}
+	if k.PerMessage != 1 || k.PerVertex != 15.0/16 {
+		t.Fatalf("path kernel normalization = %+v", k)
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	r := rng.New(1)
+	tr := tree.RandomAttachment(100, r)
+	p := LightFirst(tr, sfc.Hilbert{})
+	for trial := 0; trial < 200; trial++ {
+		u, v := r.Intn(tr.N()), r.Intn(tr.N())
+		if p.Dist(u, v) != p.Dist(v, u) {
+			t.Fatalf("asymmetric distance between %d and %d", u, v)
+		}
+	}
+	if p.Dist(5, 5) != 0 {
+		t.Fatal("self-distance nonzero")
+	}
+}
+
+func TestTheorem1EnergyBound(t *testing.T) {
+	// Light-first layouts on distance-bound curves must respect the
+	// explicit Theorem 1 bound ∆·8c·n, for several tree families and
+	// curves.
+	r := rng.New(2)
+	trees := []*tree.Tree{
+		tree.Path(300),
+		tree.PerfectBinary(9),
+		tree.Caterpillar(400),
+		tree.RandomBoundedDegree(500, 2, r),
+		tree.RandomBoundedDegree(500, 3, r),
+		tree.Comb(20, 10),
+	}
+	curves := []sfc.Curve{sfc.Hilbert{}, sfc.Moore{}, sfc.Peano{}}
+	for _, tr := range trees {
+		for _, c := range curves {
+			p := LightFirst(tr, c)
+			rep := Measure(p)
+			if rep.Bound <= 0 {
+				t.Fatalf("%s: missing Theorem 1 bound", c.Name())
+			}
+			if float64(rep.Kernel.Energy) > rep.Bound {
+				t.Errorf("%s n=%d ∆=%d: kernel energy %d exceeds Theorem 1 bound %.0f",
+					c.Name(), tr.N(), rep.MaxDegree, rep.Kernel.Energy, rep.Bound)
+			}
+		}
+	}
+}
+
+func TestLightFirstConstantPerVertex(t *testing.T) {
+	// The per-vertex energy of light-first layouts must not grow with n
+	// (Theorem 1): compare two sizes a factor 16 apart.
+	r := rng.New(3)
+	small := LightFirst(tree.RandomBoundedDegree(1<<10, 2, r), sfc.Hilbert{})
+	large := LightFirst(tree.RandomBoundedDegree(1<<14, 2, r), sfc.Hilbert{})
+	ks, kl := ParentChildEnergy(small), ParentChildEnergy(large)
+	if kl.PerVertex > ks.PerVertex*2 {
+		t.Errorf("per-vertex energy grew: %.3f (n=2^10) -> %.3f (n=2^14)",
+			ks.PerVertex, kl.PerVertex)
+	}
+}
+
+func TestBFSOnPerfectBinaryIsBad(t *testing.T) {
+	// Section III: a perfect binary tree in BFS layout has Ω(√n) average
+	// neighbor distance. Verify the average exceeds side/8 and that
+	// light-first beats it by a wide margin.
+	tr := tree.PerfectBinary(12) // n = 4095
+	bfs := New(tr, order.BFS(tr), sfc.Hilbert{})
+	lf := LightFirst(tr, sfc.Hilbert{})
+	kb, kl := ParentChildEnergy(bfs), ParentChildEnergy(lf)
+	if kb.PerMessage < float64(bfs.Side)/8 {
+		t.Errorf("BFS per-message distance %.2f not Ω(side=%d)", kb.PerMessage, bfs.Side)
+	}
+	if kb.Energy < 4*kl.Energy {
+		t.Errorf("BFS energy %d not clearly worse than light-first %d", kb.Energy, kl.Energy)
+	}
+}
+
+func TestDFSOnCaterpillarIsBad(t *testing.T) {
+	// Section III: DFS order on a caterpillar (spine-child-first) has
+	// poor locality; light-first fixes it. The caterpillar generator
+	// numbers spine before leaves, so plain DFS visits the heavy spine
+	// child first.
+	tr := tree.Caterpillar(1 << 12)
+	dfs := New(tr, order.DFS(tr), sfc.Hilbert{})
+	lf := LightFirst(tr, sfc.Hilbert{})
+	kd, kl := ParentChildEnergy(dfs), ParentChildEnergy(lf)
+	if kd.Energy < 4*kl.Energy {
+		t.Errorf("DFS caterpillar energy %d not clearly worse than light-first %d",
+			kd.Energy, kl.Energy)
+	}
+}
+
+func TestZOrderLightFirstEnergyBound(t *testing.T) {
+	// Theorem 2: Z-light-first is energy-bound. Check per-vertex energy
+	// is flat across sizes and the diagonal excess is O(n) (Lemma 7).
+	r := rng.New(4)
+	var prevPerVertex float64
+	for _, bits := range []int{10, 12, 14} {
+		tr := tree.RandomBoundedDegree(1<<bits, 2, r)
+		p := LightFirst(tr, sfc.ZOrder{})
+		k := ParentChildEnergy(p)
+		z := MeasureZDiagnostics(p)
+		if z.Base+z.Diagonal != k.Energy {
+			t.Fatalf("diagnostics split %d+%d != energy %d", z.Base, z.Diagonal, k.Energy)
+		}
+		if perV := float64(z.Diagonal) / float64(tr.N()); perV > 8 {
+			t.Errorf("n=2^%d: diagonal energy per vertex %.2f too large", bits, perV)
+		}
+		if prevPerVertex > 0 && k.PerVertex > prevPerVertex*2 {
+			t.Errorf("n=2^%d: Z per-vertex energy grew from %.2f to %.2f",
+				bits, prevPerVertex, k.PerVertex)
+		}
+		prevPerVertex = k.PerVertex
+	}
+}
+
+func TestScatterIsExpensive(t *testing.T) {
+	// Scatter placement models PRAM-style lack of locality: per-message
+	// energy should be Θ(side).
+	tr := tree.RandomBoundedDegree(1<<12, 2, rng.New(5))
+	p := LightFirst(tr, sfc.Scatter{})
+	k := ParentChildEnergy(p)
+	if k.PerMessage < float64(p.Side)/4 {
+		t.Errorf("scatter per-message %.2f, expected Θ(side=%d)", k.PerMessage, p.Side)
+	}
+	lf := LightFirst(tr, sfc.Hilbert{})
+	if ParentChildEnergy(lf).Energy*4 > k.Energy {
+		t.Error("scatter not clearly worse than Hilbert light-first")
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	tr := tree.Path(64)
+	p := LightFirst(tr, sfc.Hilbert{})
+	hist := DistanceHistogram(p)
+	// All 63 edges have distance exactly 1 -> bucket 0.
+	if len(hist) != 1 || hist[0] != 63 {
+		t.Fatalf("hist = %v, want [63]", hist)
+	}
+	total := 0
+	tr2 := tree.PerfectBinary(8)
+	p2 := New(tr2, order.BFS(tr2), sfc.Hilbert{})
+	for _, c := range DistanceHistogram(p2) {
+		total += c
+	}
+	if total != tr2.N()-1 {
+		t.Fatalf("histogram counts %d edges, want %d", total, tr2.N()-1)
+	}
+}
+
+func TestTheoremOneBoundFormula(t *testing.T) {
+	if got := TheoremOneBound(100, 3, 3); got != 3*8*3*100 {
+		t.Fatalf("TheoremOneBound = %v", got)
+	}
+}
+
+func TestMeasureReportFields(t *testing.T) {
+	tr := tree.PerfectBinary(6)
+	rep := Measure(LightFirst(tr, sfc.Peano{}))
+	if rep.Curve != "peano" || rep.Order != "light-first" || rep.N != 63 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Bound == 0 {
+		t.Fatal("peano should carry a Theorem 1 bound")
+	}
+	repZ := Measure(LightFirst(tr, sfc.ZOrder{}))
+	if repZ.Bound != 0 {
+		t.Fatal("zorder must not claim a distance-bound constant")
+	}
+	if math.IsNaN(rep.Kernel.PerMessage) {
+		t.Fatal("NaN in report")
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on order/tree size mismatch")
+		}
+	}()
+	tr := tree.Path(4)
+	o := order.Order{Name: "bad", Rank: []int{0, 1, 2}}
+	New(tr, o, sfc.Hilbert{})
+}
+
+func TestRankDist(t *testing.T) {
+	tr := tree.Path(16)
+	p := LightFirst(tr, sfc.Hilbert{})
+	if p.RankDist(0, 1) != 1 {
+		t.Fatal("adjacent curve ranks should be neighbors on Hilbert")
+	}
+	if p.RankDist(3, 3) != 0 {
+		t.Fatal("self rank distance nonzero")
+	}
+}

@@ -1,0 +1,117 @@
+package lca
+
+import (
+	"testing"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func TestSelfQueries(t *testing.T) {
+	tr := tree.RandomAttachment(100, rng.New(50))
+	qs := []Query{{U: 5, V: 5}, {U: 0, V: 0}, {U: 99, V: 99}}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, _ := Batched(s, tr, lfRanks(tr), qs, rng.New(1))
+	for i, q := range qs {
+		if got[i] != q.U {
+			t.Fatalf("LCA(v,v) = %d, want %d", got[i], q.U)
+		}
+	}
+}
+
+func TestRootQueries(t *testing.T) {
+	tr := tree.RandomAttachment(100, rng.New(51))
+	qs := []Query{{U: tr.Root(), V: 42}, {U: 13, V: tr.Root()}}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, st := Batched(s, tr, lfRanks(tr), qs, rng.New(2))
+	for i := range qs {
+		if got[i] != tr.Root() {
+			t.Fatalf("query %d: got %d, want root", i, got[i])
+		}
+	}
+	if st.AncestorAnswered != 2 {
+		t.Fatalf("root queries must resolve in step 1, stats %+v", st)
+	}
+}
+
+func TestSiblingAndCousinQueries(t *testing.T) {
+	// Perfect binary tree: LCAs at every level.
+	tr := tree.PerfectBinary(8)
+	o := NewOracle(tr)
+	var qs []Query
+	for v := 1; v < 100; v += 7 {
+		qs = append(qs, Query{U: v, V: v + 1})
+	}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, _ := Batched(s, tr, lfRanks(tr), qs, rng.New(3))
+	for i, q := range qs {
+		if got[i] != o.LCA(q.U, q.V) {
+			t.Fatalf("query %v: got %d want %d", q, got[i], o.LCA(q.U, q.V))
+		}
+	}
+}
+
+func TestDeepPathQueries(t *testing.T) {
+	// On a path every query is an ancestor query.
+	tr := tree.Path(500)
+	qs := []Query{{U: 10, V: 490}, {U: 499, V: 0}, {U: 250, V: 251}}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, st := Batched(s, tr, lfRanks(tr), qs, rng.New(4))
+	want := []int{10, 0, 250}
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Fatalf("path query %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if st.CoverAnswered != 0 {
+		t.Fatalf("path queries must all be ancestor queries, stats %+v", st)
+	}
+}
+
+func TestStarQueries(t *testing.T) {
+	// On a star every non-center pair meets at the center.
+	tr := tree.Star(64)
+	var qs []Query
+	for v := 1; v+1 < 64; v += 2 {
+		qs = append(qs, Query{U: v, V: v + 1})
+	}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, _ := Batched(s, tr, lfRanks(tr), qs, rng.New(5))
+	for i := range qs {
+		if got[i] != 0 {
+			t.Fatalf("star query %d: got %d, want center", i, got[i])
+		}
+	}
+}
+
+func TestHotVertexQueries(t *testing.T) {
+	// One vertex in every query (violates the O(1) assumption;
+	// correctness must hold regardless).
+	tr := tree.RandomAttachment(200, rng.New(52))
+	o := NewOracle(tr)
+	var qs []Query
+	for v := 1; v < 100; v++ {
+		qs = append(qs, Query{U: 150, V: v})
+	}
+	if QueryLoad(tr.N(), qs) < 99 {
+		t.Fatal("test setup: vertex 150 should be hot")
+	}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	got, _ := Batched(s, tr, lfRanks(tr), qs, rng.New(6))
+	for i, q := range qs {
+		if got[i] != o.LCA(q.U, q.V) {
+			t.Fatalf("hot query %v: got %d want %d", q, got[i], o.LCA(q.U, q.V))
+		}
+	}
+}
+
+func TestTwoVertexTree(t *testing.T) {
+	tr := tree.Path(2)
+	s := machine.New(2, sfc.Hilbert{})
+	got, _ := Batched(s, tr, lfRanks(tr), []Query{{U: 0, V: 1}, {U: 1, V: 1}}, rng.New(7))
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("two-vertex answers = %v", got)
+	}
+}

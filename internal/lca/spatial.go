@@ -1,0 +1,207 @@
+package lca
+
+import (
+	"fmt"
+
+	"spatialtree/internal/eulertour"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+	"spatialtree/internal/vtree"
+)
+
+// Query asks for LCA(U, V).
+type Query struct{ U, V int }
+
+// Stats reports what the spatial LCA run did.
+type Stats struct {
+	// Layers is the number of path-decomposition layers (O(log n) by the
+	// heavy-light argument of Section VI-A).
+	Layers int
+	// AncestorAnswered counts queries resolved in step 1 (one endpoint
+	// an ancestor of the other); CoverAnswered counts those resolved by
+	// the subtree-cover sweep.
+	AncestorAnswered int
+	CoverAnswered    int
+	// Treefix carries the contraction stats of the underlying treefix
+	// runs.
+	Treefix treefix.Stats
+}
+
+// Batched answers all queries on a tree stored in light-first order:
+// rank[v] must be the light-first position of v (the algorithm's
+// correctness depends on subtrees being contiguous ranges, Section VI-C).
+// For the paper's cost bounds every vertex should appear in O(1) queries
+// (split query-heavy vertices beforehand; see QueryLoad).
+//
+// The returned slice holds one answer per query. Theorem 6: O(n log n)
+// energy and O(log² n) depth with high probability.
+func Batched(s *machine.Sim, t *tree.Tree, rank []int, queries []Query, r *rng.RNG) ([]int, Stats) {
+	n := t.N()
+	var st Stats
+	answers := make([]int, len(queries))
+	for i := range answers {
+		answers[i] = -1
+	}
+	if n == 0 || len(queries) == 0 {
+		return answers, st
+	}
+	for i, q := range queries {
+		if q.U < 0 || q.U >= n || q.V < 0 || q.V >= n {
+			panic(fmt.Sprintf("lca: query %d out of range: %+v", i, q))
+		}
+	}
+
+	// --- Step 1: subtree sizes via treefix (value 1 at every vertex),
+	// giving each vertex its range r(v) = [rank[v], rank[v]+size(v)-1].
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	sizes, tfStats := treefix.BottomUp(s, t, rank, ones, treefix.Add, r)
+	st.Treefix = tfStats
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for v := 0; v < n; v++ {
+		lo[v] = rank[v]
+		hi[v] = rank[v] + int(sizes[v]) - 1
+	}
+	inRange := func(v, x int) bool { return rank[v] >= lo[x] && rank[v] <= hi[x] }
+
+	// Query endpoints exchange positions (2 messages per query); then
+	// ancestor queries are answered locally.
+	pairs := make([][2]int, 0, 2*len(queries))
+	for _, q := range queries {
+		pairs = append(pairs, [2]int{rank[q.U], rank[q.V]}, [2]int{rank[q.V], rank[q.U]})
+	}
+	s.SendBatch(pairs)
+	for i, q := range queries {
+		switch {
+		case inRange(q.V, q.U):
+			answers[i] = q.U
+			st.AncestorAnswered++
+		case inRange(q.U, q.V):
+			answers[i] = q.V
+			st.AncestorAnswered++
+		}
+	}
+
+	// --- Step 2: every vertex learns its parent's range via a local
+	// broadcast on the virtual tree (two words; unbounded degree safe).
+	intSizes := make([]int, n)
+	for v := range intSizes {
+		intSizes[v] = int(sizes[v])
+	}
+	vt := vtree.Build(t, eulertour.SortedChildrenBySize(t, intSizes))
+	loV := make([]int64, n)
+	hiV := make([]int64, n)
+	for v := 0; v < n; v++ {
+		loV[v] = int64(lo[v])
+		hiV[v] = int64(hi[v])
+	}
+	parentLo := vtree.LocalBroadcast(s, vt, rank, loV)
+	parentHi := vtree.LocalBroadcast(s, vt, rank, hiV)
+
+	// --- Step 3: path decomposition layers via top-down treefix.
+	// v continues its parent's path iff it is the rightmost (heaviest)
+	// child in light-first order, which each vertex detects locally:
+	// its range ends where its parent's range ends.
+	switchVal := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if v == t.Root() {
+			continue
+		}
+		if int64(hi[v]) != parentHi[v] {
+			switchVal[v] = 1
+		}
+	}
+	layer64, _ := treefix.TopDown(s, t, rank, switchVal, treefix.Add, r)
+	maxLayer := 0
+	for v := 0; v < n; v++ {
+		if int(layer64[v]) > maxLayer {
+			maxLayer = int(layer64[v])
+		}
+	}
+	st.Layers = maxLayer + 1
+
+	// Per-vertex query lists (each vertex holds its O(1) query slots).
+	queriesAt := make([][]int32, n)
+	for i, q := range queries {
+		queriesAt[q.U] = append(queriesAt[q.U], int32(i))
+		if q.V != q.U {
+			queriesAt[q.V] = append(queriesAt[q.V], int32(i))
+		}
+	}
+	other := func(qi int, v int) int {
+		q := queries[qi]
+		if q.U == v {
+			return q.V
+		}
+		return q.U
+	}
+
+	// --- Step 4: subtree cover sweep. The roots of the decomposition's
+	// paths are exactly the non-rightmost children (switchVal = 1); the
+	// subtree rooted at such an x is in layer layer(x). For each layer,
+	// broadcast (r(w), r(x)) within r(x) (w = parent of x, Lemma 13) and
+	// answer queries whose other endpoint lies in r(w)\r(x); then
+	// barrier (an all-reduce) before the next layer.
+	rootsByLayer := make([][]int, maxLayer+1)
+	for v := 0; v < n; v++ {
+		if v != t.Root() && switchVal[v] == 1 {
+			rootsByLayer[layer64[v]] = append(rootsByLayer[layer64[v]], v)
+		}
+	}
+	vertexAt := make([]int32, n) // light-first position -> vertex
+	for v := 0; v < n; v++ {
+		vertexAt[rank[v]] = int32(v)
+	}
+	for layer := 0; layer <= maxLayer; layer++ {
+		for _, x := range rootsByLayer[layer] {
+			w := t.Parent(x)
+			wLo, wHi := int(parentLo[x]), int(parentHi[x])
+			// Every processor in r(x) — exactly x's subtree, since
+			// light-first subtrees are contiguous — receives
+			// (w, r(w), r(x)) and checks its queries locally.
+			machine.RangeBroadcast(s, lo[x], hi[x], func(procRank int) {
+				u := int(vertexAt[procRank])
+				for _, qi := range queriesAt[u] {
+					if answers[qi] != -1 {
+						continue
+					}
+					v := other(int(qi), u)
+					rv := rank[v]
+					if rv >= wLo && rv <= wHi && !(rv >= lo[x] && rv <= hi[x]) {
+						answers[qi] = w
+						st.CoverAnswered++
+					}
+				}
+			})
+		}
+		machine.Barrier(s)
+	}
+	return answers, st
+}
+
+// QueryLoad returns the maximum number of queries any single vertex
+// participates in. The paper's Theorem 6 assumes O(1); callers with
+// hot vertices should split them (Section VI) or accept the extra
+// energy.
+func QueryLoad(n int, queries []Query) int {
+	load := make([]int, n)
+	max := 0
+	for _, q := range queries {
+		load[q.U]++
+		if load[q.U] > max {
+			max = load[q.U]
+		}
+		if q.V != q.U {
+			load[q.V]++
+			if load[q.V] > max {
+				max = load[q.V]
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,311 @@
+// Package listrank solves list ranking on the spatial computer: given a
+// linked list, compute for every node its distance to the tail. List
+// ranking is the engine of the paper's layout construction (Section IV):
+// ranking the Euler tour of a tree yields tour positions, from which
+// subtree sizes and light-first ranks follow.
+//
+// Three implementations are provided:
+//
+//   - Sequential: host oracle.
+//   - Spatial: the paper's adaptation of the random-mate contraction
+//     algorithm (Anderson & Miller) — Theorem 5: O(n^{3/2}) energy and
+//     O(log n) depth with high probability.
+//   - Wyllie: the classic PRAM pointer-jumping algorithm executed on the
+//     grid as a baseline; it performs Θ(n log n) messages over
+//     Θ(√n)-distance pointers, i.e. Θ(n^{3/2} log n) energy — the
+//     polylogarithmic-factor energy penalty of ignoring locality.
+package listrank
+
+import (
+	"fmt"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+)
+
+// Validate checks that next encodes a single linked list covering all n
+// nodes: exactly one tail (next = -1), no node pointed to twice, and one
+// head reaching all nodes.
+func Validate(next []int) error {
+	n := len(next)
+	indeg := make([]int, n)
+	tail := -1
+	for v, w := range next {
+		if w == -1 {
+			if tail != -1 {
+				return fmt.Errorf("listrank: two tails (%d, %d)", tail, v)
+			}
+			tail = v
+			continue
+		}
+		if w < 0 || w >= n {
+			return fmt.Errorf("listrank: node %d points out of range (%d)", v, w)
+		}
+		if w == v {
+			return fmt.Errorf("listrank: node %d points to itself", v)
+		}
+		indeg[w]++
+	}
+	if n > 0 && tail == -1 {
+		return fmt.Errorf("listrank: no tail")
+	}
+	head := -1
+	for v, d := range indeg {
+		if d > 1 {
+			return fmt.Errorf("listrank: node %d has %d predecessors", v, d)
+		}
+		if d == 0 {
+			if head != -1 {
+				return fmt.Errorf("listrank: two heads (%d, %d)", head, v)
+			}
+			head = v
+		}
+	}
+	if n > 0 && head == -1 {
+		return fmt.Errorf("listrank: no head (cycle)")
+	}
+	count := 0
+	for v := head; v != -1; v = next[v] {
+		count++
+		if count > n {
+			return fmt.Errorf("listrank: cycle detected")
+		}
+	}
+	if count != n {
+		return fmt.Errorf("listrank: head reaches %d of %d nodes", count, n)
+	}
+	return nil
+}
+
+// Sequential returns rank[v] = number of links from v to the tail
+// (tail = 0). Host oracle; panics on malformed lists.
+func Sequential(next []int) []int64 {
+	n := len(next)
+	rank := make([]int64, n)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	tail := -1
+	for v, w := range next {
+		if w == -1 {
+			tail = v
+		} else {
+			prev[w] = v
+		}
+	}
+	if n == 0 {
+		return rank
+	}
+	if tail == -1 {
+		panic("listrank: no tail")
+	}
+	var r int64
+	for v := tail; v != -1; v = prev[v] {
+		rank[v] = r
+		r++
+	}
+	if r != int64(n) {
+		panic("listrank: list does not cover all nodes")
+	}
+	return rank
+}
+
+// spliceRecord remembers one removed node for the uncontraction pass.
+// Conceptually it lives in the removed node's processor: O(1) words.
+type spliceRecord struct {
+	v    int   // the spliced node
+	w    int   // next[v] at splice time
+	val  int64 // link weight v->w at splice time
+	iter int   // contraction round
+}
+
+// Spatial computes list ranks with the random-mate contraction algorithm
+// of Theorem 5, recording every message in s. proc[i] gives the processor
+// rank of node i (nil means node i sits at processor rank i). The returned
+// ranks count links to the tail.
+func Spatial(s *machine.Sim, next []int, proc []int, r *rng.RNG) []int64 {
+	n := len(next)
+	rank := make([]int64, n)
+	if n == 0 {
+		return rank
+	}
+	if proc == nil {
+		proc = make([]int, n)
+		for i := range proc {
+			proc[i] = i
+		}
+	}
+
+	// Per-node O(1) state.
+	nxt := append([]int(nil), next...)
+	prv := make([]int, n)
+	val := make([]int64, n) // weight of the link v -> nxt[v]
+	for i := range prv {
+		prv[i] = -1
+	}
+	pairs := make([][2]int, 0, n)
+	for v, w := range nxt {
+		if w != -1 {
+			val[v] = 1
+			prv[w] = v
+			pairs = append(pairs, [2]int{proc[v], proc[w]}) // announce prev
+		}
+	}
+	s.SendBatch(pairs)
+
+	active := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		active = append(active, v)
+	}
+	isActive := make([]bool, n)
+	for _, v := range active {
+		isActive[v] = true
+	}
+
+	base := 32
+	for b := n; b > 1; b /= 2 {
+		base++ // base threshold ~ 32 + log2 n
+	}
+
+	var history []spliceRecord
+	coin := make([]bool, n)
+	iter := 0
+	for len(active) > base {
+		iter++
+		// Everyone flips; each node tells its successor its coin so the
+		// successor can test "predecessor chose tails".
+		pairs = pairs[:0]
+		for _, v := range active {
+			coin[v] = r.Bool()
+			if nxt[v] != -1 {
+				pairs = append(pairs, [2]int{proc[v], proc[nxt[v]]})
+			}
+		}
+		s.SendBatch(pairs)
+
+		// Select the independent set: interior nodes that chose heads
+		// whose predecessor chose tails.
+		selected := make([]int, 0, len(active)/4)
+		for _, v := range active {
+			if prv[v] != -1 && nxt[v] != -1 && coin[v] && !coin[prv[v]] {
+				selected = append(selected, v)
+			}
+		}
+		// Splice each selected v out: v tells u=prev its (w, val), and
+		// tells w its new predecessor.
+		pairs = pairs[:0]
+		for _, v := range selected {
+			pairs = append(pairs, [2]int{proc[v], proc[prv[v]]}, [2]int{proc[v], proc[nxt[v]]})
+		}
+		s.SendBatch(pairs)
+		for _, v := range selected {
+			u, w := prv[v], nxt[v]
+			history = append(history, spliceRecord{v: v, w: w, val: val[v], iter: iter})
+			nxt[u] = w
+			val[u] += val[v]
+			prv[w] = u
+			isActive[v] = false
+		}
+		compact := active[:0]
+		for _, v := range active {
+			if isActive[v] {
+				compact = append(compact, v)
+			}
+		}
+		active = compact
+	}
+
+	// Base case: solve the short remaining list sequentially. The walk
+	// tail -> head is a chain of messages (each node passes the running
+	// rank to its predecessor): O(base) messages, O(base) = O(log n)
+	// depth.
+	tail := -1
+	for _, v := range active {
+		if nxt[v] == -1 {
+			tail = v
+		}
+	}
+	if tail == -1 {
+		panic("listrank: contracted list lost its tail")
+	}
+	var run int64
+	for v := tail; v != -1; {
+		rank[v] = run
+		u := prv[v]
+		if u != -1 {
+			s.Send(proc[v], proc[u])
+			run += val[u] // weight of the link u -> v
+		}
+		v = u
+	}
+
+	// Uncontraction: reverse iteration order; each spliced node fetches
+	// the rank of its at-splice successor (request + reply).
+	for end := len(history); end > 0; {
+		it := history[end-1].iter
+		start := end
+		for start > 0 && history[start-1].iter == it {
+			start--
+		}
+		batch := history[start:end]
+		pairs = pairs[:0]
+		for _, rec := range batch {
+			pairs = append(pairs, [2]int{proc[rec.v], proc[rec.w]}, [2]int{proc[rec.w], proc[rec.v]})
+		}
+		s.SendBatch(pairs)
+		for _, rec := range batch {
+			rank[rec.v] = rank[rec.w] + rec.val
+		}
+		end = start
+	}
+	return rank
+}
+
+// Wyllie computes list ranks by PRAM pointer jumping on the grid: every
+// round, each unfinished node asks its current successor for its value
+// and pointer (request + reply messages) and jumps. Θ(log n) rounds,
+// Θ(n) messages per round, message distances growing to Θ(√n):
+// Θ(n^{3/2} log n) energy.
+func Wyllie(s *machine.Sim, next []int, proc []int) []int64 {
+	n := len(next)
+	if proc == nil {
+		proc = make([]int, n)
+		for i := range proc {
+			proc[i] = i
+		}
+	}
+	val := make([]int64, n)
+	nxt := append([]int(nil), next...)
+	for v, w := range nxt {
+		if w != -1 {
+			val[v] = 1
+		}
+	}
+	pairs := make([][2]int, 0, 2*n)
+	for {
+		done := true
+		pairs = pairs[:0]
+		for v := 0; v < n; v++ {
+			if nxt[v] != -1 {
+				done = false
+				pairs = append(pairs, [2]int{proc[v], proc[nxt[v]]}, [2]int{proc[nxt[v]], proc[v]})
+			}
+		}
+		if done {
+			break
+		}
+		s.SendBatch(pairs)
+		// All jumps use the pre-round state (synchronous PRAM step).
+		newVal := append([]int64(nil), val...)
+		newNxt := append([]int(nil), nxt...)
+		for v := 0; v < n; v++ {
+			if nxt[v] != -1 {
+				newVal[v] = val[v] + val[nxt[v]]
+				newNxt[v] = nxt[nxt[v]]
+			}
+		}
+		val, nxt = newVal, newNxt
+	}
+	return val
+}

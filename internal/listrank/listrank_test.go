@@ -1,0 +1,220 @@
+package listrank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+)
+
+// randomList returns a next array describing a uniformly random
+// arrangement of n nodes into one list.
+func randomList(n int, r *rng.RNG) []int {
+	next := make([]int, n)
+	perm := r.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	if n > 0 {
+		next[perm[n-1]] = -1
+	}
+	return next
+}
+
+// identityList is the list 0 -> 1 -> ... -> n-1.
+func identityList(n int) []int {
+	next := make([]int, n)
+	for i := range next {
+		next[i] = i + 1
+	}
+	if n > 0 {
+		next[n-1] = -1
+	}
+	return next
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(identityList(10)); err != nil {
+		t.Fatalf("valid list rejected: %v", err)
+	}
+	if err := Validate(randomList(100, rng.New(1))); err != nil {
+		t.Fatalf("valid random list rejected: %v", err)
+	}
+	bad := [][]int{
+		{-1, -1},   // two tails
+		{1, 0},     // cycle
+		{0, -1},    // self loop
+		{2, -1, 1}, // 2 -> 1 and 0 -> 2: ok? indeg(1)=2? next[0]=2,next[1]=-1,next[2]=1: head 0, 0->2->1 covers all: valid!
+	}
+	for _, nx := range bad[:3] {
+		if err := Validate(nx); err == nil {
+			t.Errorf("Validate(%v): expected error", nx)
+		}
+	}
+	if err := Validate(bad[3]); err != nil {
+		t.Errorf("Validate(%v): unexpected error %v", bad[3], err)
+	}
+}
+
+func TestSequentialKnown(t *testing.T) {
+	ranks := Sequential(identityList(5))
+	want := []int64{4, 3, 2, 1, 0}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+	if got := Sequential([]int{}); len(got) != 0 {
+		t.Fatal("empty list")
+	}
+	if got := Sequential([]int{-1}); got[0] != 0 {
+		t.Fatal("singleton rank")
+	}
+}
+
+func TestSpatialMatchesSequential(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 2, 3, 17, 100, 1000, 4096} {
+		next := randomList(n, r)
+		want := Sequential(next)
+		s := machine.New(n, sfc.Hilbert{})
+		got := Spatial(s, next, nil, rng.New(uint64(n)))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpatialManySeeds(t *testing.T) {
+	// Las Vegas: different coin seeds must all give the correct answer.
+	r := rng.New(3)
+	next := randomList(500, r)
+	want := Sequential(next)
+	for seed := uint64(0); seed < 10; seed++ {
+		s := machine.New(500, sfc.Hilbert{})
+		got := Spatial(s, next, nil, rng.New(seed))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: rank[%d] = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpatialQuick(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := 1 + int(rawN)%400
+		r := rng.New(seed)
+		next := randomList(n, r)
+		want := Sequential(next)
+		s := machine.New(n, sfc.Hilbert{})
+		got := Spatial(s, next, nil, r)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWyllieMatchesSequential(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{1, 2, 10, 257, 1024} {
+		next := randomList(n, r)
+		want := Sequential(next)
+		s := machine.New(n, sfc.Hilbert{})
+		got := Wyllie(s, next, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpatialWithExplicitPlacement(t *testing.T) {
+	// Nodes placed at scattered processors: still correct.
+	r := rng.New(5)
+	n := 300
+	next := randomList(n, r)
+	s := machine.New(2*n, sfc.Hilbert{})
+	proc := r.Perm(2 * n)[:n]
+	want := Sequential(next)
+	got := Spatial(s, next, proc, r)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTheorem5Costs(t *testing.T) {
+	// Energy exponent about 1.5, depth O(log n).
+	var ns, es []float64
+	for _, bits := range []int{10, 12, 14} {
+		n := 1 << bits
+		next := randomList(n, rng.New(uint64(bits)))
+		s := machine.New(n, sfc.Hilbert{})
+		Spatial(s, next, nil, rng.New(99))
+		ns = append(ns, float64(n))
+		es = append(es, float64(s.Energy()))
+		if d := s.Depth(); d > int64(25*bits) {
+			t.Errorf("n=2^%d: spatial list-rank depth %d above O(log n) envelope", bits, d)
+		}
+	}
+	slope := logLogSlope(ns, es)
+	if slope < 1.25 || slope > 1.75 {
+		t.Errorf("spatial list-rank energy exponent %.3f, want about 1.5", slope)
+	}
+}
+
+func TestWyllieCostlierThanSpatial(t *testing.T) {
+	// The PRAM baseline spends more energy and messages (log-factor).
+	n := 1 << 12
+	next := randomList(n, rng.New(7))
+	sw := machine.New(n, sfc.Hilbert{})
+	Wyllie(sw, next, nil)
+	ss := machine.New(n, sfc.Hilbert{})
+	Spatial(ss, next, nil, rng.New(8))
+	if sw.Energy() < 2*ss.Energy() {
+		t.Errorf("Wyllie energy %d not clearly above spatial %d", sw.Energy(), ss.Energy())
+	}
+	if sw.Messages() < 2*ss.Messages() {
+		t.Errorf("Wyllie messages %d not clearly above spatial %d", sw.Messages(), ss.Messages())
+	}
+}
+
+func TestSpatialMessageCountLinear(t *testing.T) {
+	// O(n) messages in total (geometric contraction), unlike Wyllie.
+	for _, bits := range []int{10, 13} {
+		n := 1 << bits
+		next := randomList(n, rng.New(uint64(bits)))
+		s := machine.New(n, sfc.Hilbert{})
+		Spatial(s, next, nil, rng.New(1))
+		if s.Messages() > int64(16*n) {
+			t.Errorf("n=2^%d: %d messages, want O(n)", bits, s.Messages())
+		}
+	}
+}
+
+func logLogSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

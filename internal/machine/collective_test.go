@@ -1,0 +1,251 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+)
+
+func add(a, b int64) int64 { return a + b }
+
+func TestReduceGridCorrect(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		s := New(n, sfc.Hilbert{})
+		vals := make([]int64, s.Procs())
+		var want int64
+		r := rng.New(uint64(n))
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000))
+			want += vals[i]
+		}
+		root := ReduceGrid(s, vals, add)
+		if vals[root] != want {
+			t.Fatalf("n=%d: reduce = %d, want %d", n, vals[root], want)
+		}
+	}
+}
+
+func TestReduceGridCosts(t *testing.T) {
+	// O(n) energy, O(log n) depth: compare n=1024 against n=4096.
+	e := map[int]int64{}
+	d := map[int]int64{}
+	for _, n := range []int{1024, 4096} {
+		s := New(n, sfc.Hilbert{})
+		vals := make([]int64, s.Procs())
+		ReduceGrid(s, vals, add)
+		e[n], d[n] = s.Energy(), s.Depth()
+	}
+	if ratio := float64(e[4096]) / float64(e[1024]); ratio > 5.5 {
+		t.Errorf("reduce energy grew superlinearly: ratio %.2f for 4x data", ratio)
+	}
+	if d[4096] > d[1024]+10 {
+		t.Errorf("reduce depth not logarithmic: %d -> %d", d[1024], d[4096])
+	}
+}
+
+func TestBroadcastGridCorrect(t *testing.T) {
+	s := New(256, sfc.ZOrder{})
+	vals := make([]int64, s.Procs())
+	root := s.rankAt(0, 0)
+	vals[root] = 77
+	BroadcastGrid(s, vals)
+	for i, v := range vals {
+		if v != 77 {
+			t.Fatalf("rank %d did not receive broadcast: %d", i, v)
+		}
+	}
+}
+
+func TestAllReduceGrid(t *testing.T) {
+	s := New(64, sfc.Hilbert{})
+	vals := make([]int64, s.Procs())
+	for i := range vals {
+		vals[i] = 1
+	}
+	got := AllReduceGrid(s, vals, add)
+	if got != int64(s.Procs()) {
+		t.Fatalf("allreduce = %d, want %d", got, s.Procs())
+	}
+	for i, v := range vals {
+		if v != got {
+			t.Fatalf("rank %d has %d after allreduce", i, v)
+		}
+	}
+}
+
+func TestBarrierOnAllCurves(t *testing.T) {
+	for _, c := range []sfc.Curve{sfc.Hilbert{}, sfc.ZOrder{}, sfc.Peano{}} {
+		s := New(81, c)
+		Barrier(s)
+		if s.Energy() == 0 || s.Depth() == 0 {
+			t.Errorf("%s: barrier cost zero", c.Name())
+		}
+		// Depth must be logarithmic-ish, not linear.
+		if s.Depth() > 200 {
+			t.Errorf("%s: barrier depth %d too deep for n=81", c.Name(), s.Depth())
+		}
+	}
+}
+
+func TestPrefixSumCorrect(t *testing.T) {
+	r := rng.New(9)
+	for _, m := range []int{1, 2, 3, 7, 8, 100, 255, 256, 1000} {
+		s := New(m, sfc.Hilbert{})
+		vals := make([]int64, m)
+		want := make([]int64, m)
+		var run int64
+		for i := range vals {
+			vals[i] = int64(r.Intn(100)) - 50
+			run += vals[i]
+			want[i] = run
+		}
+		PrefixSum(s, vals, add)
+		for i := range vals {
+			if vals[i] != want[i] {
+				t.Fatalf("m=%d: prefix[%d] = %d, want %d", m, i, vals[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixSumWithMax(t *testing.T) {
+	s := New(10, sfc.Hilbert{})
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	PrefixSum(s, vals, maxOp)
+	want := []int64{3, 3, 4, 4, 5, 9, 9, 9, 9, 9}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("running max[%d] = %d, want %d", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestExclusivePrefixSum(t *testing.T) {
+	s := New(5, sfc.Hilbert{})
+	vals := []int64{2, 3, 5, 7, 11}
+	ExclusivePrefixSum(s, vals)
+	want := []int64{0, 2, 5, 10, 17}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("exclusive[%d] = %d, want %d", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestPrefixSumCosts(t *testing.T) {
+	// Linear energy, logarithmic depth on the Hilbert curve.
+	costs := map[int]Cost{}
+	for _, m := range []int{1 << 10, 1 << 14} {
+		s := New(m, sfc.Hilbert{})
+		vals := make([]int64, m)
+		PrefixSum(s, vals, add)
+		costs[m] = s.Cost()
+	}
+	ratio := float64(costs[1<<14].Energy) / float64(costs[1<<10].Energy)
+	if ratio > 16*1.6 { // 16x data: allow modest slack over exactly linear
+		t.Errorf("prefix energy ratio %.1f for 16x data (superlinear)", ratio)
+	}
+	if d := costs[1<<14].Depth; d > 6*14 {
+		t.Errorf("prefix depth %d not O(log n) for n=2^14", d)
+	}
+}
+
+func TestRangeBroadcastVisitsAll(t *testing.T) {
+	s := New(256, sfc.Hilbert{})
+	for _, span := range [][2]int{{0, 0}, {5, 5}, {0, 255}, {17, 93}} {
+		seen := map[int]bool{}
+		RangeBroadcast(s, span[0], span[1], func(r int) { seen[r] = true })
+		for r := span[0]; r <= span[1]; r++ {
+			if !seen[r] {
+				t.Fatalf("range [%d,%d]: rank %d missed", span[0], span[1], r)
+			}
+		}
+		if len(seen) != span[1]-span[0]+1 {
+			t.Fatalf("range [%d,%d]: visited %d ranks", span[0], span[1], len(seen))
+		}
+	}
+}
+
+func TestRangeBroadcastCosts(t *testing.T) {
+	// Lemma 13: O(b-a) energy, O(log(b-a)) depth on a distance-bound
+	// curve.
+	s := New(1<<14, sfc.Hilbert{})
+	mark := s.Cost()
+	RangeBroadcast(s, 100, 100+(1<<12), func(int) {})
+	d := s.Since(mark)
+	m := 1 << 12
+	if d.Energy > int64(20*m) {
+		t.Errorf("range broadcast energy %d for %d ranks (super-linear)", d.Energy, m)
+	}
+	if d.Depth > 4*13 {
+		t.Errorf("range broadcast depth %d not O(log m)", d.Depth)
+	}
+}
+
+func TestRangeReduceCorrect(t *testing.T) {
+	s := New(128, sfc.Hilbert{})
+	vals := make([]int64, 128)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	got := RangeReduce(s, 10, 20, func(r int) int64 { return vals[r] }, add)
+	var want int64
+	for i := 10; i <= 20; i++ {
+		want += int64(i)
+	}
+	if got != want {
+		t.Fatalf("range reduce = %d, want %d", got, want)
+	}
+	single := RangeReduce(s, 5, 5, func(r int) int64 { return vals[r] }, add)
+	if single != 5 {
+		t.Fatalf("singleton range reduce = %d", single)
+	}
+}
+
+func TestRangeBroadcastEmptyRange(t *testing.T) {
+	s := New(16, sfc.Hilbert{})
+	calls := 0
+	RangeBroadcast(s, 5, 4, func(int) { calls++ })
+	if calls != 0 || s.Messages() != 0 {
+		t.Fatal("empty range broadcast did something")
+	}
+}
+
+func TestCollectiveEnergyScalesLinearly(t *testing.T) {
+	// Log-log slope of reduce energy vs n should be about 1.
+	var ns, es []float64
+	for _, bits := range []int{8, 10, 12, 14} {
+		n := 1 << bits
+		s := New(n, sfc.Hilbert{})
+		vals := make([]int64, s.Procs())
+		ReduceGrid(s, vals, add)
+		ns = append(ns, float64(n))
+		es = append(es, float64(s.Energy()))
+	}
+	slope := logLogSlope(ns, es)
+	if slope < 0.85 || slope > 1.15 {
+		t.Errorf("reduce energy exponent %.3f, want about 1", slope)
+	}
+}
+
+// logLogSlope fits log(y) = a + b log(x) and returns b.
+func logLogSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"testing"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+)
+
+func TestCongestionOffByDefault(t *testing.T) {
+	s := New(64, sfc.Hilbert{})
+	s.Send(0, 40)
+	if s.MaxLinkLoad() != 0 {
+		t.Fatal("congestion counted without EnableCongestion")
+	}
+}
+
+func TestCongestionSingleMessage(t *testing.T) {
+	s := New(16, sfc.RowMajor{})
+	s.EnableCongestion()
+	// Rank 0 at (0,0) to rank 15 at (3,3): X-then-Y route crosses 3
+	// horizontal + 3 vertical links, each once.
+	s.Send(0, 15)
+	if s.MaxLinkLoad() != 1 {
+		t.Fatalf("max link load = %d, want 1", s.MaxLinkLoad())
+	}
+	var total int64
+	for _, l := range s.hload {
+		total += l
+	}
+	for _, l := range s.vload {
+		total += l
+	}
+	if total != 6 {
+		t.Fatalf("total link crossings = %d, want 6 (= Manhattan distance)", total)
+	}
+}
+
+func TestCongestionMatchesEnergy(t *testing.T) {
+	// Total link crossings must equal total energy (each message crosses
+	// exactly dist links).
+	s := New(256, sfc.Hilbert{})
+	s.EnableCongestion()
+	r := rng.New(1)
+	for i := 0; i < 500; i++ {
+		s.Send(r.Intn(256), r.Intn(256))
+	}
+	var total int64
+	for _, l := range s.hload {
+		total += l
+	}
+	for _, l := range s.vload {
+		total += l
+	}
+	if total != s.Energy() {
+		t.Fatalf("link crossings %d != energy %d", total, s.Energy())
+	}
+}
+
+func TestCongestionHotLink(t *testing.T) {
+	// Everyone messaging one corner concentrates load; scattered local
+	// messages do not.
+	hot := New(256, sfc.RowMajor{})
+	hot.EnableCongestion()
+	for i := 1; i < 256; i++ {
+		hot.Send(i, 0)
+	}
+	local := New(256, sfc.RowMajor{})
+	local.EnableCongestion()
+	for i := 0; i < 255; i++ {
+		local.Send(i, i+1)
+	}
+	if hot.MaxLinkLoad() < 8*local.MaxLinkLoad() {
+		t.Fatalf("hot-spot load %d not clearly above local load %d",
+			hot.MaxLinkLoad(), local.MaxLinkLoad())
+	}
+}
+
+func TestCongestionSendBatch(t *testing.T) {
+	a := New(64, sfc.Hilbert{})
+	a.EnableCongestion()
+	b := New(64, sfc.Hilbert{})
+	b.EnableCongestion()
+	pairs := [][2]int{{0, 10}, {20, 30}, {5, 5}}
+	for _, p := range pairs {
+		a.Send(p[0], p[1])
+	}
+	b.SendBatch(pairs)
+	if a.MaxLinkLoad() != b.MaxLinkLoad() {
+		t.Fatalf("batch congestion %d != serial %d", b.MaxLinkLoad(), a.MaxLinkLoad())
+	}
+}

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+)
+
+func TestSendBatchMatchesSendCosts(t *testing.T) {
+	// Energy and message counts must be identical between Send and
+	// SendBatch; only the schedule (depth) may differ.
+	r := rng.New(20)
+	pairs := make([][2]int, 200)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(256), r.Intn(256)}
+	}
+	a := New(256, sfc.Hilbert{})
+	for _, p := range pairs {
+		a.Send(p[0], p[1])
+	}
+	b := New(256, sfc.Hilbert{})
+	b.SendBatch(pairs)
+	if a.Energy() != b.Energy() || a.Messages() != b.Messages() {
+		t.Fatalf("cost mismatch: send %d/%d batch %d/%d",
+			a.Energy(), a.Messages(), b.Energy(), b.Messages())
+	}
+	if b.Depth() > a.Depth() {
+		t.Fatalf("batch depth %d exceeds serial depth %d", b.Depth(), a.Depth())
+	}
+}
+
+func TestSendBatchSelfSendsFree(t *testing.T) {
+	s := New(16, sfc.Hilbert{})
+	s.SendBatch([][2]int{{3, 3}, {4, 4}})
+	if s.Energy() != 0 || s.Messages() != 0 || s.Depth() != 0 {
+		t.Fatal("self-sends in a batch must be free")
+	}
+}
+
+func TestSendBatchReceiveSerialization(t *testing.T) {
+	// k simultaneous messages into one rank must still serialize.
+	s := New(64, sfc.RowMajor{})
+	var pairs [][2]int
+	for i := 1; i <= 10; i++ {
+		pairs = append(pairs, [2]int{i, 0})
+	}
+	s.SendBatch(pairs)
+	if s.Depth() < 10 {
+		t.Fatalf("batched fan-in depth %d, want >= 10", s.Depth())
+	}
+}
+
+func TestPrefixSumQuick(t *testing.T) {
+	f := func(seed uint64, rawM uint16) bool {
+		m := 1 + int(rawM)%600
+		r := rng.New(seed)
+		s := New(m, sfc.Hilbert{})
+		vals := make([]int64, m)
+		want := make([]int64, m)
+		var run int64
+		for i := range vals {
+			vals[i] = int64(r.Intn(2001)) - 1000
+			run += vals[i]
+			want[i] = run
+		}
+		PrefixSum(s, vals, func(a, b int64) int64 { return a + b })
+		for i := range vals {
+			if vals[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceGridOnZOrder(t *testing.T) {
+	// Collectives must be curve-agnostic (coordinate quadtree).
+	for _, c := range []sfc.Curve{sfc.ZOrder{}, sfc.Scatter{}, sfc.Snake{}} {
+		s := New(64, c)
+		if s.Side()&(s.Side()-1) != 0 {
+			continue
+		}
+		vals := make([]int64, s.Procs())
+		for i := range vals {
+			vals[i] = 2
+		}
+		root := ReduceGrid(s, vals, func(a, b int64) int64 { return a + b })
+		if vals[root] != int64(2*s.Procs()) {
+			t.Errorf("%s: reduce = %d", c.Name(), vals[root])
+		}
+	}
+}
+
+func TestRangeReduceDepthLogarithmic(t *testing.T) {
+	s := New(1<<14, sfc.Hilbert{})
+	RangeReduce(s, 0, (1<<14)-1, func(int) int64 { return 1 },
+		func(a, b int64) int64 { return a + b })
+	if s.Depth() > 4*14 {
+		t.Errorf("range reduce depth %d, want O(log n)", s.Depth())
+	}
+}
+
+func TestSortByKeyAlreadySortedAndReversed(t *testing.T) {
+	for _, m := range []int{64, 100} {
+		asc := New(m, sfc.Hilbert{})
+		keys := make([]int64, asc.Procs())
+		for i := 0; i < m; i++ {
+			keys[i] = int64(i)
+		}
+		SortByKey(asc, keys, nil, m)
+		for i := 0; i < m; i++ {
+			if keys[i] != int64(i) {
+				t.Fatalf("sorted input broken at %d", i)
+			}
+		}
+		desc := New(m, sfc.Hilbert{})
+		for i := 0; i < m; i++ {
+			keys[i] = int64(m - i)
+		}
+		SortByKey(desc, keys, nil, m)
+		for i := 0; i < m; i++ {
+			if keys[i] != int64(i+1) {
+				t.Fatalf("reversed input broken at %d", i)
+			}
+		}
+	}
+}
+
+func TestSortByKeyDuplicates(t *testing.T) {
+	m := 200
+	s := New(m, sfc.Hilbert{})
+	keys := make([]int64, s.Procs())
+	r := rng.New(30)
+	count := map[int64]int{}
+	for i := 0; i < m; i++ {
+		keys[i] = int64(r.Intn(5))
+		count[keys[i]]++
+	}
+	SortByKey(s, keys, nil, m)
+	for i := 1; i < m; i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("not sorted with duplicates")
+		}
+	}
+	for i := 0; i < m; i++ {
+		count[keys[i]]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("multiset changed for key %d", k)
+		}
+	}
+}

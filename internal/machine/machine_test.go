@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"testing"
+
+	"spatialtree/internal/sfc"
+)
+
+func TestNewGridGeometry(t *testing.T) {
+	s := New(100, sfc.Hilbert{})
+	if s.Side() != 16 || s.Procs() != 256 {
+		t.Fatalf("side=%d procs=%d, want 16/256", s.Side(), s.Procs())
+	}
+	if s.Curve().Name() != "hilbert" {
+		t.Fatal("curve accessor broken")
+	}
+	p := New(10, sfc.Peano{})
+	if p.Side() != 9 || p.Procs() != 81 {
+		t.Fatalf("peano side=%d procs=%d, want 9/81", p.Side(), p.Procs())
+	}
+}
+
+func TestSendEnergyIsManhattan(t *testing.T) {
+	s := New(16, sfc.RowMajor{})
+	// Rank 0 at (0,0), rank 5 at (1,1): distance 2.
+	s.Send(0, 5)
+	if s.Energy() != 2 || s.Messages() != 1 {
+		t.Fatalf("energy=%d messages=%d", s.Energy(), s.Messages())
+	}
+	// Self-send is free.
+	s.Send(3, 3)
+	if s.Energy() != 2 || s.Messages() != 1 {
+		t.Fatal("self-send must be free")
+	}
+}
+
+func TestDepthChains(t *testing.T) {
+	s := New(64, sfc.RowMajor{})
+	// A chain 0 -> 1 -> 2 -> 3: depth grows by one per hop plus the
+	// initial send slot.
+	s.Send(0, 1)
+	s.Send(1, 2)
+	s.Send(2, 3)
+	if d := s.Depth(); d != 4 {
+		// hop i departs after receive of hop i-1: depths 1,2,3 for
+		// arrivals, each send occupies the sender first: chain = send(1)
+		// +arrive(1)... measured: 0 sends at t0, arrives t1; 1 sends t1,
+		// arrives t2; 2 sends t2 arrives t3... depth 3? Let me assert
+		// the exact behavior below instead.
+		t.Logf("chain depth = %d", d)
+	}
+}
+
+func TestDepthSemantics(t *testing.T) {
+	// Pin down the exact schedule semantics.
+	s := New(64, sfc.RowMajor{})
+	s.Send(0, 1) // departs at 0, arrives 1: clock[1] = 1
+	if s.Depth() != 1 {
+		t.Fatalf("one hop depth = %d, want 1", s.Depth())
+	}
+	s.Send(1, 2) // departs at 1 (after receive), arrives 2
+	if s.Depth() != 2 {
+		t.Fatalf("two chained hops depth = %d, want 2", s.Depth())
+	}
+	// Independent message elsewhere does not deepen the schedule.
+	s.Send(10, 11)
+	if s.Depth() != 2 {
+		t.Fatalf("independent send changed depth to %d", s.Depth())
+	}
+}
+
+func TestFanOutSerializes(t *testing.T) {
+	// One processor sending k messages occupies k send slots: the model
+	// reason unbounded-degree trees need the virtual-tree transform.
+	s := New(64, sfc.RowMajor{})
+	const k = 10
+	for i := 1; i <= k; i++ {
+		s.Send(0, i)
+	}
+	if d := s.Depth(); d < k {
+		t.Fatalf("fan-out of %d has depth %d; sends must serialize", k, d)
+	}
+}
+
+func TestFanInSerializes(t *testing.T) {
+	s := New(64, sfc.RowMajor{})
+	const k = 10
+	for i := 1; i <= k; i++ {
+		s.Send(i, 0)
+	}
+	if d := s.Depth(); d < k {
+		t.Fatalf("fan-in of %d has depth %d; receives must serialize", k, d)
+	}
+}
+
+func TestTreeFanOutLogDepth(t *testing.T) {
+	// Binary-tree fan-out over 2^10 processors must have Θ(log n) depth.
+	s := New(1024, sfc.Hilbert{})
+	levels := 0
+	for width := 1; width < 1024; width *= 2 {
+		for i := 0; i < width; i++ {
+			s.Send(i, width+i)
+		}
+		levels++
+	}
+	d := s.Depth()
+	if d < int64(levels) || d > int64(3*levels) {
+		t.Fatalf("binary fan-out depth = %d over %d levels", d, levels)
+	}
+}
+
+func TestCostSnapshots(t *testing.T) {
+	s := New(16, sfc.RowMajor{})
+	s.Send(0, 1)
+	mark := s.Cost()
+	s.Send(1, 2)
+	s.Send(2, 3)
+	d := s.Since(mark)
+	if d.Messages != 2 || d.Energy != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	s.Reset()
+	if s.Energy() != 0 || s.Depth() != 0 || s.Messages() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDistMatchesCurve(t *testing.T) {
+	s := New(256, sfc.Hilbert{})
+	for i := 0; i < 255; i += 7 {
+		if got, want := s.Dist(i, i+1), sfc.Dist(sfc.Hilbert{}, i, i+1, 16); got != want {
+			t.Fatalf("Dist(%d,%d) = %d, want %d", i, i+1, got, want)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := New(4, sfc.Hilbert{})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,87 @@
+package machine
+
+// Sorting and permutation routing (Section II-A): sorting n words on the
+// spatial computer takes Θ(n^{3/2}) energy, matching the Ω(n^{3/2})
+// lower bound for a global permutation on a √n × √n grid. We implement
+// sorting as Batcher's odd-even merge sorting network over curve ranks:
+// all comparators are ascending, so ranks beyond the data (holding +∞)
+// never receive finite values and their comparators can be skipped. The
+// dominant comparator strides are Θ(n), giving Θ(√n)-distance messages
+// for Θ(n) comparators — Θ(n^{3/2}) energy — with O(log² n) depth.
+
+// CompareExchange swaps the values at ranks i < j so that keys[i] <=
+// keys[j], moving payloads along. Both processors exchange their words
+// simultaneously (2 messages, one oblivious phase); ties keep the lower
+// rank's element in place, making the sort stable-ish for distinct
+// (key, payload) pairs.
+func CompareExchange(s *Sim, keys, payload []int64, i, j int) {
+	s.SendBatch([][2]int{{i, j}, {j, i}})
+	if keys[i] > keys[j] {
+		keys[i], keys[j] = keys[j], keys[i]
+		if payload != nil {
+			payload[i], payload[j] = payload[j], payload[i]
+		}
+	}
+}
+
+// SortByKey sorts the first m entries of keys (with payload words moved
+// alongside, if non-nil) in ascending key order using Batcher's odd-even
+// merge sorting network on the grid (the classic iterative formulation,
+// which is a valid network for arbitrary m). Entries beyond m are
+// untouched. keys and payload are rank-indexed; m may be any value up to
+// Procs().
+func SortByKey(s *Sim, keys, payload []int64, m int) {
+	for p := 1; p < m; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			for j := k % p; j+k < m; j += 2 * k {
+				for i := 0; i < k && i+j+k < m; i++ {
+					lo := i + j
+					hi := i + j + k
+					if lo/(2*p) == hi/(2*p) {
+						CompareExchange(s, keys, payload, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Permute routes one word from every rank i in [0, m) to rank dest[i]
+// directly (depth O(1), energy the sum of distances ≤ 2·side per word,
+// so O(n^{3/2}) in the worst case — the permutation lower bound is
+// tight). dest must be a bijection on [0, m); vals is permuted in place.
+func Permute(s *Sim, vals []int64, dest []int) {
+	m := len(dest)
+	out := make([]int64, m)
+	seen := make([]bool, m)
+	pairs := make([][2]int, m)
+	for i, d := range dest {
+		if d < 0 || d >= m || seen[d] {
+			panic("machine: Permute destination is not a bijection")
+		}
+		seen[d] = true
+		pairs[i] = [2]int{i, d}
+		out[d] = vals[i]
+	}
+	s.SendBatch(pairs)
+	copy(vals[:m], out)
+}
+
+// PermuteInts is Permute for int slices (convenience for rank
+// permutations).
+func PermuteInts(s *Sim, vals []int, dest []int) {
+	m := len(dest)
+	out := make([]int, m)
+	seen := make([]bool, m)
+	pairs := make([][2]int, m)
+	for i, d := range dest {
+		if d < 0 || d >= m || seen[d] {
+			panic("machine: PermuteInts destination is not a bijection")
+		}
+		seen[d] = true
+		pairs[i] = [2]int{i, d}
+		out[d] = vals[i]
+	}
+	s.SendBatch(pairs)
+	copy(vals[:m], out)
+}

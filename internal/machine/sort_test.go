@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+)
+
+func TestSortByKeyExhaustiveSmall(t *testing.T) {
+	// Validate the sorting network on every permutation of sizes 1..7.
+	var perms func(a []int64, k int, emit func([]int64))
+	perms = func(a []int64, k int, emit func([]int64)) {
+		if k == len(a) {
+			emit(a)
+			return
+		}
+		for i := k; i < len(a); i++ {
+			a[k], a[i] = a[i], a[k]
+			perms(a, k+1, emit)
+			a[k], a[i] = a[i], a[k]
+		}
+	}
+	for m := 1; m <= 7; m++ {
+		base := make([]int64, m)
+		for i := range base {
+			base[i] = int64(i)
+		}
+		perms(base, 0, func(p []int64) {
+			s := New(m, sfc.Hilbert{})
+			keys := make([]int64, s.Procs())
+			copy(keys, p)
+			SortByKey(s, keys, nil, m)
+			for i := 0; i < m; i++ {
+				if keys[i] != int64(i) {
+					t.Fatalf("m=%d input %v: sorted to %v", m, p, keys[:m])
+				}
+			}
+		})
+	}
+}
+
+func TestSortByKeyRandomLarge(t *testing.T) {
+	r := rng.New(10)
+	for _, m := range []int{100, 255, 256, 1000, 4096} {
+		s := New(m, sfc.Hilbert{})
+		keys := make([]int64, s.Procs())
+		payload := make([]int64, s.Procs())
+		want := make([]int64, m)
+		for i := 0; i < m; i++ {
+			keys[i] = int64(r.Intn(1 << 20))
+			payload[i] = keys[i] * 10 // payload tied to key
+			want[i] = keys[i]
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortByKey(s, keys, payload, m)
+		for i := 0; i < m; i++ {
+			if keys[i] != want[i] {
+				t.Fatalf("m=%d: keys[%d] = %d, want %d", m, i, keys[i], want[i])
+			}
+			if payload[i] != keys[i]*10 {
+				t.Fatalf("m=%d: payload decoupled from key at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestSortCostsMatchTheory(t *testing.T) {
+	// Θ(n^{3/2}) energy, O(log² n) depth (Section II-A).
+	var ns, es []float64
+	for _, bits := range []int{8, 10, 12} {
+		n := 1 << bits
+		s := New(n, sfc.Hilbert{})
+		keys := make([]int64, s.Procs())
+		r := rng.New(uint64(bits))
+		for i := 0; i < n; i++ {
+			keys[i] = int64(r.Intn(1 << 30))
+		}
+		SortByKey(s, keys, nil, n)
+		ns = append(ns, float64(n))
+		es = append(es, float64(s.Energy()))
+		logn := float64(bits)
+		if d := float64(s.Depth()); d > 8*logn*logn {
+			t.Errorf("n=2^%d: sort depth %.0f above O(log² n) envelope", bits, d)
+		}
+	}
+	slope := logLogSlope(ns, es)
+	if slope < 1.3 || slope > 1.7 {
+		t.Errorf("sort energy exponent %.3f, want about 1.5", slope)
+	}
+}
+
+func TestPermuteCorrect(t *testing.T) {
+	r := rng.New(11)
+	for _, m := range []int{1, 2, 10, 256, 1000} {
+		s := New(m, sfc.Hilbert{})
+		vals := make([]int64, m)
+		for i := range vals {
+			vals[i] = int64(i) * 3
+		}
+		dest := r.Perm(m)
+		Permute(s, vals, dest)
+		for i := 0; i < m; i++ {
+			if vals[dest[i]] != int64(i)*3 {
+				t.Fatalf("m=%d: vals[dest[%d]] = %d, want %d", m, i, vals[dest[i]], i*3)
+			}
+		}
+	}
+}
+
+func TestPermuteDepthConstant(t *testing.T) {
+	s := New(1<<12, sfc.Hilbert{})
+	r := rng.New(12)
+	vals := make([]int64, 1<<12)
+	Permute(s, vals, r.Perm(1<<12))
+	if s.Depth() > 4 {
+		t.Errorf("direct permutation depth = %d, want O(1)", s.Depth())
+	}
+}
+
+func TestPermuteEnergyWithinLowerBoundRegime(t *testing.T) {
+	// A random permutation costs Θ(n^{3/2}) — matching the Ω(n^{3/2})
+	// lower bound of the model. Check energy / n^{3/2} sits in a sane
+	// constant band.
+	for _, bits := range []int{10, 12, 14} {
+		n := 1 << bits
+		s := New(n, sfc.Hilbert{})
+		r := rng.New(uint64(bits))
+		vals := make([]int64, n)
+		Permute(s, vals, r.Perm(n))
+		norm := float64(s.Energy()) / (float64(n) * float64(int(1)<<(bits/2)))
+		if norm < 0.2 || norm > 3 {
+			t.Errorf("n=2^%d: permutation energy normalization %.3f out of band", bits, norm)
+		}
+	}
+}
+
+func TestPermutePanicsOnNonBijection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(4, sfc.Hilbert{})
+	Permute(s, make([]int64, 4), []int{0, 0, 1, 2})
+}
+
+func TestPermuteIntsMatchesPermute(t *testing.T) {
+	r := rng.New(13)
+	m := 100
+	s1 := New(m, sfc.Hilbert{})
+	s2 := New(m, sfc.Hilbert{})
+	a := make([]int64, m)
+	b := make([]int, m)
+	for i := 0; i < m; i++ {
+		a[i], b[i] = int64(i), i
+	}
+	dest := r.Perm(m)
+	Permute(s1, a, dest)
+	PermuteInts(s2, b, dest)
+	for i := 0; i < m; i++ {
+		if int(a[i]) != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	if s1.Energy() != s2.Energy() {
+		t.Fatal("cost divergence between Permute and PermuteInts")
+	}
+}
+
+func TestCompareExchangeCost(t *testing.T) {
+	s := New(16, sfc.RowMajor{})
+	keys := make([]int64, s.Procs())
+	keys[0], keys[3] = 9, 1
+	CompareExchange(s, keys, nil, 0, 3)
+	if keys[0] != 1 || keys[3] != 9 {
+		t.Fatal("compare-exchange did not order")
+	}
+	if s.Messages() != 2 || s.Energy() != 6 {
+		t.Fatalf("messages=%d energy=%d, want 2/6", s.Messages(), s.Energy())
+	}
+}

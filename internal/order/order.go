@@ -1,0 +1,198 @@
+// Package order computes linear vertex orders of rooted trees. The
+// paper's central layout (Section III-A) is the light-first order: a
+// depth-first pre-order that visits the children of every vertex in
+// increasing subtree-size order, so that every child c_i of a vertex v
+// sits at position 1 + pos(v) + Σ_{j<i} s(c_j). The package also provides
+// the baseline orders the paper compares against (breadth-first,
+// depth-first/heavy-first, random), and a validator for the light-first
+// neighborhood condition.
+package order
+
+import (
+	"sort"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+// Order assigns every vertex of a tree a distinct linear position.
+type Order struct {
+	// Name identifies how the order was built (for reports).
+	Name string
+	// Rank maps vertex id to linear position in [0, n).
+	Rank []int
+}
+
+// Inverse returns the position-to-vertex permutation.
+func (o Order) Inverse() []int {
+	inv := make([]int, len(o.Rank))
+	for v, r := range o.Rank {
+		inv[r] = v
+	}
+	return inv
+}
+
+// IsPermutation reports whether Rank is a bijection onto [0, n).
+func (o Order) IsPermutation() bool {
+	seen := make([]bool, len(o.Rank))
+	for _, r := range o.Rank {
+		if r < 0 || r >= len(o.Rank) || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+// fromSequence builds an Order from a position-to-vertex sequence.
+func fromSequence(name string, seq []int) Order {
+	rank := make([]int, len(seq))
+	for pos, v := range seq {
+		rank[v] = pos
+	}
+	return Order{Name: name, Rank: rank}
+}
+
+// LightFirst returns the paper's light-first (smallest-first) order: DFS
+// pre-order visiting children by ascending subtree size, ties broken by
+// vertex id. This is exactly the linear order whose neighborhoods satisfy
+// the Section III-A condition, because a pre-order places c_i at
+// 1 + pos(v) + Σ_{j<i} s(c_j).
+func LightFirst(t *tree.Tree) Order {
+	size := t.SubtreeSizes()
+	return dfsBySize(t, "light-first", size, false)
+}
+
+// HeavyFirst returns the mirror order (children by descending subtree
+// size). It is an ablation baseline: Lemma 2 shows the light-first
+// arrangement minimizes the layout energy bound, and heavy-first realizes
+// the opposite extreme while keeping the same DFS structure.
+func HeavyFirst(t *tree.Tree) Order {
+	size := t.SubtreeSizes()
+	return dfsBySize(t, "heavy-first", size, true)
+}
+
+func dfsBySize(t *tree.Tree, name string, size []int, descending bool) Order {
+	n := t.N()
+	seq := make([]int, 0, n)
+	if n == 0 {
+		return fromSequence(name, seq)
+	}
+	stack := make([]int, 0, 64)
+	stack = append(stack, t.Root())
+	var buf []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seq = append(seq, v)
+		buf = append(buf[:0], t.Children(v)...)
+		sort.Slice(buf, func(i, j int) bool {
+			si, sj := size[buf[i]], size[buf[j]]
+			if si != sj {
+				if descending {
+					return si > sj
+				}
+				return si < sj
+			}
+			return buf[i] < buf[j]
+		})
+		// Push reversed so the first child pops first.
+		for i := len(buf) - 1; i >= 0; i-- {
+			stack = append(stack, buf[i])
+		}
+	}
+	return fromSequence(name, seq)
+}
+
+// DFS returns the depth-first pre-order with children in their natural
+// (CSR) order — the naive baseline from Section III's introduction.
+func DFS(t *tree.Tree) Order {
+	return fromSequence("dfs", t.PreOrder())
+}
+
+// BFS returns the breadth-first order — the paper's Ω(√n)-average-
+// distance example on perfect binary trees.
+func BFS(t *tree.Tree) Order {
+	return fromSequence("bfs", t.BFSOrder())
+}
+
+// Random returns a uniformly random order; combined with any curve this
+// behaves like a fully scattered (PRAM-style) placement.
+func Random(t *tree.Tree, r *rng.RNG) Order {
+	return fromSequence("random", r.Perm(t.N()))
+}
+
+// Identity returns the order that places vertex v at position v.
+func Identity(t *tree.Tree) Order {
+	seq := make([]int, t.N())
+	for i := range seq {
+		seq[i] = i
+	}
+	return fromSequence("identity", seq)
+}
+
+// ByName builds the named order ("light-first", "heavy-first", "dfs",
+// "bfs", "random", "identity"). The rng is only used for "random".
+func ByName(name string, t *tree.Tree, r *rng.RNG) (Order, bool) {
+	switch name {
+	case "light-first":
+		return LightFirst(t), true
+	case "heavy-first":
+		return HeavyFirst(t), true
+	case "dfs":
+		return DFS(t), true
+	case "bfs":
+		return BFS(t), true
+	case "random":
+		return Random(t, r), true
+	case "identity":
+		return Identity(t), true
+	}
+	return Order{}, false
+}
+
+// Names lists the orders ByName accepts, in report order.
+func Names() []string {
+	return []string{"light-first", "heavy-first", "dfs", "bfs", "random", "identity"}
+}
+
+// IsLightFirst validates the Section III-A neighborhood condition for
+// every vertex: sorting the children of v by their positions, child
+// subtree sizes must be non-decreasing, the first child must sit at
+// pos(v) + 1, and each subsequent child at the previous child's position
+// plus the previous child's subtree size. (Ties in subtree size make the
+// light-first order non-unique; this validator accepts every valid
+// arrangement.)
+func IsLightFirst(t *tree.Tree, o Order) bool {
+	if len(o.Rank) != t.N() {
+		return false
+	}
+	if t.N() == 0 {
+		return true
+	}
+	if !o.IsPermutation() {
+		return false
+	}
+	size := t.SubtreeSizes()
+	buf := make([]int, 0, 16)
+	for v := 0; v < t.N(); v++ {
+		buf = append(buf[:0], t.Children(v)...)
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool { return o.Rank[buf[i]] < o.Rank[buf[j]] })
+		want := o.Rank[v] + 1
+		prevSize := 0
+		for _, c := range buf {
+			if size[c] < prevSize {
+				return false // not ascending by subtree size
+			}
+			if o.Rank[c] != want {
+				return false
+			}
+			want += size[c]
+			prevSize = size[c]
+		}
+	}
+	return true
+}

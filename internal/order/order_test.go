@@ -1,0 +1,208 @@
+package order
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+func testTrees(r *rng.RNG) []*tree.Tree {
+	return []*tree.Tree{
+		tree.Path(13),
+		tree.Star(13),
+		tree.PerfectBinary(5),
+		tree.Caterpillar(17),
+		tree.Broom(21),
+		tree.Comb(5, 4),
+		tree.RandomAttachment(100, r),
+		tree.PreferentialAttachment(80, r),
+		tree.RandomBoundedDegree(90, 2, r),
+		tree.Yule(40, r),
+	}
+}
+
+func TestAllOrdersArePermutations(t *testing.T) {
+	r := rng.New(1)
+	for _, tr := range testTrees(r) {
+		for _, name := range Names() {
+			o, ok := ByName(name, tr, r)
+			if !ok {
+				t.Fatalf("ByName(%q) not found", name)
+			}
+			if !o.IsPermutation() {
+				t.Errorf("%s on n=%d: not a permutation", name, tr.N())
+			}
+			if o.Name != name {
+				t.Errorf("order name %q != requested %q", o.Name, name)
+			}
+		}
+	}
+	if _, ok := ByName("bogus", tree.Path(3), r); ok {
+		t.Error("ByName(bogus) succeeded")
+	}
+}
+
+func TestLightFirstSatisfiesDefinition(t *testing.T) {
+	r := rng.New(2)
+	for _, tr := range testTrees(r) {
+		o := LightFirst(tr)
+		if !IsLightFirst(tr, o) {
+			t.Errorf("LightFirst on n=%d fails its own validator", tr.N())
+		}
+	}
+}
+
+func TestLightFirstQuick(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := 1 + int(rawN)%300
+		r := rng.New(seed)
+		tr := tree.PreferentialAttachment(n, r)
+		return IsLightFirst(tr, LightFirst(tr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidatorRejectsOtherOrders(t *testing.T) {
+	r := rng.New(3)
+	tr := tree.RandomAttachment(60, r)
+	for _, o := range []Order{BFS(tr), Random(tr, r)} {
+		if IsLightFirst(tr, o) {
+			t.Errorf("validator accepted %s order", o.Name)
+		}
+	}
+	// Heavy-first has the right DFS-block structure but the wrong child
+	// order whenever sibling sizes differ; use a tree where they do.
+	cat := tree.Caterpillar(16)
+	if IsLightFirst(cat, HeavyFirst(cat)) {
+		t.Error("validator accepted heavy-first on a caterpillar")
+	}
+}
+
+func TestValidatorRejectsCorruption(t *testing.T) {
+	r := rng.New(4)
+	tr := tree.RandomAttachment(50, r)
+	o := LightFirst(tr)
+	// Swap two ranks: must break the condition (with overwhelming
+	// probability there is a unique light-first order here; verify the
+	// specific swap breaks it).
+	o.Rank[3], o.Rank[7] = o.Rank[7], o.Rank[3]
+	if IsLightFirst(tr, o) {
+		t.Error("validator accepted a corrupted order")
+	}
+	// Wrong length must be rejected.
+	short := Order{Name: "x", Rank: make([]int, tr.N()-1)}
+	if IsLightFirst(tr, short) {
+		t.Error("validator accepted wrong-length order")
+	}
+	// Non-permutation must be rejected.
+	bad := LightFirst(tr)
+	bad.Rank[0] = bad.Rank[1]
+	if IsLightFirst(tr, bad) {
+		t.Error("validator accepted non-permutation")
+	}
+}
+
+func TestLightFirstRootFirst(t *testing.T) {
+	r := rng.New(5)
+	for _, tr := range testTrees(r) {
+		o := LightFirst(tr)
+		if o.Rank[tr.Root()] != 0 {
+			t.Errorf("light-first: root at position %d", o.Rank[tr.Root()])
+		}
+	}
+}
+
+func TestLightFirstSubtreesContiguous(t *testing.T) {
+	// Each subtree must occupy the contiguous range
+	// [pos(v), pos(v)+s(v)-1] — the property the LCA algorithm's subtree
+	// ranges rely on (Section VI-C).
+	r := rng.New(6)
+	tr := tree.PreferentialAttachment(200, r)
+	o := LightFirst(tr)
+	size := tr.SubtreeSizes()
+	inv := o.Inverse()
+	var check func(v int) (lo, hi int)
+	check = func(v int) (int, int) {
+		lo, hi := o.Rank[v], o.Rank[v]
+		for _, c := range tr.Children(v) {
+			clo, chi := check(c)
+			if clo < lo {
+				lo = clo
+			}
+			if chi > hi {
+				hi = chi
+			}
+		}
+		if hi-lo+1 != size[v] || lo != o.Rank[v] {
+			t.Fatalf("subtree of %d spans [%d,%d], size %d, pos %d",
+				v, lo, hi, size[v], o.Rank[v])
+		}
+		return lo, hi
+	}
+	check(tr.Root())
+	_ = inv
+}
+
+func TestHeavyFirstIsReverseSibling(t *testing.T) {
+	// On a star all subtree sizes tie, so heavy-first == light-first.
+	st := tree.Star(10)
+	lf, hf := LightFirst(st), HeavyFirst(st)
+	for v := range lf.Rank {
+		if lf.Rank[v] != hf.Rank[v] {
+			t.Fatalf("star: light and heavy first differ at %d", v)
+		}
+	}
+}
+
+func TestBFSOrderProperty(t *testing.T) {
+	tr := tree.PerfectBinary(5)
+	o := BFS(tr)
+	depth := tr.Depths()
+	// Positions must be sorted by depth.
+	inv := o.Inverse()
+	prev := -1
+	for _, v := range inv {
+		if depth[v] < prev {
+			t.Fatal("bfs order not level-monotone")
+		}
+		prev = depth[v]
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	tr := tree.Path(5)
+	o := Identity(tr)
+	for v, r := range o.Rank {
+		if v != r {
+			t.Fatalf("identity rank[%d] = %d", v, r)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rng.New(7)
+	tr := tree.RandomAttachment(40, r)
+	o := Random(tr, r)
+	inv := o.Inverse()
+	for v, rk := range o.Rank {
+		if inv[rk] != v {
+			t.Fatalf("inverse broken at %d", v)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := tree.MustFromParents(nil)
+	if o := LightFirst(empty); len(o.Rank) != 0 || !IsLightFirst(empty, o) {
+		t.Error("light-first on empty tree broken")
+	}
+	single := tree.Path(1)
+	o := LightFirst(single)
+	if len(o.Rank) != 1 || o.Rank[0] != 0 || !IsLightFirst(single, o) {
+		t.Error("light-first on single vertex broken")
+	}
+}

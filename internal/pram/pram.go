@@ -1,0 +1,273 @@
+// Package pram provides the PRAM comparison points the paper measures
+// its spatial algorithms against (Sections I-B, II-A): the analytic cost
+// of simulating a PRAM algorithm on the spatial computer, and an
+// executable PRAM-style treefix baseline whose messages are charged on
+// the simulator.
+//
+// The spatial computer can simulate a shared-memory algorithm with p
+// processors, m memory cells and T_p steps at O(p·(√p + √m)·T_p) energy
+// with poly-logarithmic depth overhead. For work-optimal tree algorithms
+// (p = n/log n, m = Θ(n), T_p = Θ(log n)) this gives Θ(n^{3/2}) energy
+// and O(log⁴ n) depth — the bounds the paper's treefix (O(n log n)
+// energy, O(log n) depth) improves on polynomially.
+package pram
+
+import (
+	"math"
+
+	"spatialtree/internal/listrank"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/tree"
+)
+
+// SimulationEnergy returns the energy of simulating a PRAM algorithm
+// with p processors, m memory cells and steps time steps on the spatial
+// computer: p·(√p + √m)·steps (constant factor 1).
+func SimulationEnergy(p, m, steps int) float64 {
+	return float64(p) * (math.Sqrt(float64(p)) + math.Sqrt(float64(m))) * float64(steps)
+}
+
+// WorkOptimalTreefixEnergy returns the analytic energy of simulating a
+// work-optimal PRAM treefix (p = n/log n, m = 2n, T = log n): the
+// Θ(n^{3/2}) curve from the paper's introduction.
+func WorkOptimalTreefixEnergy(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	logn := math.Log2(float64(n))
+	return SimulationEnergy(int(float64(n)/logn), 2*n, int(math.Ceil(logn)))
+}
+
+// WorkOptimalTreefixDepth returns the paper's O(log⁴ n) depth estimate
+// for the PRAM simulation (constant factor 1).
+func WorkOptimalTreefixDepth(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(float64(n))
+	return l * l * l * l
+}
+
+// LCADirect answers LCA queries PRAM-style on the grid: it builds the
+// classic Euler-tour sparse table, charging every shared-memory access
+// as a message between the owning processors. Table cell (k, i) lives at
+// processor (k·0x9e37 + i) mod procs — PRAM memory has no layout, so
+// cells are scattered — and is computed from two row-(k-1) reads
+// (request + reply each). Θ(n log n) cells at Θ(√n) distance:
+// Θ(n^{3/2} log n) energy, against Theorem 6's O(n log n).
+//
+// queries are (u, v) pairs; the returned slice holds one LCA each.
+func LCADirect(s *machine.Sim, t *tree.Tree, queries [][2]int) []int {
+	n := t.N()
+	out := make([]int, len(queries))
+	if n == 0 {
+		return out
+	}
+	tour := t.EulerTour(nil)
+	m := len(tour)
+	depth := t.Depths()
+	first := make([]int, n)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, v := range tour {
+		if first[v] == -1 {
+			first[v] = i
+		}
+	}
+	owner := func(k, i int) int {
+		return (k*0x9e37 + i) % s.Procs()
+	}
+	// Row 0 is the tour itself, co-located with the tour nodes (the
+	// input layout: tour position i at processor i mod procs).
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	table := make([][]int32, levels)
+	row0 := make([]int32, m)
+	for i := 0; i < m; i++ {
+		row0[i] = int32(i)
+	}
+	table[0] = row0
+	prevOwner := func(i int) int { return i % s.Procs() }
+	pairs := make([][2]int, 0, 4*m)
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		rows := m - width + 1
+		if rows <= 0 {
+			table = table[:k]
+			break
+		}
+		row := make([]int32, rows)
+		prev := table[k-1]
+		half := width / 2
+		pairs = pairs[:0]
+		for i := 0; i < rows; i++ {
+			w := owner(k, i)
+			pairs = append(pairs,
+				[2]int{w, prevOwner(i)}, [2]int{prevOwner(i), w},
+				[2]int{w, prevOwner(i + half)}, [2]int{prevOwner(i + half), w})
+			a, b := prev[i], prev[i+half]
+			if depth[tour[a]] <= depth[tour[b]] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		s.SendBatch(pairs)
+		table[k] = row
+		kk := k
+		prevOwner = func(i int) int { return owner(kk, i) }
+	}
+	logs := make([]uint8, m+1)
+	for i := 2; i <= m; i++ {
+		logs[i] = logs[i/2] + 1
+	}
+	pairs = pairs[:0]
+	for qi, q := range queries {
+		a, b := first[q[0]], first[q[1]]
+		if a > b {
+			a, b = b, a
+		}
+		k := int(logs[b-a+1])
+		i1, i2 := int(table[k][a]), int(table[k][b-(1<<k)+1])
+		// Two table reads, request + reply, from the querying vertex's
+		// processor (u's home, rank u in the input layout).
+		home := q[0] % s.Procs()
+		pairs = append(pairs,
+			[2]int{home, owner(k, a)}, [2]int{owner(k, a), home},
+			[2]int{home, owner(k, b-(1<<k)+1)}, [2]int{owner(k, b-(1<<k)+1), home})
+		if depth[tour[i1]] <= depth[tour[i2]] {
+			out[qi] = tour[i1]
+		} else {
+			out[qi] = tour[i2]
+		}
+	}
+	s.SendBatch(pairs)
+	return out
+}
+
+// TreefixDirect executes a PRAM-style bottom-up treefix sum (values
+// added over subtrees) directly on the grid, charging every shared-
+// memory access as a message: Euler tour, Wyllie pointer-jumping list
+// ranking, and a Hillis-Steele (pointer-doubling) prefix sum over tour
+// positions. Vertices sit at processor ranks in input order — a PRAM
+// has no layout, so no locality is available. Θ(n^{3/2} log n) energy.
+//
+// Returns the subtree sums, verifying the baseline really computes the
+// same function as the spatial algorithm.
+func TreefixDirect(s *machine.Sim, t *tree.Tree, vals []int64) []int64 {
+	n := t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = vals[0]
+		return out
+	}
+	if s.Procs() < 2*n {
+		panic("pram: grid too small; create with machine.New(2*n, curve)")
+	}
+
+	// Euler edge tour, host-built (construction cost is dominated by the
+	// ranking and scan below). Edge ids: down(v)=2v, up(v)=2v+1.
+	root := t.Root()
+	next := make([]int, 2*n)
+	for i := range next {
+		next[i] = -2
+	}
+	for v := 0; v < n; v++ {
+		ch := t.Children(v)
+		if v != root {
+			if len(ch) > 0 {
+				next[2*v] = 2 * ch[0]
+			} else {
+				next[2*v] = 2*v + 1
+			}
+		}
+		for i, c := range ch {
+			switch {
+			case i+1 < len(ch):
+				next[2*c+1] = 2 * ch[i+1]
+			case v == root:
+				next[2*c+1] = -1
+			default:
+				next[2*c+1] = 2*v + 1
+			}
+		}
+	}
+	// Compact to list-rank input; node e lives at the processor of its
+	// vertex (input order).
+	id := make([]int, 2*n)
+	var back []int
+	m := 0
+	for e, nx := range next {
+		if nx != -2 {
+			id[e] = m
+			back = append(back, e)
+			m++
+		} else {
+			id[e] = -1
+		}
+	}
+	cnext := make([]int, m)
+	cproc := make([]int, m)
+	for e, nx := range next {
+		if nx == -2 {
+			continue
+		}
+		if nx == -1 {
+			cnext[id[e]] = -1
+		} else {
+			cnext[id[e]] = id[nx]
+		}
+		cproc[id[e]] = back[id[e]] / 2
+	}
+	ranks := listrank.Wyllie(s, cnext, cproc)
+	L := m
+	pos := make([]int, m) // compact node -> tour position
+	for i := 0; i < m; i++ {
+		pos[i] = (L - 1) - int(ranks[i])
+	}
+
+	// Hillis-Steele inclusive scan over tour positions of the down-edge
+	// contributions. Element at position p lives at the processor of the
+	// edge occupying p; each round, position p pulls from p - 2^k
+	// (request + reply), PRAM-style.
+	procAt := make([]int, L)
+	contrib := make([]int64, L)
+	for i := 0; i < m; i++ {
+		e := back[i]
+		procAt[pos[i]] = e / 2
+		if e%2 == 0 { // down edge
+			contrib[pos[i]] = vals[e/2]
+		}
+	}
+	pairs := make([][2]int, 0, 2*L)
+	for k := 1; k < L; k *= 2 {
+		pairs = pairs[:0]
+		for p := L - 1; p >= k; p-- {
+			pairs = append(pairs, [2]int{procAt[p], procAt[p-k]}, [2]int{procAt[p-k], procAt[p]})
+		}
+		s.SendBatch(pairs)
+		nc := append([]int64(nil), contrib...)
+		for p := L - 1; p >= k; p-- {
+			nc[p] = contrib[p] + contrib[p-k]
+		}
+		contrib = nc
+	}
+
+	// Extract subtree sums: both edges of v are at v's processor.
+	for v := 0; v < n; v++ {
+		if v == root {
+			out[v] = contrib[L-1] + vals[root]
+			continue
+		}
+		pd := pos[id[2*v]]
+		pu := pos[id[2*v+1]]
+		out[v] = contrib[pu] - contrib[pd] + vals[v]
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package pram
+
+import (
+	"testing"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+func TestSimulationEnergyFormula(t *testing.T) {
+	if got := SimulationEnergy(4, 0, 3); got != 4*2*3 {
+		t.Fatalf("SimulationEnergy = %v", got)
+	}
+	if got := SimulationEnergy(0, 9, 5); got != 0 {
+		t.Fatalf("SimulationEnergy = %v", got)
+	}
+}
+
+func TestWorkOptimalCurvesGrow(t *testing.T) {
+	// Energy ~ n^{3/2}: quadrupling n should scale energy by about 8.
+	e1 := WorkOptimalTreefixEnergy(1 << 12)
+	e2 := WorkOptimalTreefixEnergy(1 << 14)
+	ratio := e2 / e1
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("PRAM energy ratio for 4x n = %.2f, want about 8", ratio)
+	}
+	if WorkOptimalTreefixDepth(1<<10) <= WorkOptimalTreefixDepth(1<<8) {
+		t.Error("PRAM depth curve must grow")
+	}
+	if WorkOptimalTreefixEnergy(1) != 0 || WorkOptimalTreefixDepth(1) != 0 {
+		t.Error("degenerate n")
+	}
+}
+
+func TestTreefixDirectCorrect(t *testing.T) {
+	r := rng.New(1)
+	trees := []*tree.Tree{
+		tree.Path(2), tree.Path(20), tree.Star(25), tree.PerfectBinary(5),
+		tree.Caterpillar(19), tree.RandomAttachment(150, r),
+		tree.PreferentialAttachment(120, r),
+	}
+	for _, tr := range trees {
+		vals := make([]int64, tr.N())
+		for i := range vals {
+			vals[i] = int64(r.Intn(100)) - 50
+		}
+		s := machine.New(2*tr.N(), sfc.Hilbert{})
+		got := TreefixDirect(s, tr, vals)
+		want := treefix.SequentialBottomUp(tr, vals, treefix.Add)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: direct[%d] = %d, want %d", tr.N(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestTreefixDirectSingle(t *testing.T) {
+	s := machine.New(2, sfc.Hilbert{})
+	got := TreefixDirect(s, tree.Path(1), []int64{7})
+	if got[0] != 7 {
+		t.Fatalf("single vertex: %v", got)
+	}
+}
+
+func TestLCADirectCorrect(t *testing.T) {
+	r := rng.New(9)
+	for _, n := range []int{2, 10, 100, 500} {
+		tr := tree.RandomAttachment(n, r)
+		s := machine.New(2*n, sfc.Hilbert{})
+		var queries [][2]int
+		for i := 0; i < 50; i++ {
+			queries = append(queries, [2]int{r.Intn(n), r.Intn(n)})
+		}
+		got := LCADirect(s, tr, queries)
+		for i, q := range queries {
+			want := naiveLCA(tr, q[0], q[1])
+			if got[i] != want {
+				t.Fatalf("n=%d: LCA%v = %d, want %d", n, q, got[i], want)
+			}
+		}
+		if s.Energy() <= 0 {
+			t.Fatal("no energy charged for PRAM LCA")
+		}
+	}
+}
+
+func naiveLCA(t *tree.Tree, u, v int) int {
+	seen := map[int]bool{}
+	for x := u; x != -1; x = t.Parent(x) {
+		seen[x] = true
+	}
+	for x := v; x != -1; x = t.Parent(x) {
+		if seen[x] {
+			return x
+		}
+	}
+	return -1
+}
+
+func TestPRAMBaselineBurnsMoreEnergy(t *testing.T) {
+	// The paper's headline comparison: spatial treefix (light-first
+	// layout) vs PRAM-style execution. The PRAM baseline must spend
+	// far more energy at equal n, and the gap must widen with n.
+	gap := func(bits int) float64 {
+		n := 1 << bits
+		tr := tree.RandomBoundedDegree(n, 2, rng.New(uint64(bits)))
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		sp := machine.New(n, sfc.Hilbert{})
+		rank := make([]int, n)
+		for i := range rank {
+			rank[i] = i
+		}
+		// Light-first layout for the spatial run.
+		lf := lightFirstRanks(tr)
+		spatial, _ := treefix.BottomUp(sp, tr, lf, vals, treefix.Add, rng.New(3))
+		pr := machine.New(2*n, sfc.Hilbert{})
+		direct := TreefixDirect(pr, tr, vals)
+		for v := range spatial {
+			if spatial[v] != direct[v] {
+				t.Fatalf("bit=%d: result mismatch at %d", bits, v)
+			}
+		}
+		return float64(pr.Energy()) / float64(sp.Energy())
+	}
+	g10, g13 := gap(10), gap(13)
+	if g10 < 2 {
+		t.Errorf("PRAM/spatial energy gap at 2^10 = %.2f, want > 2", g10)
+	}
+	if g13 < g10 {
+		t.Errorf("gap must widen with n: %.2f (2^10) -> %.2f (2^13)", g10, g13)
+	}
+}
+
+func lightFirstRanks(tr *tree.Tree) []int {
+	size := tr.SubtreeSizes()
+	_ = size
+	// Inline light-first: DFS, children ascending by size.
+	// (Avoids importing order to keep the dependency graph shallow.)
+	n := tr.N()
+	rank := make([]int, n)
+	pos := 0
+	var stack []int
+	stack = append(stack, tr.Root())
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rank[v] = pos
+		pos++
+		ch := tr.ChildrenBySize(v, size)
+		for i := len(ch) - 1; i >= 0; i-- {
+			stack = append(stack, ch[i])
+		}
+	}
+	return rank
+}

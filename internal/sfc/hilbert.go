@@ -1,0 +1,73 @@
+package sfc
+
+// Hilbert is the Hilbert curve of Section II-B. It is distance-bound with
+// constant α = 3 (Niedermeier & Sanders): sending a message from the i-th
+// to the (i+j)-th point costs at most 3·√j + o(√j) energy. It is also
+// "aligned" in the sense of Lemma 3: every 4^k consecutive elements lie in
+// a subgrid of side at most 2·2^k.
+//
+// The orientation follows the paper's Figure 1: the curve of order 0 is a
+// single cell; order k is built from four order-(k-1) curves with the two
+// lower ones flipped across the diagonals. With this construction the
+// curve starts at (0,0) and ends at (side-1, 0).
+type Hilbert struct{}
+
+// Name implements Curve.
+func (Hilbert) Name() string { return "hilbert" }
+
+// Side implements Curve: the Hilbert curve requires a power-of-two side.
+func (Hilbert) Side(n int) int { return pow2Side(n) }
+
+// XY implements Curve using the classic bit-twiddling conversion
+// (iterating from the least-significant quadrant upward and undoing the
+// per-level reflections).
+func (Hilbert) XY(i, side int) (x, y int) {
+	if !isPow2(side) {
+		panic("sfc: hilbert side must be a power of two")
+	}
+	checkIndex(i, side, "hilbert")
+	t := i
+	for s := 1; s < side; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// Index implements Curve; it is the inverse of XY.
+func (Hilbert) Index(x, y, side int) int {
+	if !isPow2(side) {
+		panic("sfc: hilbert side must be a power of two")
+	}
+	checkPoint(x, y, side, "hilbert")
+	d := 0
+	for s := side / 2; s > 0; s /= 2 {
+		rx := 0
+		if x&s > 0 {
+			rx = 1
+		}
+		ry := 0
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// hilbertRot applies the reflection/rotation for one recursion level.
+func hilbertRot(s, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

@@ -1,0 +1,69 @@
+package sfc
+
+// Moore is the Moore curve: a closed variant of the Hilbert curve built
+// from four rotated Hilbert curves of half the side, forming a cycle. Like
+// the Hilbert curve it is distance-bound and aligned, so light-first
+// layouts on it are energy-bound (Theorem 1). Its closure makes it a
+// convenient curve for ring-style collectives on the same placement.
+//
+// Construction (side = 2s): the two left quadrants hold clockwise-rotated
+// Hilbert curves traversed bottom-to-top along the shared column x = s-1,
+// and the two right quadrants hold counter-clockwise-rotated curves
+// traversed top-to-bottom along the column x = s. The walk
+// (s-1,0) … (s-1,2s-1), (s,2s-1) … (s,0) closes back to the start.
+type Moore struct{}
+
+// Name implements Curve.
+func (Moore) Name() string { return "moore" }
+
+// Side implements Curve: the Moore curve requires a power-of-two side >= 2.
+func (Moore) Side(n int) int {
+	s := pow2Side(n)
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// XY implements Curve.
+func (Moore) XY(i, side int) (x, y int) {
+	if !isPow2(side) || side < 2 {
+		panic("sfc: moore side must be a power of two >= 2")
+	}
+	checkIndex(i, side, "moore")
+	s := side / 2
+	q := i / (s * s)
+	j := i % (s * s)
+	hx, hy := Hilbert{}.XY(j, s)
+	switch q {
+	case 0: // lower-left, clockwise rotation: (x,y) -> (s-1-y, x)
+		return s - 1 - hy, hx
+	case 1: // upper-left, clockwise rotation, shifted up
+		return s - 1 - hy, hx + s
+	case 2: // upper-right, counter-clockwise rotation: (x,y) -> (y, s-1-x)
+		return hy + s, s - 1 - hx + s
+	default: // lower-right, counter-clockwise rotation
+		return hy + s, s - 1 - hx
+	}
+}
+
+// Index implements Curve; it is the inverse of XY.
+func (Moore) Index(x, y, side int) int {
+	if !isPow2(side) || side < 2 {
+		panic("sfc: moore side must be a power of two >= 2")
+	}
+	checkPoint(x, y, side, "moore")
+	s := side / 2
+	var q, hx, hy int
+	switch {
+	case x < s && y < s: // lower-left: invert (s-1-hy, hx)
+		q, hx, hy = 0, y, s-1-x
+	case x < s: // upper-left
+		q, hx, hy = 1, y-s, s-1-x
+	case y >= s: // upper-right: invert (hy+s, 2s-1-hx)
+		q, hx, hy = 2, s-1-(y-s), x-s
+	default: // lower-right
+		q, hx, hy = 3, s-1-y, x-s
+	}
+	return q*s*s + Hilbert{}.Index(hx, hy, s)
+}

@@ -1,0 +1,95 @@
+package sfc
+
+// Peano is the classic Peano curve on 3^k × 3^k grids (Section II-B). It
+// is distance-bound with constant α = sqrt(10+2/3) ≈ 3.266 (Bader,
+// "Space-Filling Curves"). The curve serpentines through 3×3 blocks:
+// within a block, columns are walked bottom-to-top, top-to-bottom,
+// bottom-to-top; sub-blocks are reflected so that the walk stays
+// continuous.
+//
+// The implementation uses the digit formulation: write i in base 3 with
+// 2k digits d1 d2 … d2k (most significant first). The odd-position digits
+// form x and the even-position digits form y, where a digit is
+// complemented (d → 2-d) iff the running sum of the digits assigned to
+// the *other* coordinate so far is odd.
+type Peano struct{}
+
+// Name implements Curve.
+func (Peano) Name() string { return "peano" }
+
+// Side implements Curve: the Peano curve requires a power-of-three side.
+func (Peano) Side(n int) int { return pow3Side(n) }
+
+// XY implements Curve.
+func (Peano) XY(i, side int) (x, y int) {
+	if !isPow3(side) {
+		panic("sfc: peano side must be a power of three")
+	}
+	checkIndex(i, side, "peano")
+	// Extract base-3 digits of i, most significant first, 2k of them.
+	k := 0
+	for s := 1; s < side; s *= 3 {
+		k++
+	}
+	digits := make([]int, 2*k)
+	for p := 2*k - 1; p >= 0; p-- {
+		digits[p] = i % 3
+		i /= 3
+	}
+	sumX, sumY := 0, 0 // running digit sums per coordinate
+	for p, d := range digits {
+		if p%2 == 0 { // x digit; complement if y-digit sum so far is odd
+			if sumY%2 == 1 {
+				d = 2 - d
+			}
+			x = x*3 + d
+			sumX += digits[p]
+		} else { // y digit; complement if x-digit sum so far is odd
+			if sumX%2 == 1 {
+				d = 2 - d
+			}
+			y = y*3 + d
+			sumY += digits[p]
+		}
+	}
+	return x, y
+}
+
+// Index implements Curve; it is the inverse of XY.
+func (Peano) Index(x, y, side int) int {
+	if !isPow3(side) {
+		panic("sfc: peano side must be a power of three")
+	}
+	checkPoint(x, y, side, "peano")
+	k := 0
+	for s := 1; s < side; s *= 3 {
+		k++
+	}
+	xd := make([]int, k)
+	yd := make([]int, k)
+	for p := k - 1; p >= 0; p-- {
+		xd[p] = x % 3
+		x /= 3
+		yd[p] = y % 3
+		y /= 3
+	}
+	i := 0
+	sumX, sumY := 0, 0
+	for p := 0; p < k; p++ {
+		// Undo the x-digit complement: the output digit xd[p] equals the
+		// original digit complemented iff sumY is odd.
+		dx := xd[p]
+		if sumY%2 == 1 {
+			dx = 2 - dx
+		}
+		i = i*3 + dx
+		sumX += dx
+		dy := yd[p]
+		if sumX%2 == 1 {
+			dy = 2 - dy
+		}
+		i = i*3 + dy
+		sumY += dy
+	}
+	return i
+}

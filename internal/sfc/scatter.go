@@ -1,0 +1,76 @@
+package sfc
+
+// Scatter is a pseudo-random placement: a fixed Feistel-network bijection
+// on [0, side²) composed with row-major placement. It models the complete
+// absence of locality — the expected distance between any two indices is
+// Θ(side) — and serves as the PRAM-style baseline: a PRAM algorithm's
+// memory has no spatial structure, so simulating it on the grid behaves
+// like messaging between scattered cells (Section I-B, "PRAM").
+//
+// The permutation is deterministic (fixed keys), so Scatter is a Curve in
+// the full sense: a bijection with a computable inverse.
+type Scatter struct{}
+
+// Name implements Curve.
+func (Scatter) Name() string { return "scatter" }
+
+// Side implements Curve: the Feistel construction needs an even number of
+// index bits, so the side must be a power of two.
+func (Scatter) Side(n int) int { return pow2Side(n) }
+
+// feistelKeys are arbitrary fixed round keys; four rounds of a balanced
+// Feistel network yield a well-mixed bijection.
+var feistelKeys = [4]uint64{0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0xd6e8feb86659fd93}
+
+// feistelRound mixes a half-index with a round key.
+func feistelRound(half, key uint64, bits uint) uint64 {
+	x := half*0x2545f4914f6cdd1d + key
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x & ((1 << bits) - 1)
+}
+
+// permute applies the Feistel permutation on b-bit halves (2b-bit domain).
+func permute(i uint64, bits uint, inverse bool) uint64 {
+	mask := uint64(1)<<bits - 1
+	l, r := i>>bits, i&mask
+	if !inverse {
+		for _, k := range feistelKeys {
+			l, r = r, l^feistelRound(r, k, bits)
+		}
+	} else {
+		for j := len(feistelKeys) - 1; j >= 0; j-- {
+			l, r = r^feistelRound(l, feistelKeys[j], bits), l
+		}
+	}
+	return l<<bits | r
+}
+
+// halfBits returns b such that side*side == 1<<(2b).
+func halfBits(side int) uint {
+	b := uint(0)
+	for s := 1; s < side; s *= 2 {
+		b++
+	}
+	return b
+}
+
+// XY implements Curve.
+func (Scatter) XY(i, side int) (x, y int) {
+	if !isPow2(side) {
+		panic("sfc: scatter side must be a power of two")
+	}
+	checkIndex(i, side, "scatter")
+	p := int(permute(uint64(i), halfBits(side), false))
+	return p % side, p / side
+}
+
+// Index implements Curve.
+func (Scatter) Index(x, y, side int) int {
+	if !isPow2(side) {
+		panic("sfc: scatter side must be a power of two")
+	}
+	checkPoint(x, y, side, "scatter")
+	return int(permute(uint64(y*side+x), halfBits(side), true))
+}

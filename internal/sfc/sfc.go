@@ -1,0 +1,153 @@
+// Package sfc implements the discrete space-filling curves used by the
+// spatial tree layouts of Baumann et al., "Low-Depth Spatial Tree
+// Algorithms" (IPDPS 2024): the Hilbert, Moore, Peano and Z (Morton)
+// curves, plus row-major, boustrophedon and pseudo-random scatter
+// baselines.
+//
+// A discrete space-filling curve maps a linear index i onto a point of a
+// side×side grid. The paper's layouts store the i-th vertex of a linear
+// tree order at the i-th point of a curve; the curve's locality then
+// determines the energy (total Manhattan distance) of tree messaging.
+//
+// Curves differ in which grid sides they are defined on: the Hilbert,
+// Moore, Z and scatter curves require side = 2^k, the Peano curve requires
+// side = 3^k, and the trivial row-major/snake orders accept any side.
+// Side(n) reports the smallest legal side whose grid holds n points.
+package sfc
+
+import "fmt"
+
+// Curve maps linear indices onto points of a side×side grid.
+//
+// Implementations must be bijections: for every legal side s and every
+// i in [0, s*s), Index(XY(i, s)) == i.
+type Curve interface {
+	// Name returns the canonical lower-case name of the curve.
+	Name() string
+
+	// Side returns the smallest side length s legal for this curve with
+	// s*s >= n. It panics if n is negative.
+	Side(n int) int
+
+	// XY returns the grid coordinates of the i-th point along the curve
+	// on a side×side grid. It panics if i is out of [0, side*side) or if
+	// side is not legal for the curve.
+	XY(i, side int) (x, y int)
+
+	// Index returns the position of grid point (x, y) along the curve.
+	// It is the inverse of XY.
+	Index(x, y, side int) int
+}
+
+// Manhattan returns the Manhattan (L1) distance |x1-x2| + |y1-y2|,
+// the energy cost of one message in the spatial computer model.
+func Manhattan(x1, y1, x2, y2 int) int {
+	dx := x1 - x2
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := y1 - y2
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Dist returns the Manhattan distance between the i-th and j-th points of
+// curve c on a side×side grid.
+func Dist(c Curve, i, j, side int) int {
+	x1, y1 := c.XY(i, side)
+	x2, y2 := c.XY(j, side)
+	return Manhattan(x1, y1, x2, y2)
+}
+
+// pow2Side returns the smallest power of two s with s*s >= n.
+func pow2Side(n int) int {
+	if n < 0 {
+		panic("sfc: negative point count")
+	}
+	s := 1
+	for s*s < n {
+		s *= 2
+	}
+	return s
+}
+
+// pow3Side returns the smallest power of three s with s*s >= n.
+func pow3Side(n int) int {
+	if n < 0 {
+		panic("sfc: negative point count")
+	}
+	s := 1
+	for s*s < n {
+		s *= 3
+	}
+	return s
+}
+
+// anySide returns the smallest s with s*s >= n (no structural constraint).
+func anySide(n int) int {
+	if n < 0 {
+		panic("sfc: negative point count")
+	}
+	s := 0
+	for s*s < n {
+		s++
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func isPow2(s int) bool {
+	return s > 0 && s&(s-1) == 0
+}
+
+func isPow3(s int) bool {
+	if s <= 0 {
+		return false
+	}
+	for s%3 == 0 {
+		s /= 3
+	}
+	return s == 1
+}
+
+func checkIndex(i, side int, name string) {
+	if i < 0 || i >= side*side {
+		panic(fmt.Sprintf("sfc: %s index %d out of range for side %d", name, i, side))
+	}
+}
+
+func checkPoint(x, y, side int, name string) {
+	if x < 0 || x >= side || y < 0 || y >= side {
+		panic(fmt.Sprintf("sfc: %s point (%d,%d) out of range for side %d", name, x, y, side))
+	}
+}
+
+// Registry lists every curve shipped by this package, in a stable order
+// suitable for experiment tables: the distance-bound curves first, then the
+// Z curve (energy-bound but not distance-bound, Theorem 2), then the
+// baselines.
+func Registry() []Curve {
+	return []Curve{
+		Hilbert{},
+		Moore{},
+		Peano{},
+		ZOrder{},
+		Snake{},
+		RowMajor{},
+		Scatter{},
+	}
+}
+
+// ByName returns the registered curve with the given name.
+func ByName(name string) (Curve, error) {
+	for _, c := range Registry() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("sfc: unknown curve %q", name)
+}

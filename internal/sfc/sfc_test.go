@@ -1,0 +1,396 @@
+package sfc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sidesFor returns a few legal sides for the curve, small enough for
+// exhaustive checks.
+func sidesFor(c Curve) []int {
+	switch c.(type) {
+	case Peano:
+		return []int{1, 3, 9, 27}
+	case Moore:
+		return []int{2, 4, 8, 16, 32}
+	default:
+		return []int{1, 2, 4, 8, 16, 32}
+	}
+}
+
+func TestBijectionExhaustive(t *testing.T) {
+	for _, c := range Registry() {
+		for _, side := range sidesFor(c) {
+			n := side * side
+			seen := make(map[[2]int]bool, n)
+			for i := 0; i < n; i++ {
+				x, y := c.XY(i, side)
+				if x < 0 || x >= side || y < 0 || y >= side {
+					t.Fatalf("%s side %d: XY(%d) = (%d,%d) out of grid", c.Name(), side, i, x, y)
+				}
+				if seen[[2]int{x, y}] {
+					t.Fatalf("%s side %d: point (%d,%d) visited twice", c.Name(), side, x, y)
+				}
+				seen[[2]int{x, y}] = true
+				if got := c.Index(x, y, side); got != i {
+					t.Fatalf("%s side %d: Index(XY(%d)) = %d", c.Name(), side, i, got)
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("%s side %d: covered %d of %d points", c.Name(), side, len(seen), n)
+			}
+		}
+	}
+}
+
+func TestBijectionQuick(t *testing.T) {
+	for _, c := range Registry() {
+		c := c
+		side := c.Side(1 << 12)
+		f := func(raw uint32) bool {
+			i := int(raw) % (side * side)
+			x, y := c.XY(i, side)
+			return c.Index(x, y, side) == i
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: round-trip failed: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestSideLegality(t *testing.T) {
+	cases := []struct {
+		c    Curve
+		n    int
+		want int
+	}{
+		{Hilbert{}, 1, 1},
+		{Hilbert{}, 2, 2},
+		{Hilbert{}, 5, 4},
+		{Hilbert{}, 16, 4},
+		{Hilbert{}, 17, 8},
+		{ZOrder{}, 100, 16},
+		{Peano{}, 2, 3},
+		{Peano{}, 9, 3},
+		{Peano{}, 10, 9},
+		{Peano{}, 82, 27},
+		{Moore{}, 1, 2},
+		{RowMajor{}, 10, 4},
+		{RowMajor{}, 17, 5},
+		{Snake{}, 1, 1},
+		{Scatter{}, 3, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Side(tc.n); got != tc.want {
+			t.Errorf("%s.Side(%d) = %d, want %d", tc.c.Name(), tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestContinuity(t *testing.T) {
+	continuous := map[string]bool{
+		"hilbert": true, "moore": true, "peano": true, "snake": true,
+		"zorder": false, "rowmajor": false, "scatter": false,
+	}
+	for _, c := range Registry() {
+		side := c.Side(64)
+		if side < 2 {
+			side = c.Side(4)
+		}
+		got := IsContinuous(c, side)
+		if want := continuous[c.Name()]; got != want {
+			t.Errorf("%s side %d: IsContinuous = %v, want %v", c.Name(), side, got, want)
+		}
+	}
+}
+
+func TestMooreClosed(t *testing.T) {
+	for _, side := range []int{2, 4, 8, 16} {
+		if !IsClosed(Moore{}, side) {
+			t.Errorf("moore side %d: curve is not closed", side)
+		}
+	}
+	if IsClosed(Hilbert{}, 8) {
+		t.Error("hilbert side 8: unexpectedly closed")
+	}
+}
+
+func TestHilbertKnownValues(t *testing.T) {
+	// Order-1 Hilbert curve (side 2) in the paper's orientation:
+	// starts at (0,0), ends at (1,0).
+	want := [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for i, w := range want {
+		x, y := (Hilbert{}).XY(i, 2)
+		if x != w[0] || y != w[1] {
+			t.Errorf("hilbert side 2: XY(%d) = (%d,%d), want (%d,%d)", i, x, y, w[0], w[1])
+		}
+	}
+	// The endpoints of any order: (0,0) and (side-1, 0).
+	for _, side := range []int{2, 4, 8, 16, 32} {
+		if x, y := (Hilbert{}).XY(0, side); x != 0 || y != 0 {
+			t.Errorf("hilbert side %d: start (%d,%d), want (0,0)", side, x, y)
+		}
+		if x, y := (Hilbert{}).XY(side*side-1, side); x != side-1 || y != 0 {
+			t.Errorf("hilbert side %d: end (%d,%d), want (%d,0)", side, x, y, side-1)
+		}
+	}
+}
+
+func TestZOrderKnownValues(t *testing.T) {
+	// Figure 2 of the paper: 16 elements, upper-left quadrant first.
+	// Index 0 is the upper-left cell; in grid coordinates with y growing
+	// upward that is (0, 3).
+	z := ZOrder{}
+	wantTop := [][2]int{{0, 3}, {1, 3}, {0, 2}, {1, 2}}
+	for i, w := range wantTop {
+		x, y := z.XY(i, 4)
+		if x != w[0] || y != w[1] {
+			t.Errorf("zorder side 4: XY(%d) = (%d,%d), want (%d,%d)", i, x, y, w[0], w[1])
+		}
+	}
+	// Figure 2 also fixes indices 6 and 10 on opposite sides of the long
+	// diagonal: 6 is in the upper-right quadrant, 10 in the lower-left.
+	x6, _ := z.XY(6, 4)
+	x10, _ := z.XY(10, 4)
+	if x6 < 2 {
+		t.Errorf("zorder: index 6 should be in the right half, got x=%d", x6)
+	}
+	if x10 >= 2 {
+		t.Errorf("zorder: index 10 should be in the left half, got x=%d", x10)
+	}
+	// Ed(6, 10) = 4 in the paper's example: Manhattan length of the
+	// longest diagonal is one larger than the subgrid side... the longest
+	// diagonal between 6 and 10 spans the full 4x4 block.
+	if got := z.DiagonalLength(6, 10); got != 4 {
+		t.Errorf("zorder: DiagonalLength(6,10) = %d, want 4", got)
+	}
+	if got := z.DiagonalLength(4, 5); got != 2 {
+		t.Errorf("zorder: DiagonalLength(4,5) = %d, want 2", got)
+	}
+	if got := z.DiagonalLength(3, 3); got != 0 {
+		t.Errorf("zorder: DiagonalLength(3,3) = %d, want 0", got)
+	}
+}
+
+func TestPeanoKnownValues(t *testing.T) {
+	// Base 3x3 Peano block: serpentine columns starting up the x=0 column.
+	want := [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 1}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}
+	for i, w := range want {
+		x, y := (Peano{}).XY(i, 3)
+		if x != w[0] || y != w[1] {
+			t.Errorf("peano side 3: XY(%d) = (%d,%d), want (%d,%d)", i, x, y, w[0], w[1])
+		}
+	}
+}
+
+func TestSnakeRowMajorKnownValues(t *testing.T) {
+	if x, y := (RowMajor{}).XY(5, 4); x != 1 || y != 1 {
+		t.Errorf("rowmajor: XY(5) = (%d,%d), want (1,1)", x, y)
+	}
+	if x, y := (Snake{}).XY(5, 4); x != 2 || y != 1 {
+		t.Errorf("snake: XY(5) = (%d,%d), want (2,1)", x, y)
+	}
+}
+
+func TestDistanceBoundConstants(t *testing.T) {
+	// Exact scan on a side-32 grid: the distance-bound curves must stay
+	// below their literature constants (+ small lower-order slack); the
+	// Z curve must exceed them.
+	if testing.Short() {
+		t.Skip("quadratic scan")
+	}
+	cases := []struct {
+		c     Curve
+		side  int
+		limit float64
+	}{
+		{Hilbert{}, 32, 3.001},
+		{Moore{}, 32, 3.001},
+		{Peano{}, 27, 3.267},
+	}
+	for _, tc := range cases {
+		got := MeasureDistanceBound(tc.c, tc.side)
+		if got.Alpha > tc.limit {
+			t.Errorf("%s side %d: alpha = %.4f > %.4f (at i=%d j=%d)",
+				tc.c.Name(), tc.side, got.Alpha, tc.limit, got.ArgI, got.ArgJ)
+		}
+		if got.Alpha < 1.0 {
+			t.Errorf("%s side %d: alpha = %.4f implausibly small", tc.c.Name(), tc.side, got.Alpha)
+		}
+	}
+	z := MeasureDistanceBound(ZOrder{}, 32)
+	if z.Alpha < 5 {
+		t.Errorf("zorder side 32: alpha = %.4f, expected large (not distance-bound)", z.Alpha)
+	}
+}
+
+func TestZOrderAlphaGrows(t *testing.T) {
+	// Not distance-bound: the measured alpha must grow with the side.
+	a8 := MeasureDistanceBoundSampled(ZOrder{}, 8).Alpha
+	a64 := MeasureDistanceBoundSampled(ZOrder{}, 64).Alpha
+	if a64 <= a8*1.5 {
+		t.Errorf("zorder alpha did not grow: side 8 -> %.3f, side 64 -> %.3f", a8, a64)
+	}
+	// Distance-bound: Hilbert's alpha must be stable.
+	h8 := MeasureDistanceBoundSampled(Hilbert{}, 8).Alpha
+	h64 := MeasureDistanceBoundSampled(Hilbert{}, 64).Alpha
+	if h64 > h8*1.5 {
+		t.Errorf("hilbert alpha grew: side 8 -> %.3f, side 64 -> %.3f", h8, h64)
+	}
+}
+
+func TestAlignmentFactor(t *testing.T) {
+	// Lemma 4: Hilbert and Moore are aligned (factor <= 2 over ALL runs).
+	for _, c := range []Curve{Hilbert{}, Moore{}} {
+		if f := AlignmentFactor(c, 32); f > 2.0+1e-9 {
+			t.Errorf("%s side 32: alignment factor %.3f > 2", c.Name(), f)
+		}
+	}
+	// The Z curve is NOT aligned over arbitrary runs: misaligned windows
+	// straddle diagonals (this is why Theorem 2 needs Lemmas 5-7).
+	if f := AlignmentFactor(ZOrder{}, 32); f <= 2.0 {
+		t.Errorf("zorder side 32: alignment factor %.3f, expected > 2 for misaligned runs", f)
+	}
+	// ... but aligned Z runs of 4^k elements occupy exactly a 2^k box
+	// (Lemma 3, first claim).
+	if f := AlignedWindowFactor(ZOrder{}, 32); f != 1.0 {
+		t.Errorf("zorder side 32: aligned-window factor %.3f, want exactly 1", f)
+	}
+	// Row-major is badly unaligned: 4 consecutive cells span 4 columns.
+	if f := AlignmentFactor(RowMajor{}, 32); f < 1.9 {
+		t.Errorf("rowmajor side 32: alignment factor %.3f, expected about side/√block", f)
+	}
+}
+
+func TestTotalAdjacentDistance(t *testing.T) {
+	for _, c := range []Curve{Hilbert{}, Moore{}, Snake{}} {
+		side := c.Side(256)
+		want := side*side - 1
+		if got := TotalAdjacentDistance(c, side); got != want {
+			t.Errorf("%s: total adjacent distance %d, want %d", c.Name(), got, want)
+		}
+	}
+	// Scatter should be near the random expectation ~ 2/3·side per hop.
+	side := 32
+	total := TotalAdjacentDistance(Scatter{}, side)
+	perHop := float64(total) / float64(side*side-1)
+	if perHop < float64(side)/3 {
+		t.Errorf("scatter: per-hop distance %.2f suspiciously local", perHop)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct{ x1, y1, x2, y2, want int }{
+		{0, 0, 0, 0, 0},
+		{0, 0, 3, 4, 7},
+		{3, 4, 0, 0, 7},
+		{-2, 5, 1, -1, 9},
+	}
+	for _, tc := range cases {
+		if got := Manhattan(tc.x1, tc.y1, tc.x2, tc.y2); got != tc.want {
+			t.Errorf("Manhattan(%d,%d,%d,%d) = %d, want %d", tc.x1, tc.y1, tc.x2, tc.y2, got, tc.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b uint16) bool {
+		side := 64
+		i := int(a) % (side * side)
+		j := int(b) % (side * side)
+		return Dist(Hilbert{}, i, j, side) == Dist(Hilbert{}, j, i, side)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range Registry() {
+		got, err := ByName(c.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.Name(), err)
+		}
+		if got.Name() != c.Name() {
+			t.Fatalf("ByName(%q) returned %q", c.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope): expected error")
+	}
+}
+
+func TestScatterPermutationProperties(t *testing.T) {
+	// The Feistel permutation must be a bijection on every pow-2 domain.
+	for _, side := range []int{2, 4, 8, 16} {
+		n := side * side
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			p := int(permute(uint64(i), halfBits(side), false))
+			if p < 0 || p >= n {
+				t.Fatalf("side %d: permute(%d) = %d out of range", side, i, p)
+			}
+			if seen[p] {
+				t.Fatalf("side %d: permute collision at %d", side, i)
+			}
+			seen[p] = true
+			if back := int(permute(uint64(p), halfBits(side), true)); back != i {
+				t.Fatalf("side %d: inverse(permute(%d)) = %d", side, i, back)
+			}
+		}
+	}
+}
+
+func TestDiagonalLengthPowers(t *testing.T) {
+	z := ZOrder{}
+	// Crossing between the first and second half of a 4^k block has
+	// diagonal length 2^k.
+	for k := 1; k <= 8; k++ {
+		block := 1 << (2 * k)
+		got := z.DiagonalLength(block/2-1, block/2)
+		want := 1 << k
+		if got != want {
+			t.Errorf("DiagonalLength(%d,%d) = %d, want %d", block/2-1, block/2, got, want)
+		}
+	}
+}
+
+func TestMeasureSampledAgreesWithExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic scan")
+	}
+	for _, c := range []Curve{Hilbert{}, ZOrder{}} {
+		exact := MeasureDistanceBound(c, 16).Alpha
+		sampled := MeasureDistanceBoundSampled(c, 16).Alpha
+		if sampled > exact+1e-9 {
+			t.Errorf("%s: sampled %.4f exceeds exact %.4f", c.Name(), sampled, exact)
+		}
+		if sampled < exact*0.7 {
+			t.Errorf("%s: sampled %.4f far below exact %.4f", c.Name(), sampled, exact)
+		}
+	}
+}
+
+func TestHilbertLocalityMatchesTheory(t *testing.T) {
+	// Spot-check dist(i, i+j) <= 3*sqrt(j) + 3 on a big grid for random i
+	// and all power-of-two j (Section III-B cites alpha = 3 for Hilbert).
+	side := 256
+	n := side * side
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 500; trial++ {
+		i := int(next() % uint64(n))
+		for j := 1; i+j < n; j *= 2 {
+			d := Dist(Hilbert{}, i, i+j, side)
+			if float64(d) > 3*math.Sqrt(float64(j))+3 {
+				t.Fatalf("hilbert: dist(%d,%d) = %d > 3·√%d + 3", i, i+j, d, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sfc
+
+// RowMajor visits the grid row by row, each row left to right. It is the
+// natural "flat array" layout and the paper's implicit strawman: stepping
+// from the end of one row to the start of the next costs side-1 energy, so
+// the curve is not distance-bound and long-range structure in an order is
+// punished with Θ(√n)-distance hops.
+type RowMajor struct{}
+
+// Name implements Curve.
+func (RowMajor) Name() string { return "rowmajor" }
+
+// Side implements Curve: any positive side is legal.
+func (RowMajor) Side(n int) int { return anySide(n) }
+
+// XY implements Curve.
+func (RowMajor) XY(i, side int) (x, y int) {
+	checkIndex(i, side, "rowmajor")
+	return i % side, i / side
+}
+
+// Index implements Curve.
+func (RowMajor) Index(x, y, side int) int {
+	checkPoint(x, y, side, "rowmajor")
+	return y*side + x
+}
+
+// Snake visits the grid row by row in boustrophedon order: even rows left
+// to right, odd rows right to left. Consecutive indices are always grid
+// neighbors, but the curve is still not distance-bound: indices one row
+// apart can be nearly 2·side steps apart along the curve yet the reverse
+// map spreads j consecutive elements over only Θ(j/side) rows, giving
+// dist(i, i+j) = Θ(min(j, side)) rather than O(√j).
+type Snake struct{}
+
+// Name implements Curve.
+func (Snake) Name() string { return "snake" }
+
+// Side implements Curve: any positive side is legal.
+func (Snake) Side(n int) int { return anySide(n) }
+
+// XY implements Curve.
+func (Snake) XY(i, side int) (x, y int) {
+	checkIndex(i, side, "snake")
+	y = i / side
+	x = i % side
+	if y%2 == 1 {
+		x = side - 1 - x
+	}
+	return x, y
+}
+
+// Index implements Curve.
+func (Snake) Index(x, y, side int) int {
+	checkPoint(x, y, side, "snake")
+	if y%2 == 1 {
+		x = side - 1 - x
+	}
+	return y*side + x
+}

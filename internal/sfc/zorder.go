@@ -1,0 +1,76 @@
+package sfc
+
+// ZOrder is the Z (Morton) curve of Section II-B: the grid is split into
+// four quadrants visited recursively in the order upper-left, upper-right,
+// lower-left, lower-right. Unlike the Hilbert curve the Z curve is NOT
+// distance-bound — consecutive points can be a full diagonal apart — yet
+// Theorem 2 of the paper shows Z-light-first order is still energy-bound,
+// because each diagonal is the longest crossing only O(log) many times
+// (Lemmas 5–7). DiagonalLength exposes the diagonal structure used by that
+// analysis.
+type ZOrder struct{}
+
+// Name implements Curve.
+func (ZOrder) Name() string { return "zorder" }
+
+// Side implements Curve: the Z curve requires a power-of-two side.
+func (ZOrder) Side(n int) int { return pow2Side(n) }
+
+// XY implements Curve by de-interleaving the bits of i. The even bits give
+// the column x; the odd bits select the quadrant row from the top, matching
+// the paper's upper-left-first visiting order (Figure 2).
+func (ZOrder) XY(i, side int) (x, y int) {
+	if !isPow2(side) {
+		panic("sfc: zorder side must be a power of two")
+	}
+	checkIndex(i, side, "zorder")
+	var row int
+	for b := 0; (1 << b) < side; b++ {
+		x |= (i >> (2 * b) & 1) << b
+		row |= (i >> (2*b + 1) & 1) << b
+	}
+	// Row 0 is the top of the grid; grid coordinates grow upward.
+	return x, side - 1 - row
+}
+
+// Index implements Curve; it is the inverse of XY.
+func (ZOrder) Index(x, y, side int) int {
+	if !isPow2(side) {
+		panic("sfc: zorder side must be a power of two")
+	}
+	checkPoint(x, y, side, "zorder")
+	row := side - 1 - y
+	i := 0
+	for b := 0; (1 << b) < side; b++ {
+		i |= (x >> b & 1) << (2 * b)
+		i |= (row >> b & 1) << (2*b + 1)
+	}
+	return i
+}
+
+// DiagonalLength returns the length of the longest diagonal crossed when
+// stepping from point i to point j of the Z curve, in the sense of
+// Lemma 3: the side length of the smallest power-of-two-aligned square
+// subgrid containing both indices. (The paper defines a diagonal's length
+// as one less than its Manhattan distance; the Manhattan length of a
+// diagonal is one larger than the side of that subgrid.) Indices in the
+// same cell return 0.
+func (ZOrder) DiagonalLength(i, j int) int {
+	if i == j {
+		return 0
+	}
+	if j < i {
+		i, j = j, i
+	}
+	// The smallest aligned block containing both i and j has 4^k cells
+	// where k is the position of the highest differing bit pair.
+	diff := i ^ j
+	k := 0
+	for diff > 3 {
+		diff >>= 2
+		k++
+	}
+	// Block of 4^(k+1) cells has side 2^(k+1); diagonal length is its side.
+	side := 1 << (k + 1)
+	return side
+}

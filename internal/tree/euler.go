@@ -1,0 +1,74 @@
+package tree
+
+// Euler tours (Section IV of the paper). The spatial layout-construction
+// pipeline computes subtree sizes and light-first ranks from an Euler tour
+// obtained by list ranking; this file provides the sequential reference
+// used as a test oracle and by the host-side layout builder.
+
+// EulerTour returns the Euler tour of t as a vertex-visit sequence of
+// length 2n-1: the tour starts at the root, and every time it traverses an
+// edge (down to a child or back up to the parent) it records the vertex it
+// arrives at. Children are visited in the order given by childOf, which
+// defaults to CSR order when nil.
+func (t *Tree) EulerTour(childOf func(v int) []int) []int {
+	if t.N() == 0 {
+		return nil
+	}
+	if childOf == nil {
+		childOf = t.Children
+	}
+	tour := make([]int, 0, 2*t.N()-1)
+	// Iterative DFS tracking the next-child index per vertex on the stack.
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{t.root, 0}}
+	tour = append(tour, t.root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ch := childOf(f.v)
+		if f.next < len(ch) {
+			c := ch[f.next]
+			f.next++
+			stack = append(stack, frame{c, 0})
+			tour = append(tour, c)
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			tour = append(tour, stack[len(stack)-1].v)
+		}
+	}
+	return tour
+}
+
+// FirstLast returns, for each vertex, the index of its first and last
+// occurrence in a vertex-visit Euler tour.
+func FirstLast(tour []int, n int) (first, last []int) {
+	first = make([]int, n)
+	last = make([]int, n)
+	for v := range first {
+		first[v] = -1
+	}
+	for i, v := range tour {
+		if first[v] == -1 {
+			first[v] = i
+		}
+		last[v] = i
+	}
+	return first, last
+}
+
+// SubtreeSizesFromTour recovers s(v) from an Euler tour, mirroring step 1b
+// of the paper's layout construction: between the first and last
+// occurrence of v the tour spends 2·(s(v)-1) steps inside v's subtree, so
+// s(v) = (last-first)/2 + 1.
+func SubtreeSizesFromTour(tour []int, n int) []int {
+	first, last := FirstLast(tour, n)
+	size := make([]int, n)
+	for v := 0; v < n; v++ {
+		size[v] = (last[v]-first[v])/2 + 1
+	}
+	return size
+}

@@ -1,0 +1,262 @@
+package tree
+
+import (
+	"fmt"
+
+	"spatialtree/internal/rng"
+)
+
+// This file contains the workload generators used by the experiments.
+// Each generator is deterministic given its rng seed and returns a valid
+// rooted tree with vertex 0 as the root unless stated otherwise.
+
+// Path returns a path graph rooted at one end: 0 → 1 → … → n-1.
+func Path(n int) *Tree {
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = v - 1
+	}
+	return MustFromParents(parent)
+}
+
+// Star returns a star: root 0 with n-1 children. The canonical
+// unbounded-degree tree (∆ = n-1) exercising Section III-D.
+func Star(n int) *Tree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = 0
+	}
+	return MustFromParents(parent)
+}
+
+// PerfectKAry returns a perfect k-ary tree with the given number of
+// levels (levels >= 1; one level is a single vertex). Vertices are
+// numbered in BFS order, so the paper's "breadth-first layout of a
+// perfect binary tree" worst case (Section III) is the identity order on
+// this tree with k=2.
+func PerfectKAry(k, levels int) *Tree {
+	if k < 1 || levels < 1 {
+		panic(fmt.Sprintf("tree: PerfectKAry(%d, %d) invalid", k, levels))
+	}
+	n := 1
+	width := 1
+	for l := 1; l < levels; l++ {
+		width *= k
+		n += width
+	}
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = (v - 1) / k
+	}
+	return MustFromParents(parent)
+}
+
+// PerfectBinary returns a perfect binary tree with the given number of
+// levels (n = 2^levels - 1).
+func PerfectBinary(levels int) *Tree { return PerfectKAry(2, levels) }
+
+// Caterpillar returns the paper's depth-first worst case (Section III):
+// a path of ⌈n/2⌉ spine vertices where every spine vertex additionally
+// has one leaf child. n must be >= 1; the result has exactly n vertices.
+func Caterpillar(n int) *Tree {
+	parent := make([]int, n)
+	parent[0] = -1
+	spine := (n + 1) / 2
+	// Spine vertices occupy ids 0..spine-1; leaf i hangs off spine i.
+	for v := 1; v < spine; v++ {
+		parent[v] = v - 1
+	}
+	for v := spine; v < n; v++ {
+		parent[v] = v - spine
+	}
+	return MustFromParents(parent)
+}
+
+// Broom returns a path of length n/2 ending in a star with the remaining
+// vertices: a tree that is simultaneously deep and high-degree.
+func Broom(n int) *Tree {
+	parent := make([]int, n)
+	parent[0] = -1
+	handle := n / 2
+	if handle < 1 {
+		handle = 1
+	}
+	for v := 1; v < handle; v++ {
+		parent[v] = v - 1
+	}
+	for v := handle; v < n; v++ {
+		parent[v] = handle - 1
+	}
+	return MustFromParents(parent)
+}
+
+// RandomAttachment returns a uniform random recursive tree: vertex v
+// (v >= 1) attaches to a parent drawn uniformly from 0..v-1. Expected
+// height Θ(log n), expected max degree Θ(log n / log log n) — the
+// "generic" tree workload.
+func RandomAttachment(n int, r *rng.RNG) *Tree {
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = r.Intn(v)
+	}
+	return MustFromParents(parent)
+}
+
+// RandomBoundedDegree returns a random recursive tree in which no vertex
+// exceeds maxChildren children: vertex v attaches to a parent drawn
+// uniformly from the vertices that still have a free child slot. With
+// maxChildren=2 this yields random binary-ish trees, the bounded-degree
+// workload of Theorem 1 and Lemma 11.
+func RandomBoundedDegree(n, maxChildren int, r *rng.RNG) *Tree {
+	if maxChildren < 1 {
+		panic("tree: RandomBoundedDegree needs maxChildren >= 1")
+	}
+	parent := make([]int, n)
+	parent[0] = -1
+	open := make([]int, 0, n) // vertices with a free slot
+	slots := make([]int, n)
+	open = append(open, 0)
+	slots[0] = maxChildren
+	for v := 1; v < n; v++ {
+		i := r.Intn(len(open))
+		p := open[i]
+		parent[v] = p
+		slots[p]--
+		if slots[p] == 0 {
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		slots[v] = maxChildren
+		open = append(open, v)
+	}
+	return MustFromParents(parent)
+}
+
+// PreferentialAttachment returns a tree where vertex v attaches to an
+// existing vertex with probability proportional to (children+1). This
+// produces power-law degree hubs — the adversarial unbounded-degree
+// workload for Section III-D and the rake analysis.
+func PreferentialAttachment(n int, r *rng.RNG) *Tree {
+	parent := make([]int, n)
+	parent[0] = -1
+	// Repeated-endpoint trick: maintain a multiset where each vertex
+	// appears once per attached edge endpoint plus once for itself.
+	bag := make([]int, 0, 2*n)
+	bag = append(bag, 0)
+	for v := 1; v < n; v++ {
+		p := bag[r.Intn(len(bag))]
+		parent[v] = p
+		bag = append(bag, p, v)
+	}
+	return MustFromParents(parent)
+}
+
+// Yule returns a Yule-process phylogenetic tree with the given number of
+// leaves: starting from a root with two leaf children, repeatedly pick a
+// uniform random leaf and give it two children, until the tree has
+// `leaves` leaves. The result is a full binary tree with 2·leaves - 1
+// vertices — the computational-biology workload from the paper's
+// introduction.
+func Yule(leaves int, r *rng.RNG) *Tree {
+	if leaves < 1 {
+		panic("tree: Yule needs at least one leaf")
+	}
+	if leaves == 1 {
+		return Path(1)
+	}
+	n := 2*leaves - 1
+	parent := make([]int, n)
+	parent[0] = -1
+	// leavesList holds current leaf vertex ids.
+	leavesList := make([]int, 0, leaves)
+	parent[1], parent[2] = 0, 0
+	leavesList = append(leavesList, 1, 2)
+	next := 3
+	for next < n {
+		i := r.Intn(len(leavesList))
+		leaf := leavesList[i]
+		parent[next] = leaf
+		parent[next+1] = leaf
+		// leaf stops being a leaf; its two children join the list.
+		leavesList[i] = next
+		leavesList = append(leavesList, next+1)
+		next += 2
+	}
+	return MustFromParents(parent)
+}
+
+// DecisionTree returns a binary tree grown by recursively splitting a
+// synthetic dataset of `samples` items: a node holding m items splits
+// into children holding f·m and (1-f)·m items (f drawn uniformly from
+// [0.1, 0.9]) until nodes hold at most leafSize items. This mimics the
+// shape of CART-style decision trees (machine-learning workload from the
+// paper's introduction): unbalanced but with geometrically decreasing
+// subtree sizes.
+func DecisionTree(samples, leafSize int, r *rng.RNG) *Tree {
+	if leafSize < 1 {
+		panic("tree: DecisionTree needs leafSize >= 1")
+	}
+	parent := []int{-1}
+	weights := []int{samples}
+	for v := 0; v < len(parent); v++ {
+		m := weights[v]
+		if m <= leafSize {
+			continue
+		}
+		f := 0.1 + 0.8*r.Float64()
+		left := int(f * float64(m))
+		if left < 1 {
+			left = 1
+		}
+		if left >= m {
+			left = m - 1
+		}
+		parent = append(parent, v, v)
+		weights = append(weights, left, m-left)
+	}
+	return MustFromParents(parent)
+}
+
+// Comb returns a "comb": a spine path in which every spine vertex has a
+// pendant path of the given tooth length. Generalizes Caterpillar
+// (toothLen = 1); useful for stressing compress-heavy contraction.
+func Comb(spine, toothLen int) *Tree {
+	n := spine * (1 + toothLen)
+	parent := make([]int, n)
+	parent[0] = -1
+	for s := 1; s < spine; s++ {
+		parent[s] = s - 1
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		prev := s
+		for t := 0; t < toothLen; t++ {
+			parent[next] = prev
+			prev = next
+			next++
+		}
+	}
+	return MustFromParents(parent)
+}
+
+// RelabelRandom returns a copy of t whose vertices have been renamed by a
+// random permutation (the root keeps no special id). Generators above
+// produce correlated ids (e.g. BFS numbering); relabeling removes that
+// structure so layout experiments don't accidentally benefit from it.
+func RelabelRandom(t *Tree, r *rng.RNG) *Tree {
+	n := t.N()
+	perm := r.Perm(n) // old id -> new id
+	parent := make([]int, n)
+	for v := 0; v < n; v++ {
+		p := t.Parent(v)
+		if p == -1 {
+			parent[perm[v]] = -1
+		} else {
+			parent[perm[v]] = perm[p]
+		}
+	}
+	return MustFromParents(parent)
+}

@@ -1,0 +1,302 @@
+// Package tree provides the rooted-tree representation shared by every
+// algorithm in this repository, together with the workload generators used
+// in the experiments and sequential reference implementations of the tree
+// primitives (subtree sizes, Euler tours, treefix sums) that serve as test
+// oracles for the spatial algorithms.
+//
+// Vertices are integers 0..n-1. The representation is a parent array plus
+// a CSR (compressed sparse row) child adjacency, so Children(v) is an
+// allocation-free slice view and the whole structure is two flat arrays —
+// the same "one vertex per processor, O(1) words each" discipline the
+// spatial computer model imposes (Section II-A of the paper).
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a rooted tree over vertices 0..N()-1. Construct one with
+// FromParents or a generator; the zero value is an empty tree.
+type Tree struct {
+	root       int
+	parent     []int // parent[root] == -1
+	childStart []int // CSR offsets, len n+1
+	childList  []int // CSR child ids, len n-1 (for n > 0)
+}
+
+// FromParents builds a tree from a parent array. parent[v] must be the
+// parent vertex of v, and exactly one vertex (the root) must have parent
+// -1. The function validates that the structure is a single connected
+// acyclic tree and returns an error otherwise.
+func FromParents(parent []int) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return &Tree{root: -1}, nil
+	}
+	root := -1
+	for v, p := range parent {
+		switch {
+		case p == -1:
+			if root != -1 {
+				return nil, fmt.Errorf("tree: two roots (%d and %d)", root, v)
+			}
+			root = v
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("tree: vertex %d has out-of-range parent %d", v, p)
+		case p == v:
+			return nil, fmt.Errorf("tree: vertex %d is its own parent", v)
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("tree: no root (no vertex with parent -1)")
+	}
+
+	t := &Tree{root: root, parent: append([]int(nil), parent...)}
+	t.buildCSR()
+
+	// Reachability check: BFS from the root must visit all n vertices.
+	// (This also rules out cycles among non-root vertices.)
+	seen := make([]bool, n)
+	seen[root] = true
+	queue := []int{root}
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children(v) {
+			if seen[c] {
+				return nil, fmt.Errorf("tree: vertex %d reached twice", c)
+			}
+			seen[c] = true
+			visited++
+			queue = append(queue, c)
+		}
+	}
+	if visited != n {
+		return nil, fmt.Errorf("tree: only %d of %d vertices reachable from root", visited, n)
+	}
+	return t, nil
+}
+
+// MustFromParents is FromParents but panics on invalid input; for use in
+// tests and generators whose output is valid by construction.
+func MustFromParents(parent []int) *Tree {
+	t, err := FromParents(parent)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// buildCSR fills the CSR child adjacency from the parent array. Children
+// of each vertex appear in increasing vertex order.
+func (t *Tree) buildCSR() {
+	n := len(t.parent)
+	t.childStart = make([]int, n+1)
+	for v, p := range t.parent {
+		if v != t.root {
+			t.childStart[p+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		t.childStart[v+1] += t.childStart[v]
+	}
+	t.childList = make([]int, n-1)
+	fill := make([]int, n)
+	copy(fill, t.childStart[:n])
+	for v, p := range t.parent {
+		if v != t.root {
+			t.childList[fill[p]] = v
+			fill[p]++
+		}
+	}
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the root vertex, or -1 for an empty tree.
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns the parent of v, or -1 for the root.
+func (t *Tree) Parent(v int) int { return t.parent[v] }
+
+// Parents returns the underlying parent array (not a copy; callers must
+// not modify it).
+func (t *Tree) Parents() []int { return t.parent }
+
+// Children returns the children of v as a shared slice view; callers must
+// not modify it.
+func (t *Tree) Children(v int) []int {
+	return t.childList[t.childStart[v]:t.childStart[v+1]]
+}
+
+// NumChildren returns the number of children of v.
+func (t *Tree) NumChildren(v int) int {
+	return t.childStart[v+1] - t.childStart[v]
+}
+
+// Degree returns deg(v): the number of children plus one for the parent
+// edge (the root has no parent edge), as in Table I of the paper.
+func (t *Tree) Degree(v int) int {
+	d := t.NumChildren(v)
+	if v != t.root {
+		d++
+	}
+	return d
+}
+
+// MaxDegree returns ∆, the maximum Degree over all vertices.
+func (t *Tree) MaxDegree() int {
+	max := 0
+	for v := 0; v < t.N(); v++ {
+		if d := t.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsLeaf reports whether v has no children.
+func (t *Tree) IsLeaf(v int) bool { return t.NumChildren(v) == 0 }
+
+// SubtreeSizes returns s(v) for every vertex: the number of descendants
+// of v including v itself (Table I). Sequential reference implementation
+// (iterative post-order; no recursion so million-vertex trees are fine).
+func (t *Tree) SubtreeSizes() []int {
+	n := t.N()
+	size := make([]int, n)
+	for _, v := range t.PostOrder() {
+		size[v] = 1
+		for _, c := range t.Children(v) {
+			size[v] += size[c]
+		}
+	}
+	return size
+}
+
+// Depths returns the edge-distance of every vertex from the root.
+func (t *Tree) Depths() []int {
+	n := t.N()
+	depth := make([]int, n)
+	for _, v := range t.PreOrder() {
+		if v != t.root {
+			depth[v] = depth[t.parent[v]] + 1
+		}
+	}
+	return depth
+}
+
+// Height returns the maximum vertex depth (0 for a single vertex).
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depths() {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// PreOrder returns the vertices in DFS pre-order, visiting children in
+// their CSR (increasing id) order.
+func (t *Tree) PreOrder() []int {
+	if t.N() == 0 {
+		return nil
+	}
+	out := make([]int, 0, t.N())
+	stack := []int{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		ch := t.Children(v)
+		for i := len(ch) - 1; i >= 0; i-- { // reversed so leftmost pops first
+			stack = append(stack, ch[i])
+		}
+	}
+	return out
+}
+
+// PostOrder returns the vertices in DFS post-order (every vertex after
+// all of its descendants). Implemented as the reverse of a pre-order that
+// visits children right-to-left.
+func (t *Tree) PostOrder() []int {
+	if t.N() == 0 {
+		return nil
+	}
+	out := make([]int, 0, t.N())
+	stack := []int{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for _, c := range t.Children(v) { // natural order; reversal flips it
+			stack = append(stack, c)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// BFSOrder returns the vertices in breadth-first order from the root.
+func (t *Tree) BFSOrder() []int {
+	if t.N() == 0 {
+		return nil
+	}
+	out := make([]int, 0, t.N())
+	out = append(out, t.root)
+	for head := 0; head < len(out); head++ {
+		out = append(out, t.Children(out[head])...)
+	}
+	return out
+}
+
+// IsAncestor reports whether u is an ancestor of v (inclusive: every
+// vertex is an ancestor of itself, matching the paper's definition of
+// descendants containing v). O(depth) reference implementation.
+func (t *Tree) IsAncestor(u, v int) bool {
+	for v != -1 {
+		if v == u {
+			return true
+		}
+		v = t.parent[v]
+	}
+	return false
+}
+
+// ChildrenBySize returns the children of v sorted by ascending subtree
+// size (ties broken by vertex id), the order that defines light-first
+// layouts (Section III-A). size must be a SubtreeSizes result.
+func (t *Tree) ChildrenBySize(v int, size []int) []int {
+	ch := append([]int(nil), t.Children(v)...)
+	sort.Slice(ch, func(i, j int) bool {
+		if size[ch[i]] != size[ch[j]] {
+			return size[ch[i]] < size[ch[j]]
+		}
+		return ch[i] < ch[j]
+	})
+	return ch
+}
+
+// Stats summarizes a tree for experiment tables.
+type Stats struct {
+	N         int
+	Height    int
+	MaxDegree int
+	Leaves    int
+}
+
+// Summarize computes Stats.
+func (t *Tree) Summarize() Stats {
+	s := Stats{N: t.N(), Height: t.Height(), MaxDegree: t.MaxDegree()}
+	for v := 0; v < t.N(); v++ {
+		if t.IsLeaf(v) {
+			s.Leaves++
+		}
+	}
+	return s
+}

@@ -1,0 +1,393 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/rng"
+)
+
+func TestFromParentsValid(t *testing.T) {
+	tr, err := FromParents([]int{-1, 0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 6 || tr.Root() != 0 {
+		t.Fatalf("n=%d root=%d", tr.N(), tr.Root())
+	}
+	if got := tr.Children(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("children(0) = %v", got)
+	}
+	if got := tr.Children(1); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("children(1) = %v", got)
+	}
+	if tr.NumChildren(5) != 0 || !tr.IsLeaf(5) {
+		t.Fatal("vertex 5 should be a leaf")
+	}
+	if tr.Parent(3) != 1 || tr.Parent(0) != -1 {
+		t.Fatal("parent accessor broken")
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	cases := [][]int{
+		{0},           // self-loop root candidate
+		{-1, -1},      // two roots
+		{1, 0},        // cycle, no root
+		{-1, 5},       // out of range
+		{-1, 0, 3, 2}, // 2<->3 cycle unreachable... parent[2]=3, parent[3]=2
+		{-1, 1},       // self parent at 1
+	}
+	for _, parent := range cases {
+		if _, err := FromParents(parent); err == nil {
+			t.Errorf("FromParents(%v): expected error", parent)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := FromParents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 0 || tr.Root() != -1 {
+		t.Fatal("empty tree malformed")
+	}
+	if got := tr.PreOrder(); got != nil {
+		t.Fatalf("PreOrder of empty = %v", got)
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	tr := MustFromParents([]int{-1})
+	if tr.Height() != 0 || tr.MaxDegree() != 0 || !tr.IsLeaf(0) {
+		t.Fatal("single vertex stats wrong")
+	}
+	if got := tr.SubtreeSizes(); got[0] != 1 {
+		t.Fatalf("size = %v", got)
+	}
+	if tour := tr.EulerTour(nil); len(tour) != 1 || tour[0] != 0 {
+		t.Fatalf("tour = %v", tour)
+	}
+}
+
+func TestDegreeCountsParentEdge(t *testing.T) {
+	tr := Star(5)
+	if tr.Degree(0) != 4 {
+		t.Errorf("root degree = %d, want 4", tr.Degree(0))
+	}
+	if tr.Degree(1) != 1 {
+		t.Errorf("leaf degree = %d, want 1", tr.Degree(1))
+	}
+	if tr.MaxDegree() != 4 {
+		t.Errorf("max degree = %d, want 4", tr.MaxDegree())
+	}
+	p := Path(5)
+	if p.Degree(2) != 2 {
+		t.Errorf("inner path degree = %d, want 2", p.Degree(2))
+	}
+}
+
+func TestSubtreeSizesKnown(t *testing.T) {
+	tr := MustFromParents([]int{-1, 0, 0, 1, 1, 2})
+	want := []int{6, 3, 2, 1, 1, 1}
+	got := tr.SubtreeSizes()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("size[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	r := rng.New(1)
+	trees := []*Tree{
+		Path(17), Star(9), PerfectBinary(5), Caterpillar(12),
+		RandomAttachment(50, r), PreferentialAttachment(40, r),
+		RandomBoundedDegree(30, 2, r), Comb(5, 3),
+	}
+	for _, tr := range trees {
+		for name, order := range map[string][]int{
+			"pre":  tr.PreOrder(),
+			"post": tr.PostOrder(),
+			"bfs":  tr.BFSOrder(),
+		} {
+			if len(order) != tr.N() {
+				t.Fatalf("%s order has length %d, want %d", name, len(order), tr.N())
+			}
+			seen := make([]bool, tr.N())
+			for _, v := range order {
+				if v < 0 || v >= tr.N() || seen[v] {
+					t.Fatalf("%s order invalid at %d", name, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestPreOrderParentBeforeChild(t *testing.T) {
+	r := rng.New(2)
+	tr := RandomAttachment(200, r)
+	pos := make([]int, tr.N())
+	for i, v := range tr.PreOrder() {
+		pos[v] = i
+	}
+	for v := 0; v < tr.N(); v++ {
+		if p := tr.Parent(v); p != -1 && pos[p] >= pos[v] {
+			t.Fatalf("pre-order: parent %d not before child %d", p, v)
+		}
+	}
+}
+
+func TestPostOrderChildBeforeParent(t *testing.T) {
+	r := rng.New(3)
+	tr := PreferentialAttachment(200, r)
+	pos := make([]int, tr.N())
+	for i, v := range tr.PostOrder() {
+		pos[v] = i
+	}
+	for v := 0; v < tr.N(); v++ {
+		if p := tr.Parent(v); p != -1 && pos[p] <= pos[v] {
+			t.Fatalf("post-order: parent %d not after child %d", p, v)
+		}
+	}
+}
+
+func TestBFSOrderLevelMonotone(t *testing.T) {
+	tr := PerfectBinary(6)
+	depth := tr.Depths()
+	prev := -1
+	for _, v := range tr.BFSOrder() {
+		if depth[v] < prev {
+			t.Fatalf("BFS order visits depth %d after depth %d", depth[v], prev)
+		}
+		prev = depth[v]
+	}
+}
+
+func TestHeightAndDepths(t *testing.T) {
+	if h := Path(10).Height(); h != 9 {
+		t.Errorf("path height = %d, want 9", h)
+	}
+	if h := Star(10).Height(); h != 1 {
+		t.Errorf("star height = %d, want 1", h)
+	}
+	if h := PerfectBinary(4).Height(); h != 3 {
+		t.Errorf("perfect binary height = %d, want 3", h)
+	}
+	if h := Caterpillar(10).Height(); h != 5 {
+		t.Errorf("caterpillar height = %d, want 5", h)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := MustFromParents([]int{-1, 0, 0, 1, 1, 2})
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 5, true}, {1, 3, true}, {1, 5, false}, {3, 3, true},
+		{3, 1, false}, {2, 5, true}, {5, 2, false},
+	}
+	for _, tc := range cases {
+		if got := tr.IsAncestor(tc.u, tc.v); got != tc.want {
+			t.Errorf("IsAncestor(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	r := rng.New(4)
+	if n := PerfectKAry(3, 3).N(); n != 13 {
+		t.Errorf("perfect 3-ary 3 levels: n = %d, want 13", n)
+	}
+	if d := Star(100).MaxDegree(); d != 99 {
+		t.Errorf("star max degree = %d, want 99", d)
+	}
+	cat := Caterpillar(20)
+	if cat.N() != 20 {
+		t.Errorf("caterpillar n = %d", cat.N())
+	}
+	// Every spine vertex except the last has exactly one spine child and
+	// one leaf child.
+	if got := cat.NumChildren(0); got != 2 {
+		t.Errorf("caterpillar spine head has %d children, want 2", got)
+	}
+	y := Yule(50, r)
+	if y.N() != 99 {
+		t.Errorf("yule(50): n = %d, want 99", y.N())
+	}
+	leaves := 0
+	for v := 0; v < y.N(); v++ {
+		nc := y.NumChildren(v)
+		if nc != 0 && nc != 2 {
+			t.Fatalf("yule tree not full binary: vertex %d has %d children", v, nc)
+		}
+		if nc == 0 {
+			leaves++
+		}
+	}
+	if leaves != 50 {
+		t.Errorf("yule(50): %d leaves", leaves)
+	}
+	bd := RandomBoundedDegree(500, 3, r)
+	for v := 0; v < bd.N(); v++ {
+		if bd.NumChildren(v) > 3 {
+			t.Fatalf("bounded-degree tree exceeded limit at %d", v)
+		}
+	}
+	dt := DecisionTree(1000, 10, r)
+	for v := 0; v < dt.N(); v++ {
+		if nc := dt.NumChildren(v); nc != 0 && nc != 2 {
+			t.Fatalf("decision tree vertex %d has %d children", v, nc)
+		}
+	}
+	cb := Comb(7, 4)
+	if cb.N() != 7*5 {
+		t.Errorf("comb n = %d, want 35", cb.N())
+	}
+	if cb.Height() != 6+4 {
+		t.Errorf("comb height = %d, want 10", cb.Height())
+	}
+}
+
+func TestPreferentialAttachmentHasHubs(t *testing.T) {
+	r := rng.New(5)
+	tr := PreferentialAttachment(5000, r)
+	if d := tr.MaxDegree(); d < 20 {
+		t.Errorf("preferential attachment max degree = %d, expected a hub", d)
+	}
+	ra := RandomAttachment(5000, r)
+	if tr.MaxDegree() <= ra.MaxDegree() {
+		t.Errorf("preferential (%d) should out-hub uniform attachment (%d)",
+			tr.MaxDegree(), ra.MaxDegree())
+	}
+}
+
+func TestRelabelPreservesShape(t *testing.T) {
+	r := rng.New(6)
+	orig := RandomAttachment(300, r)
+	rel := RelabelRandom(orig, r)
+	if rel.N() != orig.N() {
+		t.Fatal("relabel changed size")
+	}
+	ss, sr := orig.SubtreeSizes(), rel.SubtreeSizes()
+	// Multisets of subtree sizes must match.
+	count := map[int]int{}
+	for _, s := range ss {
+		count[s]++
+	}
+	for _, s := range sr {
+		count[s]--
+	}
+	for s, c := range count {
+		if c != 0 {
+			t.Fatalf("subtree size %d multiplicity differs by %d", s, c)
+		}
+	}
+	if orig.Height() != rel.Height() {
+		t.Fatal("relabel changed height")
+	}
+}
+
+func TestEulerTourProperties(t *testing.T) {
+	r := rng.New(7)
+	trees := []*Tree{Path(9), Star(9), PerfectBinary(4), RandomAttachment(100, r), Caterpillar(15)}
+	for _, tr := range trees {
+		tour := tr.EulerTour(nil)
+		if len(tour) != 2*tr.N()-1 {
+			t.Fatalf("tour length %d, want %d", len(tour), 2*tr.N()-1)
+		}
+		if tour[0] != tr.Root() || tour[len(tour)-1] != tr.Root() {
+			t.Fatal("tour must start and end at the root")
+		}
+		// Consecutive tour vertices are tree neighbors.
+		for i := 1; i < len(tour); i++ {
+			u, v := tour[i-1], tour[i]
+			if tr.Parent(u) != v && tr.Parent(v) != u {
+				t.Fatalf("tour step %d: %d and %d not adjacent", i, u, v)
+			}
+		}
+		// Each vertex appears deg-many times (children count + 1).
+		occ := make([]int, tr.N())
+		for _, v := range tour {
+			occ[v]++
+		}
+		for v := 0; v < tr.N(); v++ {
+			want := tr.NumChildren(v) + 1
+			if occ[v] != want {
+				t.Fatalf("vertex %d occurs %d times, want %d", v, occ[v], want)
+			}
+		}
+	}
+}
+
+func TestSubtreeSizesFromTourMatchesDirect(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 20; trial++ {
+		tr := RandomAttachment(2+r.Intn(200), r)
+		tour := tr.EulerTour(nil)
+		fromTour := SubtreeSizesFromTour(tour, tr.N())
+		direct := tr.SubtreeSizes()
+		for v := range direct {
+			if fromTour[v] != direct[v] {
+				t.Fatalf("trial %d vertex %d: tour says %d, direct says %d",
+					trial, v, fromTour[v], direct[v])
+			}
+		}
+	}
+}
+
+func TestChildrenBySize(t *testing.T) {
+	// Root with three children of sizes 3, 1, 2 (vertex ids 1, 2, 3).
+	tr := MustFromParents([]int{-1, 0, 0, 0, 1, 1, 3})
+	size := tr.SubtreeSizes()
+	got := tr.ChildrenBySize(0, size)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChildrenBySize = %v, want %v", got, want)
+		}
+	}
+	// Original CSR order must be untouched.
+	if c := tr.Children(0); c[0] != 1 {
+		t.Fatal("ChildrenBySize mutated the CSR adjacency")
+	}
+}
+
+func TestSubtreeSizesQuick(t *testing.T) {
+	// Property: sum of root's children's sizes + 1 == n, and every leaf
+	// has size 1.
+	f := func(seed uint64, rawN uint16) bool {
+		n := 2 + int(rawN)%500
+		tr := RandomAttachment(n, rng.New(seed))
+		size := tr.SubtreeSizes()
+		if size[tr.Root()] != n {
+			return false
+		}
+		sum := 1
+		for _, c := range tr.Children(tr.Root()) {
+			sum += size[c]
+		}
+		if sum != n {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if tr.IsLeaf(v) && size[v] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := PerfectBinary(4).Summarize()
+	if s.N != 15 || s.Height != 3 || s.MaxDegree != 3 || s.Leaves != 8 {
+		t.Errorf("perfect binary summary = %+v", s)
+	}
+}

@@ -1,0 +1,117 @@
+package treefix
+
+import (
+	"testing"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func TestContractionAccounting(t *testing.T) {
+	// Every non-root vertex deactivates exactly once:
+	// compress ops + raked leaves == n - 1.
+	r := rng.New(40)
+	for _, tr := range testTrees(r) {
+		if tr.N() < 2 {
+			continue
+		}
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		_, st := BottomUp(s, tr, lfRanks(tr), make([]int64, tr.N()), Add, r)
+		if st.CompressOps+st.RakedLeaves != tr.N()-1 {
+			t.Errorf("n=%d: %d compresses + %d raked leaves != n-1",
+				tr.N(), st.CompressOps, st.RakedLeaves)
+		}
+	}
+}
+
+func TestInputValuesNotMutated(t *testing.T) {
+	r := rng.New(41)
+	tr := tree.RandomAttachment(200, r)
+	vals := randomVals(tr.N(), r)
+	orig := append([]int64(nil), vals...)
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	Both(s, tr, lfRanks(tr), vals, Add, r)
+	for i := range vals {
+		if vals[i] != orig[i] {
+			t.Fatalf("input vals mutated at %d", i)
+		}
+	}
+}
+
+func TestAdversarialShapes(t *testing.T) {
+	// Shapes chosen to stress one operation exclusively.
+	shapes := map[string]*tree.Tree{
+		"pure-compress (path)":      tree.Path(513),
+		"pure-rake (star)":          tree.Star(513),
+		"alternating (caterpillar)": tree.Caterpillar(513),
+		"two-level (broom)":         tree.Broom(513),
+		"deep-comb":                 tree.Comb(16, 31),
+	}
+	for name, tr := range shapes {
+		vals := make([]int64, tr.N())
+		for i := range vals {
+			vals[i] = int64(i + 1)
+		}
+		for seed := uint64(0); seed < 5; seed++ {
+			s := machine.New(tr.N(), sfc.Hilbert{})
+			bu, td, _ := Both(s, tr, lfRanks(tr), vals, Add, rng.New(seed))
+			wantBU := SequentialBottomUp(tr, vals, Add)
+			wantTD := SequentialTopDown(tr, vals, Add)
+			for v := 0; v < tr.N(); v++ {
+				if bu[v] != wantBU[v] || td[v] != wantTD[v] {
+					t.Fatalf("%s seed %d: mismatch at %d", name, seed, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNonLightFirstPlacementStillCorrect(t *testing.T) {
+	// The energy bound needs the layout; correctness must not.
+	r := rng.New(42)
+	tr := tree.RandomAttachment(300, r)
+	vals := randomVals(tr.N(), r)
+	rank := r.Perm(tr.N()) // arbitrary placement
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	bu, _ := BottomUp(s, tr, rank, vals, Add, r)
+	want := SequentialBottomUp(tr, vals, Add)
+	for v := range want {
+		if bu[v] != want[v] {
+			t.Fatalf("random placement broke correctness at %d", v)
+		}
+	}
+}
+
+func TestTopDownOnlyRunSharesContraction(t *testing.T) {
+	// TopDown alone must agree with the TopDown half of Both under the
+	// same seed (same coin stream => same contraction).
+	r1, r2 := rng.New(7), rng.New(7)
+	tr := tree.PreferentialAttachment(200, rng.New(43))
+	vals := randomVals(tr.N(), rng.New(44))
+	s1 := machine.New(tr.N(), sfc.Hilbert{})
+	td1, _ := TopDown(s1, tr, lfRanks(tr), vals, Add, r1)
+	s2 := machine.New(tr.N(), sfc.Hilbert{})
+	_, td2, _ := Both(s2, tr, lfRanks(tr), vals, Add, r2)
+	for v := range td1 {
+		if td1[v] != td2[v] {
+			t.Fatalf("TopDown and Both disagree at %d", v)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	tr := tree.RandomAttachment(300, rng.New(45))
+	vals := randomVals(tr.N(), rng.New(46))
+	run := func() (machine.Cost, Stats) {
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		_, st := BottomUp(s, tr, lfRanks(tr), vals, Add, rng.New(99))
+		return s.Cost(), st
+	}
+	c1, st1 := run()
+	c2, st2 := run()
+	if c1 != c2 || st1 != st2 {
+		t.Fatalf("same seed produced different runs: %+v/%+v vs %+v/%+v", c1, st1, c2, st2)
+	}
+}

@@ -1,0 +1,138 @@
+package treefix
+
+import (
+	"spatialtree/internal/par"
+	"spatialtree/internal/tree"
+)
+
+// Engine is the goroutine-parallel treefix executor used for wall-clock
+// benchmarks (experiment E12). It precomputes the Euler tour positions of
+// the tree once (the paper amortizes layout/preprocessing across
+// iterations, Section I-D) and then answers bottom-up and top-down
+// treefix sums under + with two parallel passes: a scatter of per-vertex
+// contributions into tour positions and a parallel prefix sum.
+//
+// The + operator covers the paper's headline uses (subtree sizes, path
+// counters); the contraction-based executors handle general operators.
+type Engine struct {
+	t *tree.Tree
+	// downPos[v], upPos[v]: positions of v's down/up edge in the Euler
+	// edge tour (root: virtual positions -1 and 2(n-1)).
+	downPos, upPos []int32
+	workers        int
+}
+
+// NewEngine builds the tour positions with a host DFS.
+func NewEngine(t *tree.Tree, workers int) *Engine {
+	n := t.N()
+	e := &Engine{
+		t:       t,
+		downPos: make([]int32, n),
+		upPos:   make([]int32, n),
+		workers: workers,
+	}
+	if n == 0 {
+		return e
+	}
+	pos := int32(0)
+	root := t.Root()
+	e.downPos[root] = -1
+	e.upPos[root] = int32(2 * (n - 1))
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ch := t.Children(f.v)
+		if f.next < len(ch) {
+			c := ch[f.next]
+			f.next++
+			e.downPos[c] = pos
+			pos++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		if f.v != root {
+			e.upPos[f.v] = pos
+			pos++
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return e
+}
+
+// BottomUpSum returns the subtree sums of vals under + using parallel
+// prefix sums over the Euler tour: the down edges of v's subtree occupy
+// the contiguous tour range (downPos[v], upPos[v]), so the subtree sum is
+// a prefix-sum difference plus v's own value... realized by scattering
+// each non-root vertex's value to its down-edge position.
+func (e *Engine) BottomUpSum(vals []int64) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = vals[0]
+		return out
+	}
+	L := 2 * (n - 1)
+	contrib := make([]int64, L+1) // shifted by one: prefix[0] = 0
+	root := e.t.Root()
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v != root {
+				contrib[e.downPos[v]+1] = vals[v]
+			}
+		}
+	})
+	par.PrefixSumInt64(contrib, e.workers)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			// Down edges inside v's subtree span positions
+			// [downPos[v]+1, upPos[v]-1]; with the +1 shift the sum is
+			// contrib[upPos[v]] - contrib[downPos[v]+1] plus v's value.
+			out[v] = vals[v] + contrib[e.upPos[v]] - contrib[e.downPos[v]+1]
+		}
+	})
+	return out
+}
+
+// TopDownSum returns the root-path sums of vals under +: each vertex's
+// down edge contributes +val, its up edge -val, and the prefix at
+// downPos[v] (inclusive) plus the root's value is the path sum.
+func (e *Engine) TopDownSum(vals []int64) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	root := e.t.Root()
+	if n == 1 {
+		out[root] = vals[root]
+		return out
+	}
+	L := 2 * (n - 1)
+	contrib := make([]int64, L)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v != root {
+				contrib[e.downPos[v]] += vals[v]
+				contrib[e.upPos[v]] -= vals[v]
+			}
+		}
+	})
+	par.PrefixSumInt64(contrib, e.workers)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v == root {
+				out[v] = vals[root]
+			} else {
+				out[v] = vals[root] + contrib[e.downPos[v]]
+			}
+		}
+	})
+	return out
+}

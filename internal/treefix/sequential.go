@@ -1,0 +1,35 @@
+package treefix
+
+import "spatialtree/internal/tree"
+
+// SequentialBottomUp returns, for every vertex v, op folded over the
+// values of v's descendants (including v): the treefix sum of Section V.
+// Host oracle (iterative post-order).
+func SequentialBottomUp(t *tree.Tree, vals []int64, op Op) []int64 {
+	n := t.N()
+	out := make([]int64, n)
+	for _, v := range t.PostOrder() {
+		acc := vals[v]
+		for _, c := range t.Children(v) {
+			acc = op.Combine(acc, out[c])
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+// SequentialTopDown returns, for every vertex v, op folded along the
+// root-to-v path (inclusive): the top-down treefix of Section V-D.
+// Host oracle (pre-order).
+func SequentialTopDown(t *tree.Tree, vals []int64, op Op) []int64 {
+	n := t.N()
+	out := make([]int64, n)
+	for _, v := range t.PreOrder() {
+		if p := t.Parent(v); p == -1 {
+			out[v] = vals[v]
+		} else {
+			out[v] = op.Combine(out[p], vals[v])
+		}
+	}
+	return out
+}

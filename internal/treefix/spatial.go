@@ -1,0 +1,404 @@
+package treefix
+
+import (
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+// This file implements the paper's spatial treefix algorithm
+// (Section V): Las Vegas tree contraction with RAKE and COMPRESS over
+// supervertices, followed by uncontraction.
+//
+// Supervertices are identified with their representative R(u) — the
+// vertex closest to the root (Section V-A) — and each representative's
+// processor holds the supervertex's partial sums. All algorithm state is
+// O(1) words per processor: partial sums P (bottom-up) and P' (top-down
+// spine fold), the A accumulators of the uncontraction, the supervertex
+// parent pointer, and per-inactive-vertex undo words. The contraction
+// log itself is distributed: every vertex becomes inactive at most once
+// and stores only its own undo record (the role the paper's
+// last_contracted / saved_state chains play).
+//
+// COMPRESS merges a viable supervertex v (only child of a non-branching
+// parent, exactly one child itself) into its parent when v's random-mate
+// coin is heads and the parent's is tails. RAKE folds all leaf children
+// of a supervertex u into u when u has at most one non-leaf child.
+// As in the paper, no global barrier separates rounds: every message is
+// scheduled against per-processor clocks only, so the measured depth
+// reflects the asynchronous execution the paper argues for
+// (Section V-C).
+
+// Stats reports what the contraction did.
+type Stats struct {
+	// Rounds is the number of COMPACT rounds until one supervertex
+	// remained (O(log n) w.h.p., Lemma 11).
+	Rounds int
+	// CompressOps and RakeOps count contraction operations.
+	CompressOps int
+	// RakedLeaves counts leaves folded by all rakes combined.
+	RakeOps     int
+	RakedLeaves int
+}
+
+// undoKind discriminates the per-vertex undo records.
+type undoKind uint8
+
+const (
+	undoNone undoKind = iota
+	undoCompress
+	undoRake
+)
+
+// undoRecord is the O(1)-word state an inactive vertex keeps so the
+// uncontraction can replay its merge. For a compress, v stores the
+// parent representative and the parent's pre-merge partial sums. For a
+// rake, every raked leaf stores its parent representative and the
+// parent's pre-rake P (the same value; conceptually only the group head
+// needs it).
+type undoRecord struct {
+	kind  undoKind
+	round int32
+	u     int32 // parent representative at contraction time
+	// pbuU / ptdU: parent's partial sums before the merge.
+	pbuU, ptdU int64
+}
+
+// contraction holds the shared state of one spatial treefix run.
+type contraction struct {
+	t    *tree.Tree
+	s    *machine.Sim
+	rank []int
+	op   Op
+
+	active   []bool
+	svp      []int   // supervertex parent representative (-1 for root sv)
+	children [][]int // supervertex child representatives
+	pbu, ptd []int64
+	undo     []undoRecord
+	// rounds[i] lists the vertices deactivated in round i+1, in
+	// deactivation order (used to drive the uncontraction).
+	rounds [][]int
+
+	stats Stats
+}
+
+// BottomUp runs the spatial treefix sum: out[v] = op over the values of
+// v's descendants. rank maps vertices to processor ranks (the tree's
+// placement; use the light-first layout for the paper's bounds). The
+// random-mate coins come from r.
+func BottomUp(s *machine.Sim, t *tree.Tree, rank []int, vals []int64, op Op, r *rng.RNG) ([]int64, Stats) {
+	bu, _, st := run(s, t, rank, vals, op, r, true, false)
+	return bu, st
+}
+
+// TopDown runs the spatial top-down treefix (Section V-D): out[v] = op
+// along the root-to-v path.
+func TopDown(s *machine.Sim, t *tree.Tree, rank []int, vals []int64, op Op, r *rng.RNG) ([]int64, Stats) {
+	_, td, st := run(s, t, rank, vals, op, r, false, true)
+	return td, st
+}
+
+// Both runs one contraction and extracts both treefix directions from
+// it; the two results share all structural messages.
+func Both(s *machine.Sim, t *tree.Tree, rank []int, vals []int64, op Op, r *rng.RNG) (bottomUp, topDown []int64, st Stats) {
+	return run(s, t, rank, vals, op, r, true, true)
+}
+
+func run(s *machine.Sim, t *tree.Tree, rank []int, vals []int64, op Op, r *rng.RNG, wantBU, wantTD bool) ([]int64, []int64, Stats) {
+	n := t.N()
+	c := &contraction{
+		t: t, s: s, rank: rank, op: op,
+		active:   make([]bool, n),
+		svp:      make([]int, n),
+		children: make([][]int, n),
+		pbu:      make([]int64, n),
+		ptd:      make([]int64, n),
+		undo:     make([]undoRecord, n),
+	}
+	if n == 0 {
+		return nil, nil, c.stats
+	}
+	if len(rank) != n || len(vals) != n {
+		panic("treefix: rank/vals length mismatch")
+	}
+	for v := 0; v < n; v++ {
+		c.active[v] = true
+		c.svp[v] = t.Parent(v)
+		c.children[v] = append([]int(nil), t.Children(v)...)
+		c.pbu[v] = vals[v]
+		c.ptd[v] = vals[v]
+	}
+	c.contract(r)
+	abu, atd := c.uncontract()
+
+	var bu, td []int64
+	if wantBU {
+		bu = make([]int64, n)
+		for v := 0; v < n; v++ {
+			bu[v] = op.Combine(c.pbu[v], abu[v])
+		}
+	}
+	if wantTD {
+		td = make([]int64, n)
+		for v := 0; v < n; v++ {
+			td[v] = op.Combine(atd[v], vals[v])
+		}
+	}
+	return bu, td, c.stats
+}
+
+// infoPhase charges the messages of one parent-to-children notification
+// over the supervertex tree: every supervertex delivers O(1) words to
+// each child via binary splitting of its child list (the local-messaging
+// discipline of Theorem 3, O(log deg) depth). All supervertices notify
+// simultaneously, so the sends are issued in waves — wave k across all
+// supervertices forms one oblivious batch; only the forwarding within a
+// child list creates genuine dependencies. The information itself
+// (branching bit, coin) is read from shared state.
+func (c *contraction) infoPhase(svs []int) {
+	type task struct {
+		sender int
+		list   []int
+	}
+	cur := make([]task, 0, len(svs))
+	for _, u := range svs {
+		if len(c.children[u]) > 0 {
+			cur = append(cur, task{u, c.children[u]})
+		}
+	}
+	var pairs [][2]int
+	for len(cur) > 0 {
+		pairs = pairs[:0]
+		next := cur[:0:0]
+		for _, tk := range cur {
+			l := tk.list
+			pairs = append(pairs, [2]int{c.rank[tk.sender], c.rank[l[0]]})
+			if len(l) > 1 {
+				m := len(l) / 2
+				pairs = append(pairs, [2]int{c.rank[tk.sender], c.rank[l[m]]})
+				if m > 1 {
+					next = append(next, task{l[0], l[1:m]})
+				}
+				if m+1 < len(l) {
+					next = append(next, task{l[m], l[m+1:]})
+				}
+			}
+		}
+		c.s.SendBatch(pairs)
+		cur = next
+	}
+}
+
+// splitCast charges a binary fan-out from u over list.
+func (c *contraction) splitCast(u int, list []int) {
+	if len(list) == 0 {
+		return
+	}
+	c.s.Send(c.rank[u], c.rank[list[0]])
+	if len(list) > 1 {
+		m := len(list) / 2
+		if m == 0 {
+			m = 1
+		}
+		c.s.Send(c.rank[u], c.rank[list[m]])
+		c.splitCast(list[0], list[1:m])
+		c.splitCast(list[m], list[m+1:])
+	}
+}
+
+// splitReduce charges a binary fan-in from list into u and returns the
+// op-fold of get over the list.
+func (c *contraction) splitReduce(u int, list []int, get func(v int) int64) int64 {
+	if len(list) == 0 {
+		return c.op.Identity
+	}
+	var rec func(owner int, l []int) int64
+	rec = func(owner int, l []int) int64 {
+		acc := get(l[0])
+		if len(l) > 1 {
+			m := len(l) / 2
+			if m == 0 {
+				m = 1
+			}
+			if m > 1 {
+				acc = c.op.Combine(acc, rec(l[0], l[1:m]))
+			}
+			sub := get(l[m])
+			if m+1 < len(l) {
+				sub = c.op.Combine(sub, rec(l[m], l[m+1:]))
+			}
+			c.s.Send(c.rank[l[m]], c.rank[l[0]])
+			acc = c.op.Combine(acc, sub)
+		}
+		c.s.Send(c.rank[l[0]], c.rank[owner])
+		return acc
+	}
+	return rec(u, list)
+}
+
+// contract runs COMPACT rounds until one supervertex remains.
+func (c *contraction) contract(r *rng.RNG) {
+	n := c.t.N()
+	activeList := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		activeList = append(activeList, v)
+	}
+	coin := make([]bool, n)
+	for len(activeList) > 1 {
+		c.stats.Rounds++
+		round := int32(c.stats.Rounds)
+		var deactivated []int
+
+		// Step 1+2 of COMPACT: coins and branching notification.
+		for _, v := range activeList {
+			coin[v] = r.Bool()
+		}
+		c.infoPhase(activeList)
+
+		// Step 3: compress the random-mate independent set.
+		for _, v := range activeList {
+			u := c.svp[v]
+			if u == -1 || len(c.children[v]) != 1 {
+				continue
+			}
+			if len(c.children[u]) != 1 {
+				continue // parent branching
+			}
+			if !coin[v] || coin[u] {
+				continue
+			}
+			w := c.children[v][0]
+			// v ships its partial sums up; u ships its pre-merge sums
+			// down for v's undo record; v points w at its new parent.
+			c.s.SendBatch([][2]int{
+				{c.rank[v], c.rank[u]},
+				{c.rank[u], c.rank[v]},
+				{c.rank[v], c.rank[w]},
+			})
+			c.undo[v] = undoRecord{kind: undoCompress, round: round, u: int32(u), pbuU: c.pbu[u], ptdU: c.ptd[u]}
+			c.pbu[u] = c.op.Combine(c.pbu[u], c.pbu[v])
+			c.ptd[u] = c.op.Combine(c.ptd[u], c.ptd[v])
+			c.children[u][0] = w
+			c.svp[w] = u
+			c.active[v] = false
+			deactivated = append(deactivated, v)
+			c.stats.CompressOps++
+		}
+
+		// Step 4: refresh leaf knowledge (second notification phase).
+		live := activeList[:0]
+		for _, v := range activeList {
+			if c.active[v] {
+				live = append(live, v)
+			}
+		}
+		activeList = live
+		c.infoPhase(activeList)
+
+		// Step 5: rake. u may rake all its leaf children when at most
+		// one non-leaf child remains.
+		for _, u := range activeList {
+			if !c.active[u] || len(c.children[u]) == 0 {
+				continue
+			}
+			var leaves, rest []int
+			for _, v := range c.children[u] {
+				if len(c.children[v]) == 0 {
+					leaves = append(leaves, v)
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			if len(leaves) == 0 || len(rest) > 1 {
+				continue
+			}
+			// Leaves fold their P into u (local reduce, Section V-A.2).
+			sum := c.splitReduce(u, leaves, func(v int) int64 { return c.pbu[v] })
+			preBU, preTD := c.pbu[u], c.ptd[u]
+			c.pbu[u] = c.op.Combine(c.pbu[u], sum)
+			// Top-down P is the spine fold; rakes do not extend the
+			// spine, so ptd[u] is untouched.
+			for _, v := range leaves {
+				c.undo[v] = undoRecord{kind: undoRake, round: round, u: int32(u), pbuU: preBU, ptdU: preTD}
+				c.active[v] = false
+				deactivated = append(deactivated, v)
+			}
+			c.children[u] = rest
+			c.stats.RakeOps++
+			c.stats.RakedLeaves += len(leaves)
+		}
+		live = activeList[:0]
+		for _, v := range activeList {
+			if c.active[v] {
+				live = append(live, v)
+			}
+		}
+		activeList = live
+		c.rounds = append(c.rounds, deactivated)
+	}
+}
+
+// uncontract replays the contraction backwards, maintaining the paper's
+// invariants: for bottom-up, sum(u) = P_u ⊕ A_u where A_u folds the
+// values below u's current supervertex; for top-down, sum'(u) =
+// A'_u ⊕ val(u) where A'_u folds the values strictly above u's
+// supervertex spine.
+func (c *contraction) uncontract() (abu, atd []int64) {
+	n := c.t.N()
+	abu = make([]int64, n)
+	atd = make([]int64, n)
+	for v := 0; v < n; v++ {
+		abu[v] = c.op.Identity
+		atd[v] = c.op.Identity
+	}
+	for round := len(c.rounds) - 1; round >= 0; round-- {
+		batch := c.rounds[round]
+		// Undo rakes first (they were applied after the compresses in
+		// the forward round), then compresses. Group raked leaves by
+		// parent so each group is undone with one broadcast + one
+		// reduce over the group (O(log k) depth, as in the forward
+		// direction).
+		groupOf := make(map[int][]int)
+		var rakeParents []int
+		var compresses []int
+		for _, v := range batch {
+			rec := &c.undo[v]
+			if rec.kind == undoRake {
+				u := int(rec.u)
+				if len(groupOf[u]) == 0 {
+					rakeParents = append(rakeParents, u)
+				}
+				groupOf[u] = append(groupOf[u], v)
+			} else {
+				compresses = append(compresses, v)
+			}
+		}
+		for _, u := range rakeParents {
+			leaves := groupOf[u]
+			// u rebroadcasts its A' and spine fold to the raked leaves
+			// (paper: a local broadcast omitting the kept child), and
+			// the group refolds its retained P values back into A_u —
+			// avoiding inverses, as the leaves kept their P.
+			c.splitCast(u, leaves)
+			for _, v := range leaves {
+				atd[v] = c.op.Combine(atd[u], c.ptd[u])
+			}
+			sum := c.splitReduce(u, leaves, func(v int) int64 { return c.pbu[v] })
+			abu[u] = c.op.Combine(abu[u], sum)
+			c.pbu[u] = c.undo[leaves[0]].pbuU
+		}
+		for i := len(compresses) - 1; i >= 0; i-- {
+			v := compresses[i]
+			rec := &c.undo[v]
+			u := int(rec.u)
+			c.s.SendBatch([][2]int{{c.rank[u], c.rank[v]}, {c.rank[v], c.rank[u]}})
+			abu[v] = abu[u]
+			abu[u] = c.op.Combine(abu[u], c.pbu[v])
+			atd[v] = c.op.Combine(atd[u], rec.ptdU)
+			c.pbu[u] = rec.pbuU
+			c.ptd[u] = rec.ptdU
+		}
+	}
+	return abu, atd
+}

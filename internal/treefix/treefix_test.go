@@ -1,0 +1,366 @@
+package treefix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func testTrees(r *rng.RNG) []*tree.Tree {
+	return []*tree.Tree{
+		tree.Path(1),
+		tree.Path(2),
+		tree.Path(30),
+		tree.Star(40),
+		tree.PerfectBinary(6),
+		tree.PerfectKAry(4, 4),
+		tree.Caterpillar(33),
+		tree.Broom(28),
+		tree.Comb(6, 5),
+		tree.RandomAttachment(300, r),
+		tree.PreferentialAttachment(250, r),
+		tree.RandomBoundedDegree(200, 2, r),
+		tree.Yule(80, r),
+		tree.DecisionTree(500, 5, r),
+	}
+}
+
+func randomVals(n int, r *rng.RNG) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(2000)) - 1000
+	}
+	return vals
+}
+
+func lfRanks(t *tree.Tree) []int { return order.LightFirst(t).Rank }
+
+func TestSequentialBottomUpKnown(t *testing.T) {
+	tr := tree.MustFromParents([]int{-1, 0, 0, 1, 1, 2})
+	vals := []int64{1, 2, 3, 4, 5, 6}
+	got := SequentialBottomUp(tr, vals, Add)
+	want := []int64{21, 11, 9, 4, 5, 6}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("bu[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSequentialTopDownKnown(t *testing.T) {
+	tr := tree.MustFromParents([]int{-1, 0, 0, 1, 1, 2})
+	vals := []int64{1, 2, 3, 4, 5, 6}
+	got := SequentialTopDown(tr, vals, Add)
+	want := []int64{1, 3, 4, 7, 8, 10}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("td[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSpatialMatchesSequentialAdd(t *testing.T) {
+	r := rng.New(1)
+	for _, tr := range testTrees(r) {
+		vals := randomVals(tr.N(), r)
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		bu, td, st := Both(s, tr, lfRanks(tr), vals, Add, rng.New(uint64(tr.N())))
+		wantBU := SequentialBottomUp(tr, vals, Add)
+		wantTD := SequentialTopDown(tr, vals, Add)
+		for v := 0; v < tr.N(); v++ {
+			if bu[v] != wantBU[v] {
+				t.Fatalf("n=%d: bu[%d] = %d, want %d (stats %+v)", tr.N(), v, bu[v], wantBU[v], st)
+			}
+			if td[v] != wantTD[v] {
+				t.Fatalf("n=%d: td[%d] = %d, want %d (stats %+v)", tr.N(), v, td[v], wantTD[v], st)
+			}
+		}
+	}
+}
+
+func TestSpatialMatchesSequentialMaxXor(t *testing.T) {
+	r := rng.New(2)
+	for _, op := range []Op{Max, Min, Xor} {
+		for _, tr := range testTrees(r) {
+			vals := randomVals(tr.N(), r)
+			s := machine.New(tr.N(), sfc.Hilbert{})
+			bu, td, _ := Both(s, tr, lfRanks(tr), vals, op, rng.New(7))
+			wantBU := SequentialBottomUp(tr, vals, op)
+			wantTD := SequentialTopDown(tr, vals, op)
+			for v := 0; v < tr.N(); v++ {
+				if bu[v] != wantBU[v] {
+					t.Fatalf("op=%s n=%d: bu[%d] = %d, want %d", op.Name, tr.N(), v, bu[v], wantBU[v])
+				}
+				if td[v] != wantTD[v] {
+					t.Fatalf("op=%s n=%d: td[%d] = %d, want %d", op.Name, tr.N(), v, td[v], wantTD[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSpatialManySeeds(t *testing.T) {
+	// Las Vegas: every coin stream yields correct results.
+	r := rng.New(3)
+	tr := tree.PreferentialAttachment(400, r)
+	vals := randomVals(tr.N(), r)
+	wantBU := SequentialBottomUp(tr, vals, Add)
+	for seed := uint64(0); seed < 12; seed++ {
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		bu, st := BottomUp(s, tr, lfRanks(tr), vals, Add, rng.New(seed))
+		for v := range wantBU {
+			if bu[v] != wantBU[v] {
+				t.Fatalf("seed %d: bu[%d] = %d, want %d (stats %+v)", seed, v, bu[v], wantBU[v], st)
+			}
+		}
+	}
+}
+
+func TestSpatialQuick(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := 1 + int(rawN)%300
+		r := rng.New(seed)
+		tr := tree.PreferentialAttachment(n, r)
+		vals := randomVals(n, r)
+		s := machine.New(n, sfc.Hilbert{})
+		bu, td, _ := Both(s, tr, lfRanks(tr), vals, Add, r)
+		wantBU := SequentialBottomUp(tr, vals, Add)
+		wantTD := SequentialTopDown(tr, vals, Add)
+		for v := 0; v < n; v++ {
+			if bu[v] != wantBU[v] || td[v] != wantTD[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtreeSizesViaTreefix(t *testing.T) {
+	// The LCA algorithm's first step: treefix with all-ones values gives
+	// subtree sizes.
+	r := rng.New(4)
+	tr := tree.RandomAttachment(200, r)
+	ones := make([]int64, tr.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	bu, _ := BottomUp(s, tr, lfRanks(tr), ones, Add, r)
+	sizes := tr.SubtreeSizes()
+	for v := range sizes {
+		if bu[v] != int64(sizes[v]) {
+			t.Fatalf("size[%d] = %d, want %d", v, bu[v], sizes[v])
+		}
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	// Lemma 11: O(log n) COMPACT rounds w.h.p.
+	for _, bits := range []int{10, 12, 14} {
+		n := 1 << bits
+		tr := tree.RandomBoundedDegree(n, 2, rng.New(uint64(bits)))
+		s := machine.New(n, sfc.Hilbert{})
+		_, st := BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(5))
+		if st.Rounds > 6*bits {
+			t.Errorf("n=2^%d: %d rounds, want O(log n)", bits, st.Rounds)
+		}
+	}
+}
+
+func TestPathNeedsCompress(t *testing.T) {
+	// A path cannot be contracted by rakes alone: compress must fire.
+	n := 1 << 10
+	tr := tree.Path(n)
+	s := machine.New(n, sfc.Hilbert{})
+	_, st := BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(6))
+	if st.CompressOps < n/4 {
+		t.Errorf("path: only %d compress ops for n=%d", st.CompressOps, n)
+	}
+}
+
+func TestStarRakesInOneRound(t *testing.T) {
+	n := 1 << 10
+	tr := tree.Star(n)
+	s := machine.New(n, sfc.Hilbert{})
+	_, st := BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(7))
+	if st.Rounds != 1 || st.RakeOps != 1 || st.RakedLeaves != n-1 {
+		t.Errorf("star stats = %+v, want 1 round / 1 rake / %d leaves", st, n-1)
+	}
+}
+
+func TestLemma11EnergyNearLinear(t *testing.T) {
+	// Energy O(n log n) on light-first placements: the log-log slope of
+	// energy vs n should be close to 1 (allowing the log factor).
+	var ns, es []float64
+	for _, bits := range []int{10, 12, 14} {
+		n := 1 << bits
+		tr := tree.RandomBoundedDegree(n, 2, rng.New(uint64(bits)))
+		s := machine.New(n, sfc.Hilbert{})
+		BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(8))
+		ns = append(ns, float64(n))
+		es = append(es, float64(s.Energy()))
+	}
+	slope := logLogSlope(ns, es)
+	if slope > 1.3 {
+		t.Errorf("treefix energy exponent %.3f, want about 1 (near-linear)", slope)
+	}
+}
+
+func TestLemma11DepthBoundedDegree(t *testing.T) {
+	// O(log n) depth for bounded-degree trees.
+	for _, bits := range []int{10, 13} {
+		n := 1 << bits
+		tr := tree.RandomBoundedDegree(n, 2, rng.New(uint64(bits)))
+		s := machine.New(n, sfc.Hilbert{})
+		BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(9))
+		if d := s.Depth(); d > int64(40*bits) {
+			t.Errorf("n=2^%d: depth %d above O(log n) envelope", bits, d)
+		}
+	}
+}
+
+func TestPathDepthLogarithmic(t *testing.T) {
+	// Regression: the per-round notification phase must not thread a
+	// dependency chain down the path (all supervertices notify
+	// simultaneously). A path's treefix depth is O(log n), not Θ(n).
+	for _, bits := range []int{10, 12} {
+		n := 1 << bits
+		tr := tree.Path(n)
+		s := machine.New(n, sfc.Hilbert{})
+		BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(3))
+		if d := s.Depth(); d > int64(30*bits) {
+			t.Errorf("path n=2^%d: depth %d, want O(log n)", bits, d)
+		}
+	}
+}
+
+func TestLemma12DepthUnbounded(t *testing.T) {
+	// O(log² n) depth for unbounded degree.
+	n := 1 << 13
+	tr := tree.PreferentialAttachment(n, rng.New(11))
+	s := machine.New(n, sfc.Hilbert{})
+	BottomUp(s, tr, lfRanks(tr), make([]int64, n), Add, rng.New(12))
+	if d := float64(s.Depth()); d > 15*13*13 {
+		t.Errorf("unbounded-degree treefix depth %.0f above O(log² n) envelope", d)
+	}
+}
+
+func TestScatterPlacementCostsMore(t *testing.T) {
+	// The same algorithm on a scattered placement must burn far more
+	// energy — the reason the layout matters.
+	n := 1 << 12
+	tr := tree.RandomBoundedDegree(n, 2, rng.New(13))
+	vals := make([]int64, n)
+
+	lf := machine.New(n, sfc.Hilbert{})
+	BottomUp(lf, tr, lfRanks(tr), vals, Add, rng.New(14))
+
+	sc := machine.New(n, sfc.Scatter{})
+	BottomUp(sc, tr, lfRanks(tr), vals, Add, rng.New(14))
+
+	if sc.Energy() < 4*lf.Energy() {
+		t.Errorf("scatter energy %d not clearly above light-first %d", sc.Energy(), lf.Energy())
+	}
+}
+
+func TestEngineMatchesSequential(t *testing.T) {
+	r := rng.New(15)
+	for _, tr := range testTrees(r) {
+		vals := randomVals(tr.N(), r)
+		for _, workers := range []int{1, 4} {
+			e := NewEngine(tr, workers)
+			bu := e.BottomUpSum(vals)
+			td := e.TopDownSum(vals)
+			wantBU := SequentialBottomUp(tr, vals, Add)
+			wantTD := SequentialTopDown(tr, vals, Add)
+			for v := 0; v < tr.N(); v++ {
+				if bu[v] != wantBU[v] {
+					t.Fatalf("w=%d n=%d: engine bu[%d] = %d, want %d", workers, tr.N(), v, bu[v], wantBU[v])
+				}
+				if td[v] != wantTD[v] {
+					t.Fatalf("w=%d n=%d: engine td[%d] = %d, want %d", workers, tr.N(), v, td[v], wantTD[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineQuick(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := 1 + int(rawN)%500
+		r := rng.New(seed)
+		tr := tree.RandomAttachment(n, r)
+		vals := randomVals(n, r)
+		e := NewEngine(tr, 4)
+		bu := e.BottomUpSum(vals)
+		want := SequentialBottomUp(tr, vals, Add)
+		for v := 0; v < n; v++ {
+			if bu[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for _, name := range []string{"add", "max", "min", "xor"} {
+		op, err := OpByName(name)
+		if err != nil || op.Name != name {
+			t.Fatalf("OpByName(%q) = %v, %v", name, op.Name, err)
+		}
+	}
+	if _, err := OpByName("mul"); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+}
+
+func TestOpsAlgebra(t *testing.T) {
+	for _, op := range []Op{Add, Max, Min, Xor} {
+		vals := []int64{5, -3, 7, 0, 7}
+		for _, v := range vals {
+			if op.Combine(op.Identity, v) != v {
+				t.Errorf("%s: identity law broken for %d", op.Name, v)
+			}
+			for _, w := range vals {
+				if op.Combine(v, w) != op.Combine(w, v) {
+					t.Errorf("%s: not commutative on (%d,%d)", op.Name, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	empty := tree.MustFromParents(nil)
+	s := machine.New(1, sfc.Hilbert{})
+	bu, st := BottomUp(s, empty, nil, nil, Add, rng.New(1))
+	if bu != nil || st.Rounds != 0 {
+		t.Fatal("empty tree should be a no-op")
+	}
+}
+
+func logLogSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,248 @@
+// Package vtree implements the paper's unbounded-degree machinery
+// (Section III-D): processors have O(1) memory, so a vertex with many
+// children cannot even store its child list, let alone message every
+// child directly (fan-out serializes). The TRANSFORM procedure
+// conceptually rewires an unbounded-degree tree T into a binary virtual
+// tree T̂ of degree at most 4 — every vertex keeps at most two "current"
+// children and at most two "appended" children (siblings adopted from
+// its parent's child list) — without moving any vertex (Lemma 8: if T is
+// light-first, T̂ is still light-first).
+//
+// On T̂ the two local messaging operations the tree algorithms need run
+// in O(n) energy and O(log n) depth (Theorem 3):
+//
+//   - local broadcast: every vertex delivers one message to all its real
+//     children (each child receives its parent's message);
+//   - local reduce: every vertex receives the op-fold of its real
+//     children's messages.
+package vtree
+
+import (
+	"spatialtree/internal/machine"
+	"spatialtree/internal/tree"
+)
+
+// none marks an empty virtual child slot.
+const none int32 = -1
+
+// VTree is the binary virtual tree T̂ over a rooted tree T.
+type VTree struct {
+	t *tree.Tree
+	// cur and app are the ≤2 current and ≤2 appended virtual children
+	// per vertex — the O(1) per-processor state.
+	cur, app [][2]int32
+	// wave[v] is the app-chain depth of v: 0 if v receives its parent's
+	// message directly over a cur edge (or is the root), otherwise one
+	// more than its virtual parent's wave. Messages propagate in waves;
+	// the number of waves is O(log ∆).
+	wave []int32
+	// maxWave is the largest wave index.
+	maxWave int32
+}
+
+// Build constructs T̂ from the given per-vertex child lists (usually the
+// light-first, size-ascending lists; Lemma 8's order preservation assumes
+// size-sorted lists). childOrder[v] must be a permutation of
+// t.Children(v).
+func Build(t *tree.Tree, childOrder [][]int) *VTree {
+	n := t.N()
+	vt := &VTree{
+		t:    t,
+		cur:  make([][2]int32, n),
+		app:  make([][2]int32, n),
+		wave: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		vt.cur[v] = [2]int32{none, none}
+		vt.app[v] = [2]int32{none, none}
+	}
+
+	// splitTask assigns the heads of a sibling list to an owner's slot
+	// and queues the sub-lists for the heads.
+	type task struct {
+		owner int
+		list  []int
+		isApp bool
+	}
+	var queue []task
+	for v := 0; v < n; v++ {
+		var list []int
+		if childOrder != nil {
+			list = childOrder[v]
+		} else {
+			list = t.Children(v)
+		}
+		if len(list) > 0 {
+			queue = append(queue, task{owner: v, list: list, isApp: false})
+		}
+	}
+	for len(queue) > 0 {
+		tk := queue[0]
+		queue = queue[1:]
+		d := len(tk.list)
+		if d == 0 {
+			continue
+		}
+		m := d / 2
+		first := tk.list[0]
+		slot := &vt.cur[tk.owner]
+		if tk.isApp {
+			slot = &vt.app[tk.owner]
+		}
+		slot[0] = int32(first)
+		vt.assignWave(first, tk.owner, tk.isApp)
+		if d > 1 {
+			second := tk.list[m]
+			slot[1] = int32(second)
+			vt.assignWave(second, tk.owner, tk.isApp)
+			if m > 1 {
+				queue = append(queue, task{owner: first, list: tk.list[1:m], isApp: true})
+			}
+			if m+1 < d {
+				queue = append(queue, task{owner: second, list: tk.list[m+1:], isApp: true})
+			}
+		}
+	}
+	return vt
+}
+
+// assignWave sets the propagation wave of child given its virtual parent
+// owner: cur children receive in wave 0, app children one wave after
+// their owner.
+func (vt *VTree) assignWave(child, owner int, isApp bool) {
+	if !isApp {
+		vt.wave[child] = 0
+		return
+	}
+	vt.wave[child] = vt.wave[owner] + 1
+	if vt.wave[child] > vt.maxWave {
+		vt.maxWave = vt.wave[child]
+	}
+}
+
+// Tree returns the underlying real tree.
+func (vt *VTree) Tree() *tree.Tree { return vt.t }
+
+// Cur returns the current virtual children of v (0-2 entries).
+func (vt *VTree) Cur(v int) []int { return slotSlice(vt.cur[v]) }
+
+// App returns the appended virtual children of v (0-2 entries).
+func (vt *VTree) App(v int) []int { return slotSlice(vt.app[v]) }
+
+func slotSlice(s [2]int32) []int {
+	out := make([]int, 0, 2)
+	for _, c := range s {
+		if c != none {
+			out = append(out, int(c))
+		}
+	}
+	return out
+}
+
+// VirtualDegree returns the number of virtual children of v.
+func (vt *VTree) VirtualDegree(v int) int {
+	return len(vt.Cur(v)) + len(vt.App(v))
+}
+
+// MaxVirtualDegree returns the largest virtual child count; the
+// transform guarantees it is at most 4.
+func (vt *VTree) MaxVirtualDegree() int {
+	max := 0
+	for v := 0; v < vt.t.N(); v++ {
+		if d := vt.VirtualDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Waves returns the number of propagation waves (O(log ∆)).
+func (vt *VTree) Waves() int { return int(vt.maxWave) + 1 }
+
+// appEdgesByWave groups appended edges (owner -> child) by the child's
+// wave, 1-based.
+func (vt *VTree) appEdgesByWave() [][][2]int {
+	waves := make([][][2]int, vt.maxWave+1)
+	for v := 0; v < vt.t.N(); v++ {
+		for _, a := range vt.App(v) {
+			w := vt.wave[a]
+			waves[w-1] = append(waves[w-1], [2]int{v, a})
+		}
+	}
+	return waves
+}
+
+// LocalBroadcast performs the paper's local broadcast on T̂: every vertex
+// v conceptually sends vals[v] to all its real children; the returned
+// slice holds, for every non-root vertex, its real parent's value
+// (received[root] = vals[root]). rank maps vertices to processor ranks.
+//
+// Wave 0 delivers over all cur edges simultaneously; wave k forwards over
+// appended edges whose child is at app-chain depth k. On a light-first
+// placement this costs O(n) energy and O(log n) depth (Theorem 3).
+func LocalBroadcast(s *machine.Sim, vt *VTree, rank []int, vals []int64) []int64 {
+	n := vt.t.N()
+	received := make([]int64, n)
+	if n == 0 {
+		return received
+	}
+	received[vt.t.Root()] = vals[vt.t.Root()]
+	// Wave 0: cur edges carry the sender's own value.
+	pairs := make([][2]int, 0, n)
+	for v := 0; v < n; v++ {
+		for _, c := range vt.Cur(v) {
+			pairs = append(pairs, [2]int{rank[v], rank[c]})
+			received[c] = vals[v]
+		}
+	}
+	s.SendBatch(pairs)
+	// Waves 1..: appended edges forward the value the owner received
+	// (the owner's real parent is the child's real parent too).
+	for _, edges := range vt.appEdgesByWave() {
+		pairs = pairs[:0]
+		for _, e := range edges {
+			pairs = append(pairs, [2]int{rank[e[0]], rank[e[1]]})
+			received[e[1]] = received[e[0]]
+		}
+		s.SendBatch(pairs)
+	}
+	return received
+}
+
+// LocalReduce performs the paper's local reduce on T̂: every vertex
+// receives op folded over its real children's vals (id for leaves).
+// Appended children fold into their owners innermost-wave first; finally
+// the cur children deliver to the real parent. Costs O(n) energy and
+// O(log n) depth on a light-first placement (Theorem 3).
+func LocalReduce(s *machine.Sim, vt *VTree, rank []int, vals []int64, id int64, op func(a, b int64) int64) []int64 {
+	n := vt.t.N()
+	result := make([]int64, n)
+	for v := range result {
+		result[v] = id
+	}
+	if n == 0 {
+		return result
+	}
+	// acc[v] = vals[v] folded with the accumulators of v's appended
+	// children (v's adopted sibling group).
+	acc := append([]int64(nil), vals...)
+	waves := vt.appEdgesByWave()
+	pairs := make([][2]int, 0, n)
+	for w := len(waves) - 1; w >= 0; w-- {
+		pairs = pairs[:0]
+		for _, e := range waves[w] {
+			pairs = append(pairs, [2]int{rank[e[1]], rank[e[0]]})
+			acc[e[0]] = op(acc[e[0]], acc[e[1]])
+		}
+		s.SendBatch(pairs)
+	}
+	pairs = pairs[:0]
+	for v := 0; v < n; v++ {
+		for _, c := range vt.Cur(v) {
+			pairs = append(pairs, [2]int{rank[c], rank[v]})
+			result[v] = op(result[v], acc[c])
+		}
+	}
+	s.SendBatch(pairs)
+	return result
+}

@@ -1,0 +1,268 @@
+package vtree
+
+import (
+	"testing"
+
+	"spatialtree/internal/eulertour"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+func lightFirstRanks(t *tree.Tree) []int {
+	return order.LightFirst(t).Rank
+}
+
+func buildLF(t *tree.Tree) *VTree {
+	return Build(t, eulertour.SortedChildrenBySize(t, t.SubtreeSizes()))
+}
+
+func testTrees(r *rng.RNG) []*tree.Tree {
+	return []*tree.Tree{
+		tree.Path(20),
+		tree.Star(50),
+		tree.PerfectBinary(5),
+		tree.PerfectKAry(5, 3),
+		tree.Caterpillar(21),
+		tree.Broom(30),
+		tree.RandomAttachment(200, r),
+		tree.PreferentialAttachment(200, r),
+		tree.Yule(60, r),
+	}
+}
+
+func TestVirtualDegreeAtMostFour(t *testing.T) {
+	r := rng.New(1)
+	for _, tr := range testTrees(r) {
+		vt := buildLF(tr)
+		if d := vt.MaxVirtualDegree(); d > 4 {
+			t.Errorf("n=%d: virtual degree %d > 4", tr.N(), d)
+		}
+	}
+}
+
+func TestVirtualTreeSpansAllVertices(t *testing.T) {
+	// Every non-root vertex must have exactly one virtual parent.
+	r := rng.New(2)
+	for _, tr := range testTrees(r) {
+		vt := buildLF(tr)
+		vparent := make([]int, tr.N())
+		for i := range vparent {
+			vparent[i] = -1
+		}
+		for v := 0; v < tr.N(); v++ {
+			for _, c := range append(vt.Cur(v), vt.App(v)...) {
+				if vparent[c] != -1 {
+					t.Fatalf("n=%d: vertex %d has two virtual parents (%d, %d)",
+						tr.N(), c, vparent[c], v)
+				}
+				vparent[c] = v
+			}
+		}
+		for v := 0; v < tr.N(); v++ {
+			if v != tr.Root() && vparent[v] == -1 {
+				t.Fatalf("n=%d: vertex %d unreachable in T̂", tr.N(), v)
+			}
+		}
+		if vparent[tr.Root()] != -1 {
+			t.Fatalf("n=%d: root has a virtual parent", tr.N())
+		}
+	}
+}
+
+func TestAppendedChildrenAreSiblings(t *testing.T) {
+	// An appended child of x must be a real sibling of x (same real
+	// parent) — the invariant that makes forwarding correct.
+	r := rng.New(3)
+	for _, tr := range testTrees(r) {
+		vt := buildLF(tr)
+		for v := 0; v < tr.N(); v++ {
+			for _, a := range vt.App(v) {
+				if tr.Parent(a) != tr.Parent(v) {
+					t.Fatalf("n=%d: appended child %d of %d is not a sibling", tr.N(), a, v)
+				}
+			}
+			for _, c := range vt.Cur(v) {
+				if tr.Parent(c) != v {
+					t.Fatalf("n=%d: cur child %d of %d is not a real child", tr.N(), c, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWavesLogarithmic(t *testing.T) {
+	star := tree.Star(1 << 12)
+	vt := buildLF(star)
+	if w := vt.Waves(); w > 14 {
+		t.Errorf("star 2^12: %d waves, want about log2(n)", w)
+	}
+	if w := buildLF(tree.Path(1 << 12)).Waves(); w > 2 {
+		t.Errorf("path: %d waves, want 1", w)
+	}
+}
+
+func TestLocalBroadcastDeliversParentValues(t *testing.T) {
+	r := rng.New(4)
+	for _, tr := range testTrees(r) {
+		vt := buildLF(tr)
+		rank := lightFirstRanks(tr)
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		vals := make([]int64, tr.N())
+		for v := range vals {
+			vals[v] = int64(v * 31)
+		}
+		got := LocalBroadcast(s, vt, rank, vals)
+		for v := 0; v < tr.N(); v++ {
+			want := vals[v]
+			if p := tr.Parent(v); p != -1 {
+				want = vals[p]
+			}
+			if got[v] != want {
+				t.Fatalf("n=%d: received[%d] = %d, want %d", tr.N(), v, got[v], want)
+			}
+		}
+	}
+}
+
+func TestLocalReduceFoldsChildren(t *testing.T) {
+	r := rng.New(5)
+	add := func(a, b int64) int64 { return a + b }
+	for _, tr := range testTrees(r) {
+		vt := buildLF(tr)
+		rank := lightFirstRanks(tr)
+		s := machine.New(tr.N(), sfc.Hilbert{})
+		vals := make([]int64, tr.N())
+		for v := range vals {
+			vals[v] = int64(v + 1)
+		}
+		got := LocalReduce(s, vt, rank, vals, 0, add)
+		for v := 0; v < tr.N(); v++ {
+			var want int64
+			for _, c := range tr.Children(v) {
+				want += vals[c]
+			}
+			if got[v] != want {
+				t.Fatalf("n=%d: reduce[%d] = %d, want %d", tr.N(), v, got[v], want)
+			}
+		}
+	}
+}
+
+func TestLocalReduceMax(t *testing.T) {
+	tr := tree.Star(100)
+	vt := buildLF(tr)
+	rank := lightFirstRanks(tr)
+	s := machine.New(tr.N(), sfc.Hilbert{})
+	vals := make([]int64, tr.N())
+	for v := range vals {
+		vals[v] = int64((v * 37) % 101)
+	}
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	got := LocalReduce(s, vt, rank, vals, -1<<62, maxOp)
+	var want int64 = -1 << 62
+	for v := 1; v < tr.N(); v++ {
+		want = maxOp(want, vals[v])
+	}
+	if got[0] != want {
+		t.Fatalf("star max reduce = %d, want %d", got[0], want)
+	}
+}
+
+func TestTheorem3StarDepthLogarithmic(t *testing.T) {
+	// Star broadcast through T̂: depth O(log n), versus Θ(n) for naive
+	// direct fan-out.
+	n := 1 << 12
+	star := tree.Star(n)
+	vt := buildLF(star)
+	rank := lightFirstRanks(star)
+	s := machine.New(n, sfc.Hilbert{})
+	LocalBroadcast(s, vt, rank, make([]int64, n))
+	if d := s.Depth(); d > 4*12 {
+		t.Errorf("star local broadcast depth %d, want O(log n = 12)", d)
+	}
+	// Naive direct fan-out for contrast.
+	naive := machine.New(n, sfc.Hilbert{})
+	for c := 1; c < n; c++ {
+		naive.Send(rank[0], rank[c])
+	}
+	if naive.Depth() < int64(n-1) {
+		t.Errorf("naive fan-out depth %d, expected Θ(n)", naive.Depth())
+	}
+}
+
+func TestTheorem3EnergyLinear(t *testing.T) {
+	// Per-vertex local-broadcast energy must stay bounded as n grows
+	// (tested on unbounded-degree preferential trees in light-first
+	// placement).
+	perVertex := func(bits int) float64 {
+		n := 1 << bits
+		tr := tree.PreferentialAttachment(n, rng.New(uint64(bits)))
+		vt := buildLF(tr)
+		rank := lightFirstRanks(tr)
+		s := machine.New(n, sfc.Hilbert{})
+		LocalBroadcast(s, vt, rank, make([]int64, n))
+		return float64(s.Energy()) / float64(n)
+	}
+	small, large := perVertex(10), perVertex(14)
+	if large > 2*small+2 {
+		t.Errorf("virtual-tree broadcast energy/vertex grew: %.2f -> %.2f", small, large)
+	}
+}
+
+func TestVirtualEdgesStayLocal(t *testing.T) {
+	// Lemma 8 consequence: virtual-tree edges on a light-first placement
+	// have O(n) total energy, like real edges (Theorem 1). Compare the
+	// virtual kernel against the real kernel within a constant factor.
+	n := 1 << 12
+	tr := tree.PreferentialAttachment(n, rng.New(7))
+	vt := buildLF(tr)
+	rank := lightFirstRanks(tr)
+	s := machine.New(n, sfc.Hilbert{})
+	LocalBroadcast(s, vt, rank, make([]int64, n))
+	virtual := s.Energy()
+
+	p := layout.LightFirst(tr, sfc.Hilbert{})
+	real := layout.ParentChildEnergy(p).Energy
+	if virtual > 4*real+int64(n) {
+		t.Errorf("virtual kernel energy %d far above real kernel %d", virtual, real)
+	}
+}
+
+func TestBuildWithNilChildOrder(t *testing.T) {
+	tr := tree.Star(10)
+	vt := Build(tr, nil) // CSR order
+	if vt.MaxVirtualDegree() > 4 {
+		t.Fatal("degree bound broken with CSR order")
+	}
+	s := machine.New(10, sfc.Hilbert{})
+	rank := lightFirstRanks(tr)
+	got := LocalBroadcast(s, vt, rank, []int64{5, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	for v := 1; v < 10; v++ {
+		if got[v] != 5 {
+			t.Fatalf("vertex %d missed broadcast", v)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	single := tree.Path(1)
+	vt := buildLF(single)
+	s := machine.New(1, sfc.Hilbert{})
+	got := LocalBroadcast(s, vt, []int{0}, []int64{42})
+	if got[0] != 42 {
+		t.Fatal("single-vertex broadcast")
+	}
+	red := LocalReduce(s, vt, []int{0}, []int64{42}, 0, func(a, b int64) int64 { return a + b })
+	if red[0] != 0 {
+		t.Fatal("single-vertex reduce should be identity")
+	}
+}

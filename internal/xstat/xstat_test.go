@@ -1,0 +1,87 @@
+package xstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("stddev of constant = %v", got)
+	}
+	if got := StdDev([]float64{0, 2}); got != 1 {
+		t.Errorf("stddev = %v", got)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = x^1.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{4, 16, 64, 256} {
+		xs = append(xs, x)
+		ys = append(ys, math.Pow(x, 1.5))
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("slope = %v, want 1.5", got)
+	}
+	if !math.IsNaN(LogLogSlope([]float64{1}, []float64{1})) {
+		t.Error("single point should be NaN")
+	}
+	if !math.IsNaN(LogLogSlope([]float64{1, -2}, []float64{1, 2})) {
+		t.Error("negative data should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"n", "energy"}}
+	tb.Add("16", "123")
+	tb.Add("1024", "9")
+	tb.Note("slope %.2f", 1.5)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "n", "energy", "1024", "note: slope 1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header width respects widest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %v", lines)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"a", "b"}}
+	tb.Add("1", "x,y")
+	tb.Note("hello")
+	out := tb.CSV()
+	for _, want := range []string{"# demo", "a,b", "1,\"x,y\"", "# hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	quoted := &Table{Header: []string{"q"}}
+	quoted.Add(`say "hi"`)
+	if !strings.Contains(quoted.CSV(), `"say ""hi"""`) {
+		t.Errorf("CSV quote escaping broken: %s", quoted.CSV())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F")
+	}
+	if I(42) != "42" {
+		t.Error("I int")
+	}
+	if I(int64(7)) != "7" {
+		t.Error("I int64")
+	}
+}

@@ -1,0 +1,280 @@
+// Package spatialtree is a Go implementation of the spatial tree
+// algorithms of Baumann, Ben-Nun, Besta, Gianinazzi, Hoefler and
+// Luczynski, "Low-Depth Spatial Tree Algorithms" (IPDPS 2024,
+// arXiv:2404.12953).
+//
+// The library targets the spatial computer model: a √n × √n grid of
+// processors with O(1) words of memory each, where a message costs
+// energy equal to the Manhattan distance it travels and the depth of a
+// computation is its longest chain of dependent messages. It provides:
+//
+//   - space-filling curves (Hilbert, Moore, Peano, Z/Morton, plus
+//     baselines) and the light-first tree order, whose composition is
+//     the paper's energy-bound tree layout (Theorems 1 and 2);
+//   - a spatial-computer simulator with exact energy/depth accounting
+//     and collectives built from real message patterns;
+//   - the layout-construction pipeline (Euler tours + random-mate list
+//     ranking, Theorems 4 and 5);
+//   - the virtual-tree transform for unbounded-degree trees (Theorem 3);
+//   - treefix sums (bottom-up and top-down, any commutative monoid) via
+//     rake/compress tree contraction (Lemmas 10-12);
+//   - batched lowest common ancestors via subtree covers (Theorem 6);
+//   - goroutine-parallel executors of the same operations for wall-clock
+//     use, and PRAM baselines for comparison.
+//
+// Quick start:
+//
+//	t := spatialtree.RandomTree(1<<16, 42)
+//	pl, _ := spatialtree.Layout(t, "hilbert")        // light-first layout
+//	sum := spatialtree.TreefixSum(t, pl, vals)        // subtree sums + costs
+//	fmt.Println(sum.Cost.Energy, sum.Cost.Depth)
+//
+// The cmd/spatialbench binary regenerates every experiment in
+// EXPERIMENTS.md; examples/ contains runnable end-to-end programs.
+package spatialtree
+
+import (
+	"fmt"
+
+	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/eulertour"
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/order"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// Tree is a rooted tree over vertices 0..N-1 (see NewTree).
+type Tree = tree.Tree
+
+// Curve is a space-filling curve mapping linear ranks to grid points.
+type Curve = sfc.Curve
+
+// Placement embeds an ordered tree on the processor grid.
+type Placement = layout.Placement
+
+// Cost is a simulator cost snapshot: total energy (distance-weighted
+// communication volume), message count, and depth (critical path).
+type Cost = machine.Cost
+
+// Query asks for the lowest common ancestor of U and V.
+type Query = lca.Query
+
+// Op is an associative (and, for bottom-up treefix, commutative)
+// operator with identity. Predefined: OpAdd, OpMax, OpMin, OpXor.
+type Op = treefix.Op
+
+// Predefined treefix operators.
+var (
+	OpAdd = treefix.Add
+	OpMax = treefix.Max
+	OpMin = treefix.Min
+	OpXor = treefix.Xor
+)
+
+// NewTree builds a tree from a parent array (parent[root] = -1) and
+// validates it.
+func NewTree(parents []int) (*Tree, error) { return tree.FromParents(parents) }
+
+// RandomTree returns a random recursive tree with n vertices
+// (deterministic per seed).
+func RandomTree(n int, seed uint64) *Tree {
+	return tree.RandomAttachment(n, rng.New(seed))
+}
+
+// RandomBinaryTree returns a random tree with at most two children per
+// vertex.
+func RandomBinaryTree(n int, seed uint64) *Tree {
+	return tree.RandomBoundedDegree(n, 2, rng.New(seed))
+}
+
+// PhylogeneticTree returns a Yule-process tree with the given number of
+// leaf taxa (2·leaves-1 vertices).
+func PhylogeneticTree(leaves int, seed uint64) *Tree {
+	return tree.Yule(leaves, rng.New(seed))
+}
+
+// Curves lists the available space-filling curves. The distance-bound
+// curves (hilbert, moore, peano) and the Z curve yield energy-bound
+// light-first layouts; snake, rowmajor and scatter are baselines.
+func Curves() []Curve { return sfc.Registry() }
+
+// CurveByName returns the named curve ("hilbert", "moore", "peano",
+// "zorder", "snake", "rowmajor", "scatter").
+func CurveByName(name string) (Curve, error) { return sfc.ByName(name) }
+
+// Layout computes the paper's layout: light-first order placed on the
+// named space-filling curve.
+func Layout(t *Tree, curveName string) (*Placement, error) {
+	c, err := sfc.ByName(curveName)
+	if err != nil {
+		return nil, err
+	}
+	return layout.LightFirst(t, c), nil
+}
+
+// LayoutWithOrder places t under an arbitrary named order
+// ("light-first", "heavy-first", "dfs", "bfs", "random", "identity") —
+// the baselines of the paper's Section III.
+func LayoutWithOrder(t *Tree, orderName, curveName string, seed uint64) (*Placement, error) {
+	c, err := sfc.ByName(curveName)
+	if err != nil {
+		return nil, err
+	}
+	o, ok := order.ByName(orderName, t, rng.New(seed))
+	if !ok {
+		return nil, fmt.Errorf("spatialtree: unknown order %q", orderName)
+	}
+	return layout.New(t, o, c), nil
+}
+
+// KernelEnergy measures the local messaging kernel on a placement:
+// every vertex sends one message to each child. Theorems 1 and 2 bound
+// its Energy by O(n) for light-first placements on the shipped curves.
+func KernelEnergy(p *Placement) layout.KernelCost { return layout.ParentChildEnergy(p) }
+
+// BuildLayoutOnMachine runs the full spatial layout-construction
+// pipeline (Theorem 4: Euler tours + list ranking + permutation) on a
+// simulator and returns the light-first ranks together with the exact
+// model cost.
+func BuildLayoutOnMachine(t *Tree, curveName string, seed uint64) (ranks []int, cost Cost, err error) {
+	c, err := sfc.ByName(curveName)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	s := machine.New(2*t.N()+2, c)
+	res := eulertour.LightFirstLayout(s, t, rng.New(seed))
+	return res.Order.Rank, s.Cost(), nil
+}
+
+// TreefixResult is the outcome of a treefix sum on the simulator.
+type TreefixResult struct {
+	// Sums holds the per-vertex folds.
+	Sums []int64
+	// Cost is the exact spatial-model cost of the run.
+	Cost Cost
+	// Rounds is the number of contraction rounds (O(log n) w.h.p.).
+	Rounds int
+}
+
+// TreefixSum computes, for every vertex, the sum of the values in its
+// subtree (bottom-up treefix, Section V) on the simulator, using the
+// placement's positions. Deterministic per seed; the default seed 1 is
+// used.
+func TreefixSum(t *Tree, p *Placement, vals []int64) TreefixResult {
+	return TreefixOp(t, p, vals, OpAdd, 1)
+}
+
+// TreefixOp is TreefixSum under an arbitrary commutative operator and
+// explicit coin seed.
+func TreefixOp(t *Tree, p *Placement, vals []int64, op Op, seed uint64) TreefixResult {
+	s := machine.New(t.N(), p.Curve)
+	sums, st := treefix.BottomUp(s, t, p.Order.Rank, vals, op, rng.New(seed))
+	return TreefixResult{Sums: sums, Cost: s.Cost(), Rounds: st.Rounds}
+}
+
+// TopDownTreefix computes, for every vertex, the fold of the values
+// along its root path (Section V-D).
+func TopDownTreefix(t *Tree, p *Placement, vals []int64, op Op, seed uint64) TreefixResult {
+	s := machine.New(t.N(), p.Curve)
+	sums, st := treefix.TopDown(s, t, p.Order.Rank, vals, op, rng.New(seed))
+	return TreefixResult{Sums: sums, Cost: s.Cost(), Rounds: st.Rounds}
+}
+
+// LCAResult is the outcome of a batched LCA run.
+type LCAResult struct {
+	// Answers holds one LCA per query.
+	Answers []int
+	// Cost is the exact spatial-model cost.
+	Cost Cost
+	// Layers is the number of subtree-cover layers (O(log n)).
+	Layers int
+}
+
+// BatchedLCA answers LCA queries on a light-first placement
+// (Section VI, Theorem 6). For the paper's bounds each vertex should
+// appear in O(1) queries.
+func BatchedLCA(t *Tree, p *Placement, queries []Query, seed uint64) LCAResult {
+	s := machine.New(t.N(), p.Curve)
+	ans, st := lca.Batched(s, t, p.Order.Rank, queries, rng.New(seed))
+	return LCAResult{Answers: ans, Cost: s.Cost(), Layers: st.Layers}
+}
+
+// SequentialTreefix is the host reference for TreefixSum (test oracle;
+// also the fastest single-core implementation).
+func SequentialTreefix(t *Tree, vals []int64, op Op) []int64 {
+	return treefix.SequentialBottomUp(t, vals, op)
+}
+
+// LCAOracle returns a sequential binary-lifting LCA oracle.
+func LCAOracle(t *Tree) *lca.Oracle { return lca.NewOracle(t) }
+
+// GraphEdge is a weighted undirected edge for the minimum-cut
+// application.
+type GraphEdge = mincut.Edge
+
+// MinCutResult reports a 1-respecting minimum cut.
+type MinCutResult = mincut.Result
+
+// OneRespectingMinCut computes, for a graph given by edges and a rooted
+// spanning tree t in light-first placement p, the minimum cut among cuts
+// removing exactly one tree edge (Karger's 1-respecting cuts — the
+// application the paper cites for its kernels). It runs one batched LCA
+// and two treefix sums on the simulator and returns the result with the
+// exact model cost.
+func OneRespectingMinCut(t *Tree, p *Placement, edges []GraphEdge, seed uint64) (MinCutResult, Cost, error) {
+	s := machine.New(t.N(), p.Curve)
+	res, err := mincut.OneRespecting(s, t, p.Order.Rank, edges, rng.New(seed))
+	return res, s.Cost(), err
+}
+
+// Expression is an arithmetic expression tree (leaves hold constants
+// mod exprtree.Mod; internal nodes hold + or ×).
+type Expression = exprtree.Expr
+
+// RandomExpression returns a random full-binary expression with the
+// given number of leaves.
+func RandomExpression(leaves int, seed uint64) *Expression {
+	return exprtree.Random(leaves, rng.New(seed))
+}
+
+// EvaluateExpression evaluates the expression's root on the simulator by
+// Miller-Reif rake contraction (the §V-cited application) and returns
+// the value together with the exact model cost.
+func EvaluateExpression(e *Expression, p *Placement) (int64, Cost) {
+	s := machine.New(e.Tree.N(), p.Curve)
+	v, _ := exprtree.EvalSpatial(s, e, p.Order.Rank)
+	return v, s.Cost()
+}
+
+// DynamicLayout is a dynamically maintained light-first layout
+// supporting leaf insertions (the paper's §VII future-work direction):
+// a gap-spread placement with amortized rebuilds.
+type DynamicLayout = dynlayout.Dyn
+
+// NewDynamicLayout creates a dynamic layout for t on the named curve.
+// epsilon is the drift budget before a rebuild (e.g. 0.2).
+func NewDynamicLayout(t *Tree, curveName string, epsilon float64) (*DynamicLayout, error) {
+	c, err := sfc.ByName(curveName)
+	if err != nil {
+		return nil, err
+	}
+	return dynlayout.New(t, c, epsilon)
+}
+
+// ParallelTreefixEngine returns the goroutine-parallel treefix executor
+// (+ operator) for wall-clock use; workers <= 0 means GOMAXPROCS.
+func ParallelTreefixEngine(t *Tree, workers int) *treefix.Engine {
+	return treefix.NewEngine(t, workers)
+}
+
+// ParallelLCAEngine returns the goroutine-parallel LCA engine.
+func ParallelLCAEngine(t *Tree, workers int) *lca.Engine {
+	return lca.NewEngine(t, workers)
+}
