@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/engine"
 	"spatialtree/internal/eulertour"
 	"spatialtree/internal/exprtree"
 	"spatialtree/internal/layout"
@@ -263,6 +264,87 @@ func BenchmarkE12Parallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE13EngineThroughput measures PR 1's batched query engine
+// against the naive per-call path on a repeated same-tree workload: 32
+// batches (a 128-query LCA batch each, plus a treefix sum every 8th),
+// all on one n=2^14 tree. The naive path rebuilds the light-first
+// layout and runs a fresh simulator per call; the engine path gets its
+// placement from the layout cache and coalesces the whole workload's
+// LCA traffic into a single spatial run.
+func BenchmarkE13EngineThroughput(b *testing.B) {
+	t := tree.RandomAttachment(benchN, rng.New(30))
+	const (
+		batches      = 32
+		queriesPer   = 128
+		treefixEvery = 8
+	)
+	qr := rng.New(31)
+	qsets := make([][]lca.Query, batches)
+	totalQueries := 0
+	for i := range qsets {
+		qs := make([]lca.Query, queriesPer)
+		for j := range qs {
+			qs[j] = lca.Query{U: qr.Intn(t.N()), V: qr.Intn(t.N())}
+		}
+		qsets[i] = qs
+		totalQueries += len(qs)
+	}
+	vals := make([]int64, t.N())
+	for i := range vals {
+		vals[i] = int64(i % 101)
+	}
+
+	b.Run("naive-percall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for bi := 0; bi < batches; bi++ {
+				p := layout.LightFirst(t, sfc.Hilbert{})
+				s := machine.New(t.N(), p.Curve)
+				lca.Batched(s, t, p.Order.Rank, qsets[bi], rng.New(uint64(i)))
+				if bi%treefixEvery == 0 {
+					p = layout.LightFirst(t, sfc.Hilbert{})
+					s = machine.New(t.N(), p.Curve)
+					treefix.BottomUp(s, t, p.Order.Rank, vals, treefix.Add, rng.New(uint64(i)))
+				}
+			}
+		}
+		b.ReportMetric(float64(totalQueries*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+
+	b.Run("engine-batched", func(b *testing.B) {
+		cache := engine.NewLayoutCache(4)
+		if _, err := engine.New(t, engine.Options{Cache: cache}); err != nil {
+			b.Fatal(err) // warm the cache outside the timer
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(t, engine.Options{
+				Cache:  cache,
+				Window: batches + batches/treefixEvery + 1,
+				Seed:   uint64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			futs := make([]*engine.Future, 0, batches+batches/treefixEvery)
+			for bi := 0; bi < batches; bi++ {
+				futs = append(futs, eng.SubmitLCA(qsets[bi]))
+				if bi%treefixEvery == 0 {
+					futs = append(futs, eng.SubmitTreefix(vals, treefix.Add))
+				}
+			}
+			eng.Flush()
+			for _, f := range futs {
+				if res := f.Wait(); res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(totalQueries*b.N)/b.Elapsed().Seconds(), "queries/s")
+		b.ReportMetric(100*cache.Stats().HitRate(), "cache-hit-%")
+	})
 }
 
 // BenchmarkExprEval measures the §V-cited application: Miller-Reif

@@ -1,0 +1,264 @@
+// Command spatialserve replays mixed treefix / LCA / min-cut traffic
+// against the batched query engine and prints throughput, modeling the
+// serving shape the ROADMAP targets: many clients issuing small batches
+// against a forest of long-lived trees.
+//
+// Each round, every client picks a tree from the forest, rebuilds it
+// from its parent array (so the layout cache is exercised the way a
+// server deserializing per-request tree ids would exercise it), submits
+// one treefix plus several LCA sub-batches to the pool's engine for that
+// tree, and waits for the coalesced results. The naive comparison point
+// (-naive) replays identical traffic through the one-shot public API
+// shape: every call rebuilds the light-first layout and runs on its own
+// simulator.
+//
+// Usage:
+//
+//	spatialserve                           # defaults: 4 trees × 64 rounds
+//	spatialserve -n 16384 -trees 8 -clients 16 -rounds 128
+//	spatialserve -naive                    # per-call baseline for the same traffic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"spatialtree/internal/engine"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"spatialserve:"}, args...)...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<12, "vertices per tree")
+		trees   = flag.Int("trees", 4, "distinct trees in the forest")
+		clients = flag.Int("clients", 8, "concurrent client goroutines")
+		rounds  = flag.Int("rounds", 64, "request rounds per client")
+		queries = flag.Int("queries", 256, "LCA queries per round")
+		subs    = flag.Int("sub-batches", 4, "LCA sub-batches the queries arrive in")
+		window  = flag.Int("window", 16, "engine auto-flush window")
+		workers = flag.Int("workers", 0, "pool flush workers (0 = GOMAXPROCS)")
+		curve   = flag.String("curve", "hilbert", "space-filling curve")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		naive   = flag.Bool("naive", false, "replay through the per-call API instead of the engine")
+		cutSh   = flag.Int("mincut-share", 8, "1 in k rounds is a min-cut request (0 = none)")
+		churn   = flag.Int("churn", 4, "1 in k rounds uses an ephemeral engine rebuilt from the shared cache, modeling shard restarts (0 = never)")
+	)
+	flag.Parse()
+
+	crv, err := sfc.ByName(*curve)
+	if err != nil {
+		fatal(err)
+	}
+	if *subs < 1 {
+		*subs = 1
+	}
+
+	// The forest: per-tree parent arrays, rebuilt into fresh Tree values
+	// per round to model deserialized requests (the cache key is the
+	// structural fingerprint, not the pointer).
+	parents := make([][]int, *trees)
+	edgesOf := make([][]mincut.Edge, *trees)
+	for i := range parents {
+		t := tree.RandomAttachment(*n, rng.New(*seed+uint64(i)))
+		parents[i] = append([]int(nil), t.Parents()...)
+		edgesOf[i] = mincut.RandomGraph(t, *n/4, 10, rng.New(*seed+100+uint64(i)))
+	}
+
+	opts := engine.Options{
+		Curve:  *curve,
+		Window: *window,
+		Seed:   *seed,
+		Cache:  engine.NewLayoutCache(2 * *trees),
+	}
+	pool := engine.NewPool(*workers, opts)
+
+	var (
+		mu        sync.Mutex
+		queriesN  int64
+		naiveCost machine.Cost
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(*seed ^ uint64(c)*0x9e3779b97f4a7c15)
+			for round := 0; round < *rounds; round++ {
+				ti := r.Intn(*trees)
+				t := tree.MustFromParents(parents[ti])
+				ephemeral := *churn > 0 && (c+round)%*churn == 0
+				var served int
+				var cost machine.Cost
+				if *cutSh > 0 && (c+round)%*cutSh == 0 && t.N() >= 2 {
+					served, cost = runMinCut(pool, opts, ephemeral, t, edgesOf[ti], *naive, crv, *seed)
+				} else {
+					served, cost = runMixed(pool, opts, ephemeral, t, r, *queries, *subs, *naive, crv, *seed)
+				}
+				mu.Lock()
+				queriesN += int64(served)
+				naiveCost = naiveCost.Plus(cost)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	pool.FlushAll()
+	elapsed := time.Since(start)
+
+	mode := "engine"
+	if *naive {
+		mode = "naive"
+	}
+	totalRounds := int64(*clients) * int64(*rounds)
+	fmt.Printf("mode=%s trees=%d n=%d clients=%d rounds=%d sub-batches=%d window=%d curve=%s\n",
+		mode, *trees, *n, *clients, *rounds, *subs, *window, *curve)
+	fmt.Printf("wall=%v  rounds/s=%.1f  queries/s=%.1f\n",
+		elapsed.Round(time.Millisecond),
+		float64(totalRounds)/elapsed.Seconds(),
+		float64(queriesN)/elapsed.Seconds())
+	if *naive {
+		fmt.Printf("model: energy=%d messages=%d depth=%d (summed over per-call runs)\n",
+			naiveCost.Energy, naiveCost.Messages, naiveCost.Depth)
+		return
+	}
+	st := pool.Stats()
+	ephemMu.Lock()
+	st.Add(ephemStats)
+	ephemMu.Unlock()
+	fmt.Printf("model: energy=%d messages=%d depth=%d (summed over batch runs)\n",
+		st.Cost.Energy, st.Cost.Messages, st.Cost.Depth)
+	fmt.Printf("engine: batches=%d requests=%d coalescing=%.1f req/batch lca-queries=%d lca-runs=%d\n",
+		st.Batches, st.Requests, float64(st.Requests)/float64(max64(st.Batches, 1)),
+		st.LCAQueries, st.LCARuns)
+	fmt.Printf("cache: hits=%d misses=%d evictions=%d size=%d hit-rate=%.1f%%\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Size,
+		100*st.Cache.HitRate())
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Counters of ephemeral (churn-round) engines, which live outside the
+// pool and would otherwise vanish from the final report.
+var (
+	ephemMu    sync.Mutex
+	ephemStats engine.Stats
+)
+
+// engineFor returns the pool's long-lived shard for t, or — on churn
+// rounds — an ephemeral engine whose placement comes from the shared
+// layout cache (the restart path the cache exists for). The returned
+// retire func must be called after the round's futures resolve; it
+// folds an ephemeral engine's counters into the report.
+func engineFor(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree) (*engine.Engine, func()) {
+	if ephemeral {
+		eng, err := engine.New(t, opts)
+		if err != nil {
+			fatal(err)
+		}
+		return eng, func() {
+			st := eng.Stats()
+			ephemMu.Lock()
+			ephemStats.Add(st)
+			ephemMu.Unlock()
+		}
+	}
+	eng, err := pool.Engine(t)
+	if err != nil {
+		fatal(err)
+	}
+	return eng, func() {}
+}
+
+// runMixed issues one treefix plus the round's LCA queries split into
+// subs sub-batches, and returns the number of individual queries served
+// plus (naive mode only) the exact model cost of the per-call runs.
+func runMixed(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree, r *rng.RNG, nq, subs int, naive bool, crv sfc.Curve, seed uint64) (int, machine.Cost) {
+	n := t.N()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(1000))
+	}
+	batches := make([][]lca.Query, subs)
+	per := (nq + subs - 1) / subs
+	for b := range batches {
+		m := per
+		if (b+1)*per > nq {
+			m = nq - b*per
+		}
+		qs := make([]lca.Query, m)
+		for i := range qs {
+			qs[i] = lca.Query{U: r.Intn(n), V: r.Intn(n)}
+		}
+		batches[b] = qs
+	}
+
+	if naive {
+		// Per-call path: every call rebuilds the layout and runs on its
+		// own simulator — the pre-engine public API shape.
+		var cost machine.Cost
+		charge := func(s *machine.Sim) { cost = cost.Plus(s.Cost()) }
+		p := layout.LightFirst(t, crv)
+		s := machine.New(n, p.Curve)
+		treefix.BottomUp(s, t, p.Order.Rank, vals, treefix.Add, rng.New(seed))
+		charge(s)
+		for _, qs := range batches {
+			p := layout.LightFirst(t, crv)
+			s := machine.New(n, p.Curve)
+			lca.Batched(s, t, p.Order.Rank, qs, rng.New(seed))
+			charge(s)
+		}
+		return nq + n, cost
+	}
+
+	eng, retire := engineFor(pool, opts, ephemeral, t)
+	futs := make([]*engine.Future, 0, subs+1)
+	futs = append(futs, eng.SubmitTreefix(vals, treefix.Add))
+	for _, qs := range batches {
+		futs = append(futs, eng.SubmitLCA(qs))
+	}
+	for _, f := range futs {
+		if res := f.Wait(); res.Err != nil {
+			fatal("request failed:", res.Err)
+		}
+	}
+	retire()
+	return nq + n, machine.Cost{}
+}
+
+func runMinCut(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree, edges []mincut.Edge, naive bool, crv sfc.Curve, seed uint64) (int, machine.Cost) {
+	if naive {
+		p := layout.LightFirst(t, crv)
+		s := machine.New(t.N(), p.Curve)
+		if _, err := mincut.OneRespecting(s, t, p.Order.Rank, edges, rng.New(seed)); err != nil {
+			fatal(err)
+		}
+		return len(edges), s.Cost()
+	}
+	eng, retire := engineFor(pool, opts, ephemeral, t)
+	if res := eng.SubmitMinCut(edges).Wait(); res.Err != nil {
+		fatal(res.Err)
+	}
+	retire()
+	return len(edges), machine.Cost{}
+}

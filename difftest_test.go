@@ -1,0 +1,289 @@
+package spatialtree
+
+// Differential test suite: every kernel is computed by every
+// implementation the repository ships and the results are asserted
+// identical. The spatial-simulator algorithms are Las Vegas, so
+// agreement across random trees × seeds × operators is the strongest
+// correctness statement available short of the proofs.
+//
+// Implementations per kernel:
+//
+//	treefix (bottom-up)  spatial simulator · goroutine Engine · PRAM
+//	                     baseline · sequential oracle · batched engine
+//	treefix (top-down)   spatial simulator · goroutine Engine ·
+//	                     sequential oracle · batched engine
+//	batched LCA          spatial simulator · binary-lifting oracle ·
+//	                     goroutine Engine · PRAM baseline · batched engine
+//	1-respecting min-cut spatial simulator · brute-force oracle ·
+//	                     batched engine
+//	expression eval      spatial simulator · sequential oracle ·
+//	                     batched engine
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialtree/internal/engine"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/pram"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/treefix"
+)
+
+var (
+	diffSizes = []int{15, 64, 257, 1 << 10}
+	diffSeeds = []uint64{1, 2}
+	diffOps   = []Op{OpAdd, OpMax, OpMin, OpXor}
+)
+
+// diffTrees yields the random test trees: one unbounded-degree random
+// attachment tree and one bounded-degree tree per (size, seed).
+func diffTrees(n int, seed uint64) []*Tree {
+	return []*Tree{
+		RandomTree(n, seed),
+		RandomBinaryTree(n, seed+100),
+	}
+}
+
+func diffVals(n int, seed uint64) []int64 {
+	r := rng.New(seed)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(2001)) - 1000
+	}
+	return vals
+}
+
+func assertInt64s(t *testing.T, label string, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestDifferentialTreefixBottomUp(t *testing.T) {
+	for _, n := range diffSizes {
+		for _, seed := range diffSeeds {
+			for ti, tr := range diffTrees(n, seed) {
+				pl, err := Layout(tr, "hilbert")
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewEngine(tr, EngineOptions{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parEng := ParallelTreefixEngine(tr, 4)
+				for _, op := range diffOps {
+					label := fmt.Sprintf("n=%d seed=%d tree=%d op=%s", n, seed, ti, op.Name)
+					vals := diffVals(tr.N(), seed+uint64(ti))
+					want := SequentialTreefix(tr, vals, op)
+
+					spatial := TreefixOp(tr, pl, vals, op, seed)
+					assertInt64s(t, label+" spatial-vs-sequential", spatial.Sums, want)
+
+					res := eng.SubmitTreefix(vals, op).Wait()
+					if res.Err != nil {
+						t.Fatal(res.Err)
+					}
+					assertInt64s(t, label+" engine-vs-sequential", res.Sums, want)
+
+					if op.Name == "add" {
+						assertInt64s(t, label+" goroutine-vs-sequential",
+							parEng.BottomUpSum(vals), want)
+						s := machine.New(2*tr.N(), sfc.Hilbert{})
+						assertInt64s(t, label+" pram-vs-sequential",
+							pram.TreefixDirect(s, tr, vals), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialTreefixTopDown(t *testing.T) {
+	for _, n := range diffSizes {
+		for _, seed := range diffSeeds {
+			for ti, tr := range diffTrees(n, seed) {
+				pl, err := Layout(tr, "hilbert")
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := NewEngine(tr, EngineOptions{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parEng := ParallelTreefixEngine(tr, 4)
+				for _, op := range diffOps {
+					label := fmt.Sprintf("n=%d seed=%d tree=%d op=%s", n, seed, ti, op.Name)
+					vals := diffVals(tr.N(), seed+uint64(ti)+7)
+					want := treefix.SequentialTopDown(tr, vals, op)
+
+					spatial := TopDownTreefix(tr, pl, vals, op, seed)
+					assertInt64s(t, label+" spatial-vs-sequential", spatial.Sums, want)
+
+					res := eng.SubmitTopDown(vals, op).Wait()
+					if res.Err != nil {
+						t.Fatal(res.Err)
+					}
+					assertInt64s(t, label+" engine-vs-sequential", res.Sums, want)
+
+					if op.Name == "add" {
+						assertInt64s(t, label+" goroutine-vs-sequential",
+							parEng.TopDownSum(vals), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialLCA(t *testing.T) {
+	for _, n := range diffSizes {
+		for _, seed := range diffSeeds {
+			for ti, tr := range diffTrees(n, seed) {
+				label := fmt.Sprintf("n=%d seed=%d tree=%d", n, seed, ti)
+				pl, err := Layout(tr, "hilbert")
+				if err != nil {
+					t.Fatal(err)
+				}
+				qr := rng.New(seed + uint64(ti)*31)
+				queries := make([]Query, tr.N()/2)
+				pairs := make([][2]int, len(queries))
+				for i := range queries {
+					u, v := qr.Intn(tr.N()), qr.Intn(tr.N())
+					queries[i] = Query{U: u, V: v}
+					pairs[i] = [2]int{u, v}
+				}
+
+				oracle := LCAOracle(tr)
+				want := make([]int, len(queries))
+				for i, q := range queries {
+					want[i] = oracle.LCA(q.U, q.V)
+				}
+
+				spatial := BatchedLCA(tr, pl, queries, seed)
+				goroutine := ParallelLCAEngine(tr, 4).BatchLCA(queries)
+				s := machine.New(tr.N(), sfc.Hilbert{})
+				prambase := pram.LCADirect(s, tr, pairs)
+
+				eng, err := NewEngine(tr, EngineOptions{Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := eng.SubmitLCA(queries).Wait()
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+
+				for i := range queries {
+					if spatial.Answers[i] != want[i] {
+						t.Fatalf("%s query %d: spatial %d, oracle %d", label, i, spatial.Answers[i], want[i])
+					}
+					if goroutine[i] != want[i] {
+						t.Fatalf("%s query %d: goroutine %d, oracle %d", label, i, goroutine[i], want[i])
+					}
+					if prambase[i] != want[i] {
+						t.Fatalf("%s query %d: pram %d, oracle %d", label, i, prambase[i], want[i])
+					}
+					if res.Answers[i] != want[i] {
+						t.Fatalf("%s query %d: engine %d, oracle %d", label, i, res.Answers[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialMinCut(t *testing.T) {
+	for _, n := range diffSizes {
+		for _, seed := range diffSeeds {
+			tr := RandomTree(n, seed)
+			label := fmt.Sprintf("n=%d seed=%d", n, seed)
+			pl, err := Layout(tr, "hilbert")
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges := mincut.RandomGraph(tr, n/2, 12, rng.New(seed+3))
+			want := mincut.OneRespectingSequential(tr, edges)
+
+			spatial, _, err := OneRespectingMinCut(tr, pl, edges, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(tr, EngineOptions{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := eng.SubmitMinCut(edges).Wait()
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+
+			assertInt64s(t, label+" spatial-vs-bruteforce cuts", spatial.Cuts, want.Cuts)
+			assertInt64s(t, label+" engine-vs-bruteforce cuts", res.MinCut.Cuts, want.Cuts)
+			if spatial.MinWeight != want.MinWeight || res.MinCut.MinWeight != want.MinWeight {
+				t.Fatalf("%s: min weights %d (spatial) / %d (engine), want %d",
+					label, spatial.MinWeight, res.MinCut.MinWeight, want.MinWeight)
+			}
+		}
+	}
+}
+
+func TestDifferentialExprEval(t *testing.T) {
+	for _, leaves := range []int{8, 33, 129, 512} {
+		for _, seed := range diffSeeds {
+			label := fmt.Sprintf("leaves=%d seed=%d", leaves, seed)
+			x := RandomExpression(leaves, seed)
+			want := x.EvalSequential()[x.Tree.Root()]
+
+			pl, err := Layout(x.Tree, "hilbert")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := EvaluateExpression(x, pl)
+			if got != want {
+				t.Fatalf("%s: spatial %d, sequential %d", label, got, want)
+			}
+
+			eng, err := NewEngine(x.Tree, EngineOptions{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := eng.SubmitExpr(x).Wait()
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Value != want {
+				t.Fatalf("%s: engine %d, sequential %d", label, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialEngineAcrossCurves pins engine-batched results to the
+// direct-call path on every registered curve (the batching layer must be
+// invisible to results regardless of placement).
+func TestDifferentialEngineAcrossCurves(t *testing.T) {
+	tr := RandomTree(257, 9)
+	vals := diffVals(tr.N(), 11)
+	want := SequentialTreefix(tr, vals, OpAdd)
+	for _, c := range Curves() {
+		eng, err := engine.New(tr, engine.Options{Curve: c.Name(), Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := eng.SubmitTreefix(vals, OpAdd).Wait()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		assertInt64s(t, "curve="+c.Name(), res.Sums, want)
+	}
+}

@@ -1,0 +1,133 @@
+package spatialtree
+
+// Native fuzz targets for the two validated entry points of the
+// library: tree construction from untrusted parent arrays and the
+// space-filling-curve bijections. Seed corpora live in testdata/fuzz;
+// CI runs a short -fuzz smoke pass on both targets.
+
+import (
+	"testing"
+
+	"spatialtree/internal/order"
+	"spatialtree/internal/sfc"
+)
+
+// fuzzParents decodes fuzz bytes into a parent array: one signed byte
+// per vertex, so the fuzzer can reach valid trees (parents < n), the
+// root marker (-1), and out-of-range/cyclic garbage with equal ease.
+func fuzzParents(data []byte) []int {
+	if len(data) > 512 {
+		data = data[:512]
+	}
+	parents := make([]int, len(data))
+	for i, b := range data {
+		parents[i] = int(int8(b))
+	}
+	return parents
+}
+
+// FuzzFromParents asserts NewTree never panics: any byte string decodes
+// to either an error or a tree satisfying the structural invariants.
+func FuzzFromParents(f *testing.F) {
+	f.Add([]byte{})                             // empty tree
+	f.Add([]byte{0xff})                         // single root
+	f.Add([]byte{0xff, 0x00, 0x00, 0x01, 0x01}) // valid binary tree
+	f.Add([]byte{0x01, 0xff, 0x01})             // root in the middle
+	f.Add([]byte{0x00, 0x01})                   // 2-cycle, no root
+	f.Add([]byte{0xff, 0x05})                   // out-of-range parent
+	f.Add([]byte{0xff, 0xfe, 0x00})             // negative non-root marker
+	f.Add([]byte{0xff, 0xff})                   // two roots
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parents := fuzzParents(data)
+		tr, err := NewTree(parents)
+		if err != nil {
+			return // rejected: that is a valid outcome for garbage
+		}
+		n := tr.N()
+		if n != len(parents) {
+			t.Fatalf("N() = %d, want %d", n, len(parents))
+		}
+		if n == 0 {
+			return
+		}
+		// Accepted trees must satisfy the invariants every algorithm
+		// relies on: a single root, every vertex reaching it, children
+		// lists consistent with the parent array, and traversals
+		// covering all vertices exactly once.
+		root := tr.Root()
+		if root < 0 || root >= n || tr.Parent(root) != -1 {
+			t.Fatalf("bad root %d", root)
+		}
+		for v := 0; v < n; v++ {
+			steps := 0
+			for u := v; u != root; u = tr.Parent(u) {
+				if steps++; steps > n {
+					t.Fatalf("vertex %d does not reach the root", v)
+				}
+			}
+			for _, c := range tr.Children(v) {
+				if tr.Parent(c) != v {
+					t.Fatalf("child %d of %d has parent %d", c, v, tr.Parent(c))
+				}
+			}
+		}
+		if got := len(tr.PostOrder()); got != n {
+			t.Fatalf("post-order visits %d of %d vertices", got, n)
+		}
+		if sz := tr.SubtreeSizes(); sz[root] != n {
+			t.Fatalf("root subtree size %d, want %d", sz[root], n)
+		}
+		if o := order.LightFirst(tr); !o.IsPermutation() {
+			t.Fatal("light-first order is not a permutation")
+		}
+		// Round trip: the accepted tree's own parent array must be
+		// accepted again and fingerprint identically.
+		clone, err := NewTree(tr.Parents())
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if TreeFingerprint(clone) != TreeFingerprint(tr) {
+			t.Fatal("round trip changed the fingerprint")
+		}
+	})
+}
+
+// FuzzCurveRoundTrip asserts that every registered curve is a bijection
+// in both directions on legal grids: XY(Index(p)) == p for in-grid
+// points p, and Index(XY(i)) == i for in-range ranks i.
+func FuzzCurveRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint32(0))
+	f.Add(uint16(2), uint32(3))
+	f.Add(uint16(16), uint32(255))
+	f.Add(uint16(257), uint32(66049)) // forces side 3^k on Peano, 2^k elsewhere
+	f.Add(uint16(1000), uint32(999999))
+	f.Fuzz(func(t *testing.T, n uint16, idx uint32) {
+		points := int(n)
+		if points == 0 {
+			points = 1
+		}
+		for _, c := range sfc.Registry() {
+			side := c.Side(points)
+			if side*side < points {
+				t.Fatalf("%s: Side(%d) = %d too small", c.Name(), points, side)
+			}
+			i := int(idx) % (side * side)
+			x, y := c.XY(i, side)
+			if x < 0 || x >= side || y < 0 || y >= side {
+				t.Fatalf("%s: XY(%d, %d) = (%d,%d) off grid", c.Name(), i, side, x, y)
+			}
+			if back := c.Index(x, y, side); back != i {
+				t.Fatalf("%s: Index(XY(%d)) = %d", c.Name(), i, back)
+			}
+			// Point(Rank(p)) == p for an arbitrary in-grid point p.
+			px, py := int(idx)%side, (int(idx)/side)%side
+			r := c.Index(px, py, side)
+			if r < 0 || r >= side*side {
+				t.Fatalf("%s: Index(%d,%d,%d) = %d out of range", c.Name(), px, py, side, r)
+			}
+			if bx, by := c.XY(r, side); bx != px || by != py {
+				t.Fatalf("%s: XY(Index(%d,%d)) = (%d,%d)", c.Name(), px, py, bx, by)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module spatialtree
+
+go 1.21

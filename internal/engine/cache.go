@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"spatialtree/internal/layout"
+	"spatialtree/internal/order"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+// Fingerprint returns a 64-bit structural hash of a tree: two trees with
+// the same parent array have the same fingerprint. It is the tree
+// component of layout-cache keys, so that a workload that rebuilds an
+// identical tree (e.g. from the same on-disk dataset) still reuses the
+// cached placement. Like any hash-keyed cache, distinct trees may
+// collide (probability ~2^-64 per pair); callers needing an exact
+// identity check must compare parent arrays.
+func Fingerprint(t *tree.Tree) uint64 {
+	h := uint64(t.N())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, p := range t.Parents() {
+		h ^= uint64(int64(p))
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	h ^= h >> 32
+	return h
+}
+
+// CacheKey identifies one cached placement: the tree's structural
+// fingerprint, the space-filling curve, and the vertex order.
+type CacheKey struct {
+	Fingerprint uint64
+	Curve       string
+	Order       string
+}
+
+// CacheStats reports layout-cache traffic.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+	Capacity  int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// DefaultCacheCapacity is the placement capacity of caches created
+// implicitly by New when Options.Cache is nil.
+const DefaultCacheCapacity = 32
+
+// LayoutCache is a concurrency-safe LRU cache of placements keyed by
+// CacheKey. One cache can back many engines (see Pool); sharing it is
+// what lets a fresh Engine on an already-seen tree skip the O(n log n)
+// light-first layout pipeline entirely.
+type LayoutCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     list.List // front = most recently used; values are *cacheEntry
+	entries map[CacheKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	p   *layout.Placement
+}
+
+// NewLayoutCache returns a cache holding at most capacity placements
+// (capacity <= 0 means DefaultCacheCapacity).
+func NewLayoutCache(capacity int) *LayoutCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	c := &LayoutCache{cap: capacity, entries: make(map[CacheKey]*list.Element)}
+	c.lru.Init()
+	return c
+}
+
+// Get returns the cached placement for key, if present, marking it most
+// recently used.
+func (c *LayoutCache) Get(key CacheKey) (*layout.Placement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).p, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts a placement under key, evicting the least recently used
+// entry if the cache is full. Re-inserting an existing key refreshes it.
+func (c *LayoutCache) Put(key CacheKey, p *layout.Placement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, p: p})
+}
+
+// GetOrBuild returns the light-first placement of t on curve c, building
+// and caching it on a miss. fp must be Fingerprint(t). Concurrent misses
+// on the same key may build the placement more than once; the result is
+// identical either way, so the duplicated work is benign.
+func (c *LayoutCache) GetOrBuild(t *tree.Tree, fp uint64, curve sfc.Curve) *layout.Placement {
+	key := CacheKey{Fingerprint: fp, Curve: curve.Name(), Order: "light-first"}
+	if p, ok := c.Get(key); ok {
+		return p
+	}
+	p := layout.New(t, order.LightFirst(t), curve)
+	c.Put(key, p)
+	return p
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *LayoutCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  c.cap,
+	}
+}
+
+// Len returns the number of cached placements.
+func (c *LayoutCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

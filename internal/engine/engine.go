@@ -1,0 +1,424 @@
+// Package engine serves the repository's batch kernels — bottom-up and
+// top-down treefix sums under any Op, batched LCA, 1-respecting minimum
+// cuts, and expression evaluation — from a long-lived, concurrency-safe
+// SpatialEngine that amortizes layout construction across requests, the
+// way the paper amortizes preprocessing across iterations (Section I-D)
+// and dual-tree libraries amortize one built index across all lookups.
+//
+// # Usage
+//
+//	eng, _ := engine.New(t, engine.Options{Curve: "hilbert", Window: 16})
+//	futA := eng.SubmitTreefix(valsA, treefix.Add) // queued, returns at once
+//	futB := eng.SubmitLCA(queries)                // queued with futA
+//	resB := futB.Wait()                           // flushes, then blocks
+//	resA := futA.Wait()                           // already resolved
+//
+// # Batching semantics
+//
+// Submit* methods enqueue a request and return a Future without running
+// any simulator work — except that the submission which fills the
+// window (see below) flushes inline, so that Submit call returns only
+// after the whole batch has run. A pending batch is executed
+// ("flushed") when any of the following happens:
+//
+//   - the number of pending requests reaches Options.Window (the
+//     filling submitter runs the batch on its own goroutine);
+//   - a caller invokes Flush explicitly;
+//   - a caller invokes Future.Wait on an unresolved future (Wait flushes
+//     the engine so that waiting can never deadlock).
+//
+// All requests of one flush run against a single spatial-computer
+// simulator sharing the engine's placement, so per-run setup is paid
+// once per batch instead of once per call. LCA requests in the same
+// batch are additionally coalesced: their query slices are concatenated
+// into one lca.Batched run (whose fixed cost — two treefix sums and the
+// cover sweep — is independent of the query count) and the answers are
+// demultiplexed back to the individual futures.
+//
+// # Blocking
+//
+// Flush blocks the calling goroutine until every request it picked up
+// has resolved; submissions racing with a Flush land in the next batch.
+// Future.Wait blocks until its own batch has run, triggering a flush if
+// the batch is still pending. Concurrent Flush calls run disjoint
+// batches in parallel on independent simulators.
+//
+// # Layout cache
+//
+// Placements are obtained from a LayoutCache keyed by (tree fingerprint,
+// curve, order) — see Fingerprint. Engines created with a shared cache
+// (directly via Options.Cache or through a Pool) skip the O(n log n)
+// light-first pipeline whenever any engine has already laid out a
+// structurally identical tree on the same curve. CacheStats reports
+// hits, misses and evictions; Stats folds them into EngineStats.
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Curve names the space-filling curve of the placement ("" means
+	// "hilbert").
+	Curve string
+	// Window is the pending-request count that triggers an automatic
+	// flush (<= 0 means DefaultWindow).
+	Window int
+	// Seed drives the Las Vegas coins of the simulator runs; batches are
+	// deterministic given (Seed, batch index).
+	Seed uint64
+	// Cache supplies the layout cache; nil means a fresh private cache
+	// of DefaultCacheCapacity placements. Share one cache across engines
+	// to amortize layouts across trees and engine lifetimes.
+	Cache *LayoutCache
+}
+
+// DefaultWindow is the automatic-flush threshold used when
+// Options.Window is not positive.
+const DefaultWindow = 64
+
+// Stats is a snapshot of an engine's lifetime counters.
+type Stats struct {
+	// Batches counts simulator runs (flushes that had work).
+	Batches uint64
+	// Requests counts resolved submissions.
+	Requests uint64
+	// LCAQueries counts individual LCA queries answered.
+	LCAQueries uint64
+	// LCARuns counts coalesced lca.Batched invocations; LCARuns <
+	// number of LCA requests means coalescing saved whole runs.
+	LCARuns uint64
+	// Cost accumulates the exact spatial-model cost over all batches
+	// (depths add as if batches ran back to back).
+	Cost machine.Cost
+	// Cache is the layout cache's traffic (shared counters if the cache
+	// is shared).
+	Cache CacheStats
+}
+
+// Add folds another engine's counters into s. Cost components sum via
+// machine.Cost.Plus; the Cache field is left untouched, because cache
+// counters live on the (usually shared) cache itself.
+func (s *Stats) Add(o Stats) {
+	s.Batches += o.Batches
+	s.Requests += o.Requests
+	s.LCAQueries += o.LCAQueries
+	s.LCARuns += o.LCARuns
+	s.Cost = s.Cost.Plus(o.Cost)
+}
+
+// Result is the outcome of one submitted request. Exactly the fields
+// relevant to the request kind are populated.
+type Result struct {
+	// Sums holds treefix outputs (bottom-up or top-down).
+	Sums []int64
+	// Answers holds LCA answers, one per submitted query.
+	Answers []int
+	// MinCut holds the 1-respecting minimum-cut result.
+	MinCut mincut.Result
+	// Value holds the expression value.
+	Value int64
+	// Cost is the spatial-model cost attributed to this request: its
+	// incremental share of the batch simulator run. Coalesced LCA
+	// requests all report the cost of their shared run.
+	Cost machine.Cost
+	// Err reports validation or execution failure.
+	Err error
+}
+
+// Future is the pending result of a submitted request.
+type Future struct {
+	e    *Engine
+	done chan struct{}
+	res  Result
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait returns the result, flushing the engine first if this request's
+// batch has not run yet (so Wait never deadlocks on an idle engine).
+func (f *Future) Wait() Result {
+	if !f.Done() {
+		f.e.Flush()
+		<-f.done
+	}
+	return f.res
+}
+
+func (f *Future) resolve(res Result) {
+	f.res = res
+	close(f.done)
+}
+
+type kind uint8
+
+const (
+	kindBottomUp kind = iota
+	kindTopDown
+	kindLCA
+	kindMinCut
+	kindExpr
+)
+
+type request struct {
+	kind    kind
+	op      treefix.Op
+	vals    []int64
+	queries []lca.Query
+	edges   []mincut.Edge
+	expr    *exprtree.Expr
+	fut     *Future
+}
+
+// Engine is a concurrency-safe batch server for one tree: it owns the
+// tree and its light-first placement and coalesces submitted requests
+// into shared simulator runs. See the package documentation for the
+// batching semantics. The zero value is not usable; construct with New.
+type Engine struct {
+	t      *tree.Tree
+	fp     uint64
+	p      *layout.Placement
+	window int
+	seed   uint64
+	cache  *LayoutCache
+
+	mu       sync.Mutex
+	pending  []*request
+	batchSeq uint64
+	stats    Stats
+}
+
+// New builds an engine for t. The placement comes from the layout cache
+// (opts.Cache or a fresh private one), so constructing an engine for an
+// already-seen tree×curve costs O(n) for the fingerprint instead of the
+// full O(n log n) layout pipeline.
+func New(t *tree.Tree, opts Options) (*Engine, error) {
+	name := opts.Curve
+	if name == "" {
+		name = "hilbert"
+	}
+	c, err := sfc.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewLayoutCache(DefaultCacheCapacity)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	fp := Fingerprint(t)
+	return &Engine{
+		t:      t,
+		fp:     fp,
+		p:      cache.GetOrBuild(t, fp, c),
+		window: window,
+		seed:   opts.Seed,
+		cache:  cache,
+	}, nil
+}
+
+// Tree returns the engine's tree.
+func (e *Engine) Tree() *tree.Tree { return e.t }
+
+// Placement returns the engine's (cached) placement.
+func (e *Engine) Placement() *layout.Placement { return e.p }
+
+// Fingerprint returns the structural fingerprint of the engine's tree.
+func (e *Engine) Fingerprint() uint64 { return e.fp }
+
+// Stats returns a snapshot of the engine counters plus the layout
+// cache's.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	st := e.stats
+	e.mu.Unlock()
+	st.Cache = e.cache.Stats()
+	return st
+}
+
+// Pending returns the number of queued, unflushed requests.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// failed returns an already-resolved future carrying err.
+func (e *Engine) failed(err error) *Future {
+	f := &Future{e: e, done: make(chan struct{})}
+	f.resolve(Result{Err: err})
+	return f
+}
+
+// SubmitTreefix enqueues a bottom-up treefix sum of vals under op (the
+// fold over every subtree). vals must have one entry per vertex and must
+// not be mutated until the future resolves.
+func (e *Engine) SubmitTreefix(vals []int64, op treefix.Op) *Future {
+	if len(vals) != e.t.N() {
+		return e.failed(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N()))
+	}
+	return e.submit(&request{kind: kindBottomUp, op: op, vals: vals})
+}
+
+// SubmitTopDown enqueues a top-down treefix sum of vals under op (the
+// fold along every root path).
+func (e *Engine) SubmitTopDown(vals []int64, op treefix.Op) *Future {
+	if len(vals) != e.t.N() {
+		return e.failed(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N()))
+	}
+	return e.submit(&request{kind: kindTopDown, op: op, vals: vals})
+}
+
+// SubmitLCA enqueues a batch of LCA queries. All LCA requests flushed
+// together are coalesced into a single spatial run; answers come back in
+// query order.
+func (e *Engine) SubmitLCA(queries []lca.Query) *Future {
+	n := e.t.N()
+	for i, q := range queries {
+		if q.U < 0 || q.U >= n || q.V < 0 || q.V >= n {
+			return e.failed(fmt.Errorf("engine: LCA query %d out of range: %+v", i, q))
+		}
+	}
+	return e.submit(&request{kind: kindLCA, queries: queries})
+}
+
+// SubmitMinCut enqueues a 1-respecting minimum-cut computation of the
+// given graph edges against the engine's tree.
+func (e *Engine) SubmitMinCut(edges []mincut.Edge) *Future {
+	return e.submit(&request{kind: kindMinCut, edges: edges})
+}
+
+// SubmitExpr enqueues evaluation of an expression whose tree is
+// structurally identical to the engine's (same parent array), so the
+// engine's placement is valid for it.
+func (e *Engine) SubmitExpr(x *exprtree.Expr) *Future {
+	if x.Tree != e.t && !slices.Equal(x.Tree.Parents(), e.t.Parents()) {
+		return e.failed(fmt.Errorf("engine: expression tree does not match engine tree"))
+	}
+	if err := x.Validate(); err != nil {
+		return e.failed(err)
+	}
+	return e.submit(&request{kind: kindExpr, expr: x})
+}
+
+func (e *Engine) submit(req *request) *Future {
+	fut := &Future{e: e, done: make(chan struct{})}
+	req.fut = fut
+	var batch []*request
+	var seq uint64
+	e.mu.Lock()
+	e.pending = append(e.pending, req)
+	if len(e.pending) >= e.window {
+		batch, seq = e.takeBatchLocked()
+	}
+	e.mu.Unlock()
+	if batch != nil {
+		e.runBatch(batch, seq)
+	}
+	return fut
+}
+
+// takeBatchLocked detaches the pending batch; e.mu must be held.
+func (e *Engine) takeBatchLocked() ([]*request, uint64) {
+	batch := e.pending
+	e.pending = nil
+	seq := e.batchSeq
+	e.batchSeq++
+	return batch, seq
+}
+
+// Flush runs every pending request in one shared simulator run and
+// blocks until all of their futures have resolved. Flushing an idle
+// engine is a no-op.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	batch, seq := e.takeBatchLocked()
+	e.mu.Unlock()
+	if len(batch) > 0 {
+		e.runBatch(batch, seq)
+	}
+}
+
+// runBatch executes one detached batch on a fresh simulator. It is
+// called without e.mu held; distinct batches may run concurrently on
+// independent simulators.
+func (e *Engine) runBatch(batch []*request, seq uint64) {
+	s := machine.New(e.t.N(), e.p.Curve)
+	r := rng.New(e.seed ^ (seq+1)*0x9e3779b97f4a7c15)
+	rank := e.p.Order.Rank
+
+	var lcaReqs []*request
+	var lcaRuns uint64
+	var lcaQueries uint64
+	for _, req := range batch {
+		mark := s.Cost()
+		switch req.kind {
+		case kindBottomUp:
+			sums, _ := treefix.BottomUp(s, e.t, rank, req.vals, req.op, r)
+			req.fut.resolve(Result{Sums: sums, Cost: s.Since(mark)})
+		case kindTopDown:
+			sums, _ := treefix.TopDown(s, e.t, rank, req.vals, req.op, r)
+			req.fut.resolve(Result{Sums: sums, Cost: s.Since(mark)})
+		case kindMinCut:
+			res, err := mincut.OneRespecting(s, e.t, rank, req.edges, r)
+			req.fut.resolve(Result{MinCut: res, Cost: s.Since(mark), Err: err})
+		case kindExpr:
+			v, _ := exprtree.EvalSpatial(s, req.expr, rank)
+			req.fut.resolve(Result{Value: v, Cost: s.Since(mark)})
+		case kindLCA:
+			lcaReqs = append(lcaReqs, req) // coalesced below
+		}
+	}
+
+	if len(lcaReqs) > 0 {
+		all := make([]lca.Query, 0)
+		for _, req := range lcaReqs {
+			all = append(all, req.queries...)
+		}
+		mark := s.Cost()
+		answers, _ := lca.Batched(s, e.t, rank, all, r)
+		cost := s.Since(mark)
+		off := 0
+		for _, req := range lcaReqs {
+			m := len(req.queries)
+			req.fut.resolve(Result{Answers: answers[off : off+m : off+m], Cost: cost})
+			off += m
+		}
+		lcaRuns = 1
+		lcaQueries = uint64(len(all))
+	}
+
+	e.mu.Lock()
+	e.stats.Add(Stats{
+		Batches:    1,
+		Requests:   uint64(len(batch)),
+		LCAQueries: lcaQueries,
+		LCARuns:    lcaRuns,
+		Cost:       s.Cost(),
+	})
+	e.mu.Unlock()
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+
+	"spatialtree/internal/par"
+	"spatialtree/internal/tree"
+)
+
+// Pool shards engines by tree: it keeps one Engine per distinct tree
+// fingerprint, all backed by one shared LayoutCache, and flushes the
+// shards' independent batches in parallel on a worker pool. Use it when
+// traffic spans many trees (e.g. a forest of per-tenant indexes): same
+// tree → same engine → coalesced batches; different trees → different
+// shards → concurrent simulator runs.
+type Pool struct {
+	opts    Options
+	workers int
+
+	mu      sync.Mutex
+	engines map[uint64]*Engine
+	shards  []*Engine // stable insertion order for FlushAll and Stats
+}
+
+// NewPool returns a pool whose FlushAll uses at most workers goroutines
+// (<= 0 means par.Workers()). opts applies to every engine the pool
+// creates; a nil opts.Cache is replaced by one shared cache sized to
+// hold DefaultCacheCapacity placements.
+func NewPool(workers int, opts Options) *Pool {
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewLayoutCache(DefaultCacheCapacity)
+	}
+	return &Pool{
+		opts:    opts,
+		workers: workers,
+		engines: make(map[uint64]*Engine),
+	}
+}
+
+// Engine returns the pool's engine for t, creating it on first sight of
+// the tree's fingerprint. Structurally identical trees share a shard.
+func (p *Pool) Engine(t *tree.Tree) (*Engine, error) {
+	fp := Fingerprint(t)
+	p.mu.Lock()
+	if e, ok := p.engines[fp]; ok {
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+	// Build outside the lock: layout construction is the expensive part
+	// and must not serialize unrelated shards.
+	e, err := New(t, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prior, ok := p.engines[fp]; ok { // lost a build race; keep the first
+		return prior, nil
+	}
+	p.engines[fp] = e
+	p.shards = append(p.shards, e)
+	return e, nil
+}
+
+// Cache returns the shared layout cache.
+func (p *Pool) Cache() *LayoutCache { return p.opts.Cache }
+
+// Size returns the number of shards (distinct trees seen).
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.shards)
+}
+
+// FlushAll flushes every shard, running independent shards' batches in
+// parallel across the pool's workers, and blocks until all of them have
+// resolved.
+func (p *Pool) FlushAll() {
+	p.mu.Lock()
+	shards := append([]*Engine(nil), p.shards...)
+	p.mu.Unlock()
+	par.For(len(shards), p.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			shards[i].Flush()
+		}
+	})
+}
+
+// Stats aggregates the counters of every shard. The Cache field is the
+// shared cache's (not a per-shard sum).
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	shards := append([]*Engine(nil), p.shards...)
+	p.mu.Unlock()
+	var agg Stats
+	for _, e := range shards {
+		agg.Add(e.Stats())
+	}
+	agg.Cache = p.opts.Cache.Stats()
+	return agg
+}

@@ -1,0 +1,174 @@
+package engine
+
+// Concurrency hammer for the batching and cache paths, meant to run
+// under `go test -race`: 16 goroutines submit mixed request kinds to one
+// shared engine while flushing concurrently, and every result is checked
+// against the sequential oracles. Sizes are small so the test stays in
+// short mode.
+
+import (
+	"sync"
+	"testing"
+
+	"spatialtree/internal/lca"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+func TestEngineConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 12
+		n          = 256
+	)
+	tr := tree.RandomAttachment(n, rng.New(99))
+	eng, err := New(tr, Options{Window: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := lca.NewOracle(tr)
+	edges := mincut.RandomGraph(tr, n/2, 10, rng.New(100))
+	wantCut := mincut.OneRespectingSequential(tr, edges)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + g))
+			for round := 0; round < rounds; round++ {
+				switch (g + round) % 4 {
+				case 0: // bottom-up treefix under a random op
+					ops := []treefix.Op{treefix.Add, treefix.Max, treefix.Min, treefix.Xor}
+					op := ops[r.Intn(len(ops))]
+					vals := make([]int64, n)
+					for i := range vals {
+						vals[i] = int64(r.Intn(100)) - 50
+					}
+					want := treefix.SequentialBottomUp(tr, vals, op)
+					res := eng.SubmitTreefix(vals, op).Wait()
+					if res.Err != nil {
+						errs <- res.Err.Error()
+						return
+					}
+					for v := range want {
+						if res.Sums[v] != want[v] {
+							errs <- "bottom-up mismatch under concurrency"
+							return
+						}
+					}
+				case 1: // top-down treefix
+					vals := make([]int64, n)
+					for i := range vals {
+						vals[i] = int64(r.Intn(100))
+					}
+					want := treefix.SequentialTopDown(tr, vals, treefix.Add)
+					res := eng.SubmitTopDown(vals, treefix.Add).Wait()
+					if res.Err != nil {
+						errs <- res.Err.Error()
+						return
+					}
+					for v := range want {
+						if res.Sums[v] != want[v] {
+							errs <- "top-down mismatch under concurrency"
+							return
+						}
+					}
+				case 2: // LCA batch (coalesces with other goroutines')
+					qs := make([]lca.Query, 8)
+					for i := range qs {
+						qs[i] = lca.Query{U: r.Intn(n), V: r.Intn(n)}
+					}
+					res := eng.SubmitLCA(qs).Wait()
+					if res.Err != nil {
+						errs <- res.Err.Error()
+						return
+					}
+					for i, q := range qs {
+						if res.Answers[i] != oracle.LCA(q.U, q.V) {
+							errs <- "lca mismatch under concurrency"
+							return
+						}
+					}
+				case 3: // min-cut plus a concurrent explicit Flush
+					res := eng.SubmitMinCut(edges).Wait()
+					if res.Err != nil {
+						errs <- res.Err.Error()
+						return
+					}
+					if res.MinCut.MinWeight != wantCut.MinWeight {
+						errs <- "min-cut mismatch under concurrency"
+						return
+					}
+					eng.Flush()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	st := eng.Stats()
+	if want := uint64(goroutines * rounds); st.Requests != want {
+		t.Fatalf("Requests = %d, want %d", st.Requests, want)
+	}
+	if st.Batches == 0 || st.Batches > st.Requests {
+		t.Fatalf("Batches = %d out of range (0, %d]", st.Batches, st.Requests)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d after all waits, want 0", eng.Pending())
+	}
+}
+
+func TestPoolConcurrentAcrossTrees(t *testing.T) {
+	const clients = 8
+	pool := NewPool(0, Options{Window: 4})
+	trees := make([]*tree.Tree, 4)
+	for i := range trees {
+		trees[i] = tree.RandomAttachment(128, rng.New(uint64(200+i)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tr := trees[c%len(trees)]
+			eng, err := pool.Engine(tr)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			vals := make([]int64, tr.N())
+			for i := range vals {
+				vals[i] = int64((c + 1) * i)
+			}
+			want := treefix.SequentialBottomUp(tr, vals, treefix.Add)
+			res := eng.SubmitTreefix(vals, treefix.Add).Wait()
+			if res.Err != nil {
+				errs <- res.Err.Error()
+				return
+			}
+			for v := range want {
+				if res.Sums[v] != want[v] {
+					errs <- "pool shard mismatch under concurrency"
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if pool.Size() != len(trees) {
+		t.Fatalf("pool size = %d, want %d", pool.Size(), len(trees))
+	}
+}

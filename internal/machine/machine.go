@@ -224,6 +224,16 @@ type Cost struct {
 	Depth    int64
 }
 
+// Plus returns the component-wise sum of two cost snapshots; depths add
+// as if the two runs happened back to back.
+func (c Cost) Plus(d Cost) Cost {
+	return Cost{
+		Energy:   c.Energy + d.Energy,
+		Messages: c.Messages + d.Messages,
+		Depth:    c.Depth + d.Depth,
+	}
+}
+
 // Cost returns the current counters.
 func (s *Sim) Cost() Cost {
 	return Cost{Energy: s.energy, Messages: s.messages, Depth: s.maxClock}

@@ -20,7 +20,10 @@
 //     rake/compress tree contraction (Lemmas 10-12);
 //   - batched lowest common ancestors via subtree covers (Theorem 6);
 //   - goroutine-parallel executors of the same operations for wall-clock
-//     use, and PRAM baselines for comparison.
+//     use, and PRAM baselines for comparison;
+//   - a batched query engine (Engine, EnginePool) that amortizes one
+//     cached layout across many request batches and coalesces
+//     concurrently submitted work into shared simulator runs.
 //
 // Quick start:
 //
@@ -28,6 +31,14 @@
 //	pl, _ := spatialtree.Layout(t, "hilbert")        // light-first layout
 //	sum := spatialtree.TreefixSum(t, pl, vals)        // subtree sums + costs
 //	fmt.Println(sum.Cost.Energy, sum.Cost.Depth)
+//
+// Serving repeated batches on the same tree (layout built once, requests
+// coalesced — see internal/engine for the full semantics):
+//
+//	eng, _ := spatialtree.NewEngine(t, spatialtree.EngineOptions{})
+//	fut := eng.SubmitLCA(queries)       // queued; coalesces with others
+//	res := fut.Wait()                   // flushes and resolves
+//	fmt.Println(res.Answers, eng.Stats().Cache.HitRate())
 //
 // The cmd/spatialbench binary regenerates every experiment in
 // EXPERIMENTS.md; examples/ contains runnable end-to-end programs.
@@ -37,6 +48,7 @@ import (
 	"fmt"
 
 	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/engine"
 	"spatialtree/internal/eulertour"
 	"spatialtree/internal/exprtree"
 	"spatialtree/internal/layout"
@@ -267,6 +279,54 @@ func NewDynamicLayout(t *Tree, curveName string, epsilon float64) (*DynamicLayou
 	}
 	return dynlayout.New(t, c, epsilon)
 }
+
+// Engine is a concurrency-safe batch server for one tree: it owns the
+// tree plus a cached light-first placement, coalesces requests submitted
+// within a window into shared simulator runs (Submit*/Flush), and
+// demultiplexes the results to per-request futures. See the
+// internal/engine package documentation for batching semantics, cache
+// keys, and when Flush blocks.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine: curve, auto-flush window, Las
+// Vegas seed, and an optional shared LayoutCache.
+type EngineOptions = engine.Options
+
+// EngineStats snapshots an engine's lifetime counters: batches,
+// requests, coalesced LCA traffic, accumulated model cost, and
+// layout-cache hits/misses/evictions.
+type EngineStats = engine.Stats
+
+// EngineResult is the resolved outcome of one submitted request.
+type EngineResult = engine.Result
+
+// LayoutCache is an LRU cache of placements keyed by tree fingerprint ×
+// curve × order. Share one cache across engines (or use an EnginePool)
+// so repeated workloads on structurally identical trees skip the
+// O(n log n) layout pipeline.
+type LayoutCache = engine.LayoutCache
+
+// NewLayoutCache returns a cache holding at most capacity placements.
+func NewLayoutCache(capacity int) *LayoutCache { return engine.NewLayoutCache(capacity) }
+
+// NewEngine builds a batched query engine for t. The placement comes
+// from the layout cache, so re-creating an engine for an already-seen
+// tree skips layout construction.
+func NewEngine(t *Tree, opts EngineOptions) (*Engine, error) { return engine.New(t, opts) }
+
+// EnginePool shards engines by tree fingerprint over one shared layout
+// cache and flushes independent shards in parallel on a worker pool.
+type EnginePool = engine.Pool
+
+// NewEnginePool returns a pool flushing with at most workers goroutines
+// (<= 0 means GOMAXPROCS).
+func NewEnginePool(workers int, opts EngineOptions) *EnginePool {
+	return engine.NewPool(workers, opts)
+}
+
+// TreeFingerprint returns the structural hash of t used in layout-cache
+// keys: equal parent arrays hash equally.
+func TreeFingerprint(t *Tree) uint64 { return engine.Fingerprint(t) }
 
 // ParallelTreefixEngine returns the goroutine-parallel treefix executor
 // (+ operator) for wall-clock use; workers <= 0 means GOMAXPROCS.
