@@ -347,6 +347,102 @@ func BenchmarkE13EngineThroughput(b *testing.B) {
 	})
 }
 
+// churnMutation applies step m of the deterministic churn schedule:
+// two inserts (under a random original vertex) per delete (of the
+// youngest inserted leaf — never an original id, so query ids stay
+// valid; see dynlayout.DeleteYoungestLeaf).
+func churnMutation(b *testing.B, mt dynlayout.MutTree, r *rng.RNG, m, origN int) {
+	if m%3 == 2 {
+		ok, err := dynlayout.DeleteYoungestLeaf(mt, origN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok {
+			return
+		}
+	}
+	if _, err := mt.InsertLeaf(r.Intn(origN)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE14DynChurn measures the PR 2 mutable serving path against
+// naive rebuild-per-mutation at n=2^14 with 5% churn: benchN/20
+// mutations, an LCA batch every 64 of them. The same deterministic
+// schedule drives both arms; they differ only in how serving state is
+// maintained. The naive arm does what a static-engine deployment must:
+// after every mutation, revalidate the tree and rebuild the light-first
+// layout from scratch. The dynamic arm applies O(1) parked mutations
+// and refreshes its serving state lazily, once per query round — the
+// acceptance target is ≥2× on wall clock.
+func BenchmarkE14DynChurn(b *testing.B) {
+	const (
+		mutations  = benchN / 20 // 5% churn
+		queryEvery = 64
+		queriesPer = 16
+	)
+	base := tree.RandomAttachment(benchN, rng.New(50))
+	querySets := make([][]lca.Query, 0, mutations/queryEvery+1)
+	qr := rng.New(51)
+	for m := 0; m < mutations; m += queryEvery {
+		qs := make([]lca.Query, queriesPer)
+		for i := range qs {
+			qs[i] = lca.Query{U: qr.Intn(benchN), V: qr.Intn(benchN)}
+		}
+		querySets = append(querySets, qs)
+	}
+
+	b.Run("naive-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := dynlayout.New(base, sfc.Hilbert{}, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(52)
+			for m := 0; m < mutations; m++ {
+				churnMutation(b, d, r, m, benchN)
+				t, err := d.Tree()
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := layout.LightFirst(t, sfc.Hilbert{}) // rebuild per mutation
+				if m%queryEvery == 0 {
+					s := machine.New(t.N(), p.Curve)
+					lca.Batched(s, t, p.Order.Rank, querySets[m/queryEvery], rng.New(uint64(i)))
+				}
+			}
+		}
+		b.ReportMetric(float64(mutations*b.N)/b.Elapsed().Seconds(), "mutations/s")
+	})
+
+	b.Run("dyn-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			de, err := engine.NewDyn(base, engine.DynOptions{
+				Options: engine.Options{Seed: uint64(i), Window: 64},
+				Epsilon: 0.2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(52)
+			for m := 0; m < mutations; m++ {
+				churnMutation(b, de, r, m, benchN)
+				if m%queryEvery == 0 {
+					if res := de.SubmitLCA(querySets[m/queryEvery]).Wait(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			if i == b.N-1 {
+				st := de.Stats()
+				b.ReportMetric(float64(st.Refreshes), "refreshes")
+				b.ReportMetric(float64(st.Rebuilds), "layout-rebuilds")
+			}
+		}
+		b.ReportMetric(float64(mutations*b.N)/b.Elapsed().Seconds(), "mutations/s")
+	})
+}
+
 // BenchmarkExprEval measures the §V-cited application: Miller-Reif
 // expression evaluation by rake contraction on the simulator.
 func BenchmarkExprEval(b *testing.B) {
@@ -412,7 +508,11 @@ func BenchmarkDynamicInserts(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	ratio := float64(d.KernelCost().Energy) / float64(d.FreshKernelCost().Energy)
+	fresh, err := d.FreshKernelCost()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratio := float64(d.KernelCost().Energy) / float64(fresh.Energy)
 	b.ReportMetric(ratio, "kernel-vs-fresh")
 	b.ReportMetric(float64(d.Rebuilds), "rebuilds")
 }

@@ -12,11 +12,22 @@
 // shape: every call rebuilds the light-first layout and runs on its own
 // simulator.
 //
+// With -churn k > 0 the forest becomes mutable: one round in k first
+// applies a mutation pair (insert a leaf under a random original
+// vertex, delete the youngest inserted leaf) before serving. In engine
+// mode the forest is served by DynEngine shards routed by identity
+// through the pool; mutations are O(1) parked moves and the serving
+// placement refreshes lazily. In -naive mode every mutation pays a
+// from-scratch tree validation + light-first rebuild — the
+// rebuild-per-mutation baseline the dynamic path is measured against.
+//
 // Usage:
 //
 //	spatialserve                           # defaults: 4 trees × 64 rounds
 //	spatialserve -n 16384 -trees 8 -clients 16 -rounds 128
 //	spatialserve -naive                    # per-call baseline for the same traffic
+//	spatialserve -churn 4                  # mutable forest: 1 in 4 rounds mutates
+//	spatialserve -churn 4 -naive           # naive rebuild-per-mutation baseline
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialtree/internal/dynlayout"
 	"spatialtree/internal/engine"
 	"spatialtree/internal/layout"
 	"spatialtree/internal/lca"
@@ -56,7 +68,9 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		naive   = flag.Bool("naive", false, "replay through the per-call API instead of the engine")
 		cutSh   = flag.Int("mincut-share", 8, "1 in k rounds is a min-cut request (0 = none)")
-		churn   = flag.Int("churn", 4, "1 in k rounds uses an ephemeral engine rebuilt from the shared cache, modeling shard restarts (0 = never)")
+		churn   = flag.Int("churn", 0, "1 in k rounds mutates its tree (insert+delete) before serving (0 = immutable forest)")
+		restart = flag.Int("restart", 4, "immutable forest only: 1 in k rounds uses an ephemeral engine rebuilt from the shared cache, modeling shard restarts (0 = never)")
+		epsilon = flag.Float64("epsilon", 0.2, "dynamic layout rebuild threshold (churn mode)")
 	)
 	flag.Parse()
 
@@ -87,9 +101,38 @@ func main() {
 	}
 	pool := engine.NewPool(*workers, opts)
 
+	// Churn mode: one mutable shard per tree. Engine mode routes by
+	// identity through the pool's dyn registry; naive mode keeps a bare
+	// dynamic layout as the mutable structure and rebuilds from it.
+	// The per-shard mutex serializes a mutation with the rounds served
+	// against it, so a round's vals length always matches its tree.
+	var shards []*mutShard
+	if *churn > 0 {
+		shards = make([]*mutShard, *trees)
+		for i := range shards {
+			t := tree.MustFromParents(parents[i])
+			sh := &mutShard{origN: *n}
+			if *naive {
+				d, err := dynlayout.New(t, crv, *epsilon)
+				if err != nil {
+					fatal(err)
+				}
+				sh.naive, sh.tree = d, d
+			} else {
+				de, err := pool.NewDynShard(t, *epsilon)
+				if err != nil {
+					fatal(err)
+				}
+				sh.eng, sh.tree = de, de
+			}
+			shards[i] = sh
+		}
+	}
+
 	var (
 		mu        sync.Mutex
 		queriesN  int64
+		mutations int64
 		naiveCost machine.Cost
 	)
 	start := time.Now()
@@ -101,17 +144,24 @@ func main() {
 			r := rng.New(*seed ^ uint64(c)*0x9e3779b97f4a7c15)
 			for round := 0; round < *rounds; round++ {
 				ti := r.Intn(*trees)
-				t := tree.MustFromParents(parents[ti])
-				ephemeral := *churn > 0 && (c+round)%*churn == 0
-				var served int
+				var served, muts int
 				var cost machine.Cost
-				if *cutSh > 0 && (c+round)%*cutSh == 0 && t.N() >= 2 {
-					served, cost = runMinCut(pool, opts, ephemeral, t, edgesOf[ti], *naive, crv, *seed)
+				wantCut := *cutSh > 0 && (c+round)%*cutSh == 0
+				if *churn > 0 {
+					mutate := (c+round)%*churn == 0
+					served, muts, cost = runMutable(shards[ti], mutate, r, *queries, *subs, wantCut, edgesOf[ti], *naive, crv, *seed)
 				} else {
-					served, cost = runMixed(pool, opts, ephemeral, t, r, *queries, *subs, *naive, crv, *seed)
+					t := tree.MustFromParents(parents[ti])
+					ephemeral := *restart > 0 && (c+round)%*restart == 0
+					if wantCut && t.N() >= 2 {
+						served, cost = runMinCut(pool, opts, ephemeral, t, edgesOf[ti], *naive, crv, *seed)
+					} else {
+						served, cost = runMixed(pool, opts, ephemeral, t, r, *queries, *subs, *naive, crv, *seed)
+					}
 				}
 				mu.Lock()
 				queriesN += int64(served)
+				mutations += int64(muts)
 				naiveCost = naiveCost.Plus(cost)
 				mu.Unlock()
 			}
@@ -126,12 +176,13 @@ func main() {
 		mode = "naive"
 	}
 	totalRounds := int64(*clients) * int64(*rounds)
-	fmt.Printf("mode=%s trees=%d n=%d clients=%d rounds=%d sub-batches=%d window=%d curve=%s\n",
-		mode, *trees, *n, *clients, *rounds, *subs, *window, *curve)
-	fmt.Printf("wall=%v  rounds/s=%.1f  queries/s=%.1f\n",
+	fmt.Printf("mode=%s trees=%d n=%d clients=%d rounds=%d sub-batches=%d window=%d curve=%s churn=%d\n",
+		mode, *trees, *n, *clients, *rounds, *subs, *window, *curve, *churn)
+	fmt.Printf("wall=%v  rounds/s=%.1f  queries/s=%.1f  mutations=%d\n",
 		elapsed.Round(time.Millisecond),
 		float64(totalRounds)/elapsed.Seconds(),
-		float64(queriesN)/elapsed.Seconds())
+		float64(queriesN)/elapsed.Seconds(),
+		mutations)
 	if *naive {
 		fmt.Printf("model: energy=%d messages=%d depth=%d (summed over per-call runs)\n",
 			naiveCost.Energy, naiveCost.Messages, naiveCost.Depth)
@@ -149,6 +200,20 @@ func main() {
 	fmt.Printf("cache: hits=%d misses=%d evictions=%d size=%d hit-rate=%.1f%%\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Size,
 		100*st.Cache.HitRate())
+	if *churn > 0 {
+		var epoch, rebuilds, refreshes uint64
+		var park, migrate int64
+		for _, sh := range shards {
+			ds := sh.eng.Stats()
+			epoch += ds.Epoch
+			rebuilds += ds.Rebuilds
+			refreshes += ds.Refreshes
+			park += ds.ParkEnergy
+			migrate += ds.MigrateEnergy
+		}
+		fmt.Printf("dyn: epoch=%d refreshes=%d layout-rebuilds=%d park-energy=%d migrate-energy=%d\n",
+			epoch, refreshes, rebuilds, park, migrate)
+	}
 }
 
 func max64(a, b uint64) uint64 {
@@ -158,14 +223,167 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// Counters of ephemeral (churn-round) engines, which live outside the
+// mutShard is one mutable tree of the churn-mode forest: a DynEngine in
+// engine mode, a bare dynamic layout (rebuilt from scratch per
+// mutation) in naive mode. tree is whichever of the two is live.
+type mutShard struct {
+	mu    sync.Mutex
+	origN int
+	tree  dynlayout.MutTree
+	eng   *engine.DynEngine
+	naive *dynlayout.Dyn
+}
+
+// mutate applies the churn pair: insert a leaf under a random original
+// vertex, delete the youngest inserted leaf (never an original id, so
+// query ids stay valid across the run). The after hook (when non-nil)
+// runs once per applied mutation — the naive arm hangs its
+// per-mutation rebuild on it.
+func (sh *mutShard) mutate(r *rng.RNG, after func()) int {
+	muts := 1
+	if _, err := sh.tree.InsertLeaf(r.Intn(sh.origN)); err != nil {
+		fatal(err)
+	}
+	if after != nil {
+		after()
+	}
+	ok, err := dynlayout.DeleteYoungestLeaf(sh.tree, sh.origN)
+	if err != nil {
+		fatal(err)
+	}
+	if ok {
+		muts++
+		if after != nil {
+			after()
+		}
+	}
+	return muts
+}
+
+// runMutable serves one churn-mode round: an optional mutation pair,
+// then the usual mixed traffic against the mutable shard. In naive
+// mode, the tree is revalidated and the light-first layout rebuilt from
+// scratch for every call — and once more after each mutation — which is
+// exactly the rebuild-per-mutation baseline.
+func runMutable(sh *mutShard, mutate bool, r *rng.RNG, nq, subs int, wantCut bool, edges []mincut.Edge, naive bool, crv sfc.Curve, seed uint64) (served, muts int, cost machine.Cost) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if mutate {
+		// In naive mode every applied mutation pays the rebuild a
+		// static deployment would: revalidate the tree and rerun the
+		// light-first pipeline from scratch.
+		var after func()
+		if naive {
+			after = func() {
+				t, err := sh.naive.Tree()
+				if err != nil {
+					fatal(err)
+				}
+				layout.LightFirst(t, crv)
+			}
+		}
+		muts = sh.mutate(r, after)
+	}
+
+	if naive {
+		t, err := sh.naive.Tree()
+		if err != nil {
+			fatal(err)
+		}
+		if wantCut {
+			s, c := naiveMinCut(t, edges, crv, seed)
+			return s, muts, c
+		}
+		s, c := naiveMixed(t, r, nq, subs, crv, seed)
+		return s, muts, c
+	}
+
+	de := sh.eng
+	n := de.N()
+	if wantCut {
+		if res := de.SubmitMinCut(edges).Wait(); res.Err != nil {
+			fatal(res.Err)
+		}
+		return len(edges), muts, machine.Cost{}
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(1000))
+	}
+	futs := make([]*engine.Future, 0, subs+1)
+	futs = append(futs, de.SubmitTreefix(vals, treefix.Add))
+	for _, qs := range splitQueries(r, nq, subs, sh.origN) {
+		futs = append(futs, de.SubmitLCA(qs))
+	}
+	for _, f := range futs {
+		if res := f.Wait(); res.Err != nil {
+			fatal("request failed:", res.Err)
+		}
+	}
+	return nq + n, muts, machine.Cost{}
+}
+
+// splitQueries draws nq random LCA queries over [0, idRange) in subs
+// sub-batches.
+func splitQueries(r *rng.RNG, nq, subs, idRange int) [][]lca.Query {
+	batches := make([][]lca.Query, subs)
+	per := (nq + subs - 1) / subs
+	for b := range batches {
+		m := per
+		if (b+1)*per > nq {
+			m = nq - b*per
+		}
+		if m < 0 {
+			m = 0
+		}
+		qs := make([]lca.Query, m)
+		for i := range qs {
+			qs[i] = lca.Query{U: r.Intn(idRange), V: r.Intn(idRange)}
+		}
+		batches[b] = qs
+	}
+	return batches
+}
+
+// naiveMixed replays one round through the per-call API shape: every
+// call rebuilds the layout and runs on its own simulator.
+func naiveMixed(t *tree.Tree, r *rng.RNG, nq, subs int, crv sfc.Curve, seed uint64) (int, machine.Cost) {
+	n := t.N()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(1000))
+	}
+	var cost machine.Cost
+	p := layout.LightFirst(t, crv)
+	s := machine.New(n, p.Curve)
+	treefix.BottomUp(s, t, p.Order.Rank, vals, treefix.Add, rng.New(seed))
+	cost = cost.Plus(s.Cost())
+	for _, qs := range splitQueries(r, nq, subs, n) {
+		p := layout.LightFirst(t, crv)
+		s := machine.New(n, p.Curve)
+		lca.Batched(s, t, p.Order.Rank, qs, rng.New(seed))
+		cost = cost.Plus(s.Cost())
+	}
+	return nq + n, cost
+}
+
+func naiveMinCut(t *tree.Tree, edges []mincut.Edge, crv sfc.Curve, seed uint64) (int, machine.Cost) {
+	p := layout.LightFirst(t, crv)
+	s := machine.New(t.N(), p.Curve)
+	if _, err := mincut.OneRespecting(s, t, p.Order.Rank, edges, rng.New(seed)); err != nil {
+		fatal(err)
+	}
+	return len(edges), s.Cost()
+}
+
+// Counters of ephemeral (restart-round) engines, which live outside the
 // pool and would otherwise vanish from the final report.
 var (
 	ephemMu    sync.Mutex
 	ephemStats engine.Stats
 )
 
-// engineFor returns the pool's long-lived shard for t, or — on churn
+// engineFor returns the pool's long-lived shard for t, or — on restart
 // rounds — an ephemeral engine whose placement comes from the shared
 // layout cache (the restart path the cache exists for). The returned
 // retire func must be called after the round's futures resolve; it
@@ -194,47 +412,18 @@ func engineFor(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.T
 // subs sub-batches, and returns the number of individual queries served
 // plus (naive mode only) the exact model cost of the per-call runs.
 func runMixed(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree, r *rng.RNG, nq, subs int, naive bool, crv sfc.Curve, seed uint64) (int, machine.Cost) {
+	if naive {
+		return naiveMixed(t, r, nq, subs, crv, seed)
+	}
 	n := t.N()
 	vals := make([]int64, n)
 	for i := range vals {
 		vals[i] = int64(r.Intn(1000))
 	}
-	batches := make([][]lca.Query, subs)
-	per := (nq + subs - 1) / subs
-	for b := range batches {
-		m := per
-		if (b+1)*per > nq {
-			m = nq - b*per
-		}
-		qs := make([]lca.Query, m)
-		for i := range qs {
-			qs[i] = lca.Query{U: r.Intn(n), V: r.Intn(n)}
-		}
-		batches[b] = qs
-	}
-
-	if naive {
-		// Per-call path: every call rebuilds the layout and runs on its
-		// own simulator — the pre-engine public API shape.
-		var cost machine.Cost
-		charge := func(s *machine.Sim) { cost = cost.Plus(s.Cost()) }
-		p := layout.LightFirst(t, crv)
-		s := machine.New(n, p.Curve)
-		treefix.BottomUp(s, t, p.Order.Rank, vals, treefix.Add, rng.New(seed))
-		charge(s)
-		for _, qs := range batches {
-			p := layout.LightFirst(t, crv)
-			s := machine.New(n, p.Curve)
-			lca.Batched(s, t, p.Order.Rank, qs, rng.New(seed))
-			charge(s)
-		}
-		return nq + n, cost
-	}
-
 	eng, retire := engineFor(pool, opts, ephemeral, t)
 	futs := make([]*engine.Future, 0, subs+1)
 	futs = append(futs, eng.SubmitTreefix(vals, treefix.Add))
-	for _, qs := range batches {
+	for _, qs := range splitQueries(r, nq, subs, n) {
 		futs = append(futs, eng.SubmitLCA(qs))
 	}
 	for _, f := range futs {
@@ -248,12 +437,7 @@ func runMixed(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tr
 
 func runMinCut(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree, edges []mincut.Edge, naive bool, crv sfc.Curve, seed uint64) (int, machine.Cost) {
 	if naive {
-		p := layout.LightFirst(t, crv)
-		s := machine.New(t.N(), p.Curve)
-		if _, err := mincut.OneRespecting(s, t, p.Order.Rank, edges, rng.New(seed)); err != nil {
-			fatal(err)
-		}
-		return len(edges), s.Cost()
+		return naiveMinCut(t, edges, crv, seed)
 	}
 	eng, retire := engineFor(pool, opts, ephemeral, t)
 	if res := eng.SubmitMinCut(edges).Wait(); res.Err != nil {

@@ -92,6 +92,64 @@ func FuzzFromParents(f *testing.F) {
 	})
 }
 
+// FuzzDynMutation drives random insert/delete sequences through the
+// dynamic layout and asserts, after every mutation, the invariants the
+// engine's mutable serving path relies on: positions stay injective
+// inside the grid, the free-slot accounting (used[]) matches the
+// position assignment, the parent/children mirrors agree, and snapshots
+// validate as trees (all via CheckInvariants); invalid mutations return
+// errors instead of panicking; and immediately after a rebuild the
+// kernel energy is within a constant factor of a fresh light-first
+// layout's.
+//
+// Byte encoding: data[0] picks the starting tree size; each following
+// byte is one mutation — high bit set deletes vertex b&0x7f mod n
+// (possibly invalid on purpose), otherwise inserts a leaf under b mod n.
+func FuzzDynMutation(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 2, 3, 4})                                  // inserts only
+	f.Add([]byte{8, 0x81, 0x87, 2, 0x80, 1, 0x9f, 3})                // mixed, some invalid deletes
+	f.Add([]byte{2, 0, 0x81, 0, 0x81, 0, 0x81})                      // insert/delete churn on a tiny tree
+	f.Add([]byte{30, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}) // drift toward a rebuild
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		n := int(data[0])%30 + 2
+		d, err := NewDynamicLayout(RandomTree(n, 1), "hilbert", 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data[1:] {
+			rebuildsBefore := d.Rebuilds
+			if b&0x80 != 0 {
+				// Deletions may legitimately fail (root, internal
+				// vertex); the contract is error-not-panic.
+				d.DeleteLeaf(int(b&0x7f) % d.N())
+			} else {
+				if _, err := d.InsertLeaf(int(b) % d.N()); err != nil {
+					t.Fatalf("insert under valid parent failed: %v", err)
+				}
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if d.Rebuilds > rebuildsBefore {
+				fresh, err := d.FreshKernelCost()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := d.KernelCost(); fresh.Energy > 0 && got.Energy > 4*fresh.Energy {
+					t.Fatalf("post-rebuild kernel %d exceeds 4x fresh optimum %d (n=%d)",
+						got.Energy, fresh.Energy, d.N())
+				}
+			}
+		}
+	})
+}
+
 // FuzzCurveRoundTrip asserts that every registered curve is a bijection
 // in both directions on legal grids: XY(Index(p)) == p for in-grid
 // points p, and Index(XY(i)) == i for in-range ranks i.

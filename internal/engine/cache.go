@@ -36,11 +36,19 @@ type CacheKey struct {
 	Order       string
 }
 
-// CacheStats reports layout-cache traffic.
+// CacheStats reports layout-cache traffic. Hits counts lookups served
+// without building (including coalesced waiters); Misses counts lookups
+// that started a build; Coalesced counts lookups that piggybacked on a
+// build already in flight (every coalesced lookup is also a hit);
+// Builds counts layout pipelines actually run — with the in-flight
+// coalescing of GetOrBuild, Builds == Misses no matter how many
+// goroutines miss the same key concurrently.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	Builds    uint64
+	Coalesced uint64
 	Size      int
 	Capacity  int
 }
@@ -63,17 +71,25 @@ const DefaultCacheCapacity = 32
 // what lets a fresh Engine on an already-seen tree skip the O(n log n)
 // light-first layout pipeline entirely.
 type LayoutCache struct {
-	mu      sync.Mutex
-	cap     int
-	lru     list.List // front = most recently used; values are *cacheEntry
-	entries map[CacheKey]*list.Element
+	mu       sync.Mutex
+	cap      int
+	lru      list.List // front = most recently used; values are *cacheEntry
+	entries  map[CacheKey]*list.Element
+	building map[CacheKey]*buildCall
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, builds, coalesced uint64
 }
 
 type cacheEntry struct {
 	key CacheKey
 	p   *layout.Placement
+}
+
+// buildCall is one in-flight GetOrBuild: the first miss on a key owns
+// the build, later misses wait on done and share p.
+type buildCall struct {
+	done chan struct{}
+	p    *layout.Placement
 }
 
 // NewLayoutCache returns a cache holding at most capacity placements
@@ -82,7 +98,11 @@ func NewLayoutCache(capacity int) *LayoutCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	c := &LayoutCache{cap: capacity, entries: make(map[CacheKey]*list.Element)}
+	c := &LayoutCache{
+		cap:      capacity,
+		entries:  make(map[CacheKey]*list.Element),
+		building: make(map[CacheKey]*buildCall),
+	}
 	c.lru.Init()
 	return c
 }
@@ -106,6 +126,10 @@ func (c *LayoutCache) Get(key CacheKey) (*layout.Placement, bool) {
 func (c *LayoutCache) Put(key CacheKey, p *layout.Placement) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, p)
+}
+
+func (c *LayoutCache) putLocked(key CacheKey, p *layout.Placement) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).p = p
 		c.lru.MoveToFront(el)
@@ -120,18 +144,72 @@ func (c *LayoutCache) Put(key CacheKey, p *layout.Placement) {
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, p: p})
 }
 
+// Invalidate removes the entry for key, if present, and reports whether
+// an entry was removed. A dynamic engine calls this when it republishes
+// a mutated tree's placement under a fresh epoch key, so the stale
+// placement can never be served again.
+func (c *LayoutCache) Invalidate(key CacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.lru.Remove(el)
+	delete(c.entries, key)
+	return true
+}
+
 // GetOrBuild returns the light-first placement of t on curve c, building
 // and caching it on a miss. fp must be Fingerprint(t). Concurrent misses
-// on the same key may build the placement more than once; the result is
-// identical either way, so the duplicated work is benign.
+// on the same key coalesce onto a single build (the first miss runs the
+// O(n log n) layout pipeline, the rest wait for it), so a thundering
+// herd of engines on one tree costs one build, not one per engine.
 func (c *LayoutCache) GetOrBuild(t *tree.Tree, fp uint64, curve sfc.Curve) *layout.Placement {
 	key := CacheKey{Fingerprint: fp, Curve: curve.Name(), Order: "light-first"}
-	if p, ok := c.Get(key); ok {
-		return p
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(el)
+			p := el.Value.(*cacheEntry).p
+			c.mu.Unlock()
+			return p
+		}
+		if call, ok := c.building[key]; ok {
+			c.hits++
+			c.coalesced++
+			c.mu.Unlock()
+			<-call.done
+			if call.p != nil {
+				return call.p
+			}
+			// The owning build died (panicked) before publishing; loop
+			// and take over the build rather than hand out nil.
+			continue
+		}
+		c.misses++
+		call := &buildCall{done: make(chan struct{})}
+		c.building[key] = call
+		c.mu.Unlock()
+
+		// Build outside the lock: the layout pipeline is the expensive
+		// part and must not serialize lookups of other keys. The
+		// deferred publish runs even if the build panics, so waiters
+		// never block forever.
+		defer func() {
+			c.mu.Lock()
+			if call.p != nil {
+				c.builds++
+				c.putLocked(key, call.p)
+			}
+			delete(c.building, key)
+			c.mu.Unlock()
+			close(call.done)
+		}()
+		call.p = layout.New(t, order.LightFirst(t), curve)
+		return call.p
 	}
-	p := layout.New(t, order.LightFirst(t), curve)
-	c.Put(key, p)
-	return p
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -142,6 +220,8 @@ func (c *LayoutCache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Builds:    c.builds,
+		Coalesced: c.coalesced,
 		Size:      c.lru.Len(),
 		Capacity:  c.cap,
 	}

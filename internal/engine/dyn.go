@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/order"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// DynEngine is the mutable-tree counterpart of Engine: it owns a
+// dynamically maintained layout (internal/dynlayout) and serves the same
+// batched Submit*/Flush protocol, but additionally accepts InsertLeaf
+// and DeleteLeaf between batches. Mutations never race with in-flight
+// requests: applying one first drains the pending batch, so every future
+// resolves against the tree as it stood when the request was submitted.
+//
+// Serving works through an inner Engine rebuilt lazily per placement
+// version ("epoch"): each mutation bumps the epoch and marks the serving
+// state dirty; the next submission refreshes it from the dynamic
+// layout's current parked/spread positions — an O(n) copy, not the
+// O(n log n) light-first pipeline a static engine would need to rebuild
+// from scratch. Only when the dynamic layout itself rebuilds (every εn
+// mutations) is the full pipeline paid, which is the whole amortization
+// argument of the paper's §VII direction.
+//
+// Kernels split by what they require of the placement. Treefix sums,
+// top-down sums and expression evaluation are order-agnostic — ranks are
+// only message endpoints — so they run on the parked placement itself
+// and their costs degrade gracefully with drift, exactly the trade-off
+// dynlayout quantifies. Batched LCA and min-cut are order-dependent
+// (correctness needs contiguous light-first subtree ranges, Section
+// VI-C), so those requests run on a dense light-first rank of the
+// current tree, computed lazily and memoized — at most once per epoch,
+// and only for epochs that actually serve such a request.
+//
+// The placement is published in the LayoutCache at rebuild boundaries
+// (construction, and the first refresh after each dynlayout rebuild —
+// mutations parked since the rebuild are included) under a key with the
+// engine id and epoch folded in (Order "dyn@<id>@<epoch>"; the id keeps
+// shards on structurally identical trees from clobbering each other's
+// entries).
+// Every refresh first invalidates the previously published entry, so
+// the cache never holds a placement for a superseded epoch and at most
+// one entry per shard exists — a mutated tree can never be served from
+// a stale fingerprint match, not even when a mutation sequence returns
+// to an earlier parent array (same structural fingerprint, different
+// parked positions). Requests themselves always route through the
+// current epoch's inner engine.
+//
+// All methods are safe for concurrent use.
+type DynEngine struct {
+	id    uint64
+	curve sfc.Curve
+	opts  Options // resolved: Cache non-nil, Window positive
+
+	mu        sync.Mutex
+	dyn       *dynlayout.Dyn
+	inner     *Engine
+	key       CacheKey // published entry of the latest rebuild epoch
+	published bool
+	pubAt     int // dyn.Rebuilds value the published entry reflects
+	epoch     uint64
+	dirty     bool
+	refreshes uint64
+	retired   Stats // folded counters of previous epochs' inner engines
+}
+
+// dynEngineIDs hands every DynEngine a process-unique id for its cache
+// keys, so shards on structurally identical trees never collide.
+var dynEngineIDs atomic.Uint64
+
+// DefaultEpsilon is the dynamic layout drift budget used when
+// DynOptions.Epsilon is not positive.
+const DefaultEpsilon = 0.2
+
+// DynOptions configures a DynEngine.
+type DynOptions struct {
+	Options
+	// Epsilon is the dynamic layout's rebuild threshold: a full layout
+	// rebuild triggers when mutations since the last rebuild exceed
+	// Epsilon × current size (<= 0 means DefaultEpsilon).
+	Epsilon float64
+}
+
+// DynStats snapshots a DynEngine's lifetime counters: the mutation side
+// (epoch, inserts/deletes, layout rebuilds, parking and migration
+// energy) plus the serving side (Engine folds the inner engines of all
+// epochs, including the shared cache's counters).
+type DynStats struct {
+	// Epoch counts applied mutations; it versions the placement.
+	Epoch uint64
+	// N is the current vertex count.
+	N int
+	// Inserts and Deletes count successful mutations.
+	Inserts, Deletes uint64
+	// Rebuilds counts full light-first recomputations of the dynamic
+	// layout (the amortized Θ(n^{3/2})-energy events).
+	Rebuilds uint64
+	// Refreshes counts serving-state rebuilds: placements derived from
+	// the dynamic layout and republished (at most one per epoch, only
+	// when a submission actually follows a mutation).
+	Refreshes uint64
+	// ParkEnergy and MigrateEnergy are the dynamic layout's maintenance
+	// costs (see dynlayout.Dyn).
+	ParkEnergy, MigrateEnergy int64
+	// Engine aggregates the inner serving engines across epochs.
+	Engine Stats
+}
+
+// NewDyn builds a mutable serving engine for t.
+func NewDyn(t *tree.Tree, opts DynOptions) (*DynEngine, error) {
+	name := opts.Curve
+	if name == "" {
+		name = "hilbert"
+	}
+	c, err := sfc.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	d, err := dynlayout.New(t, c, eps)
+	if err != nil {
+		return nil, err
+	}
+	resolved := opts.Options
+	resolved.Curve = name
+	if resolved.Cache == nil {
+		resolved.Cache = NewLayoutCache(DefaultCacheCapacity)
+	}
+	if resolved.Window <= 0 {
+		resolved.Window = DefaultWindow
+	}
+	de := &DynEngine{id: dynEngineIDs.Add(1), curve: c, opts: resolved, dyn: d}
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de, de.refreshLocked()
+}
+
+// refreshLocked derives a fresh serving state from the dynamic layout:
+// a placement snapshot of the current epoch, an inner engine on it, and
+// the cache entry republished under the epoch-versioned key (the stale
+// epoch's entry is invalidated first).
+func (de *DynEngine) refreshLocked() error {
+	p, err := de.dyn.Placement()
+	if err != nil {
+		return err
+	}
+	inner, err := newWithPlacement(p.Tree, p, de.opts)
+	if err != nil {
+		return err
+	}
+	// Order-dependent kernels get the dense light-first rank of this
+	// epoch's tree, computed on first need (at most once per epoch —
+	// the engine memoizes it). Deliberately NOT routed through the
+	// shared cache: each mutated epoch has a fresh fingerprint, so
+	// caching these would fill the LRU with one-shot entries and evict
+	// the static placements it exists to reuse.
+	inner.orderRankFn = func() []int {
+		return order.LightFirst(p.Tree).Rank
+	}
+	if de.inner != nil {
+		st := de.inner.Stats()
+		st.Cache = CacheStats{} // cache counters are global, not per-epoch
+		de.retired.Add(st)
+	}
+	// Version the cache entry: every refresh invalidates the superseded
+	// epoch's entry, but a fresh one is published only at rebuild
+	// boundaries — construction, and the first refresh after each
+	// dynlayout rebuild (the placement may include mutations parked
+	// since that rebuild). At most one live entry per shard exists, so
+	// dyn entries cannot churn the shared LRU out of its reusable
+	// light-first placements.
+	if de.published {
+		de.opts.Cache.Invalidate(de.key)
+		de.published = false
+	}
+	if de.refreshes == 0 || de.dyn.Rebuilds != de.pubAt {
+		key := CacheKey{
+			Fingerprint: inner.Fingerprint(),
+			Curve:       de.curve.Name(),
+			Order:       fmt.Sprintf("dyn@%d@%d", de.id, de.epoch),
+		}
+		de.opts.Cache.Put(key, p)
+		de.key, de.published, de.pubAt = key, true, de.dyn.Rebuilds
+	}
+	de.inner = inner
+	de.dirty = false
+	de.refreshes++
+	return nil
+}
+
+// engineLocked returns the inner engine for the current epoch,
+// refreshing it first if a mutation has been applied since it was built.
+func (de *DynEngine) engineLocked() (*Engine, error) {
+	if de.dirty || de.inner == nil {
+		if err := de.refreshLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return de.inner, nil
+}
+
+// drainLocked flushes the pending batch so that every already-submitted
+// request resolves against the pre-mutation tree.
+func (de *DynEngine) drainLocked() {
+	if de.inner != nil {
+		de.inner.Flush()
+	}
+}
+
+// InsertLeaf drains the pending batch, adds a new leaf under parent, and
+// returns its vertex id. The next submission serves the mutated tree.
+func (de *DynEngine) InsertLeaf(parent int) (int, error) {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	de.drainLocked()
+	before := de.dyn.Inserts
+	v, err := de.dyn.InsertLeaf(parent)
+	// Bump the epoch whenever the layout actually mutated — including
+	// when a post-mutation rebuild failed — so the serving state can
+	// never keep presenting the pre-mutation tree as current.
+	if de.dyn.Inserts != before {
+		de.epoch++
+		de.dirty = true
+	}
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// DeleteLeaf drains the pending batch and removes leaf v. As in
+// dynlayout.Dyn.DeleteLeaf, ids stay contiguous: the returned moved is
+// the old id of the vertex renumbered into v (moved == v when v was the
+// last id and nothing moved).
+func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	de.drainLocked()
+	before := de.dyn.Deletes
+	moved, err = de.dyn.DeleteLeaf(v)
+	if de.dyn.Deletes != before {
+		de.epoch++
+		de.dirty = true
+	}
+	if err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// N returns the current vertex count.
+func (de *DynEngine) N() int {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de.dyn.N()
+}
+
+// Epoch returns the number of mutations applied so far; it versions the
+// placement and is folded into the layout-cache key.
+func (de *DynEngine) Epoch() uint64 {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de.epoch
+}
+
+// IsLeaf reports whether v is a current vertex with no children (the
+// precondition of DeleteLeaf).
+func (de *DynEngine) IsLeaf(v int) bool {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de.dyn.IsLeaf(v)
+}
+
+// Tree returns a validated snapshot of the current tree. A getter only:
+// it never refreshes the serving state (the inner engine's tree is
+// reused when it is current, otherwise a fresh snapshot is validated).
+func (de *DynEngine) Tree() (*tree.Tree, error) {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if !de.dirty && de.inner != nil {
+		return de.inner.Tree(), nil
+	}
+	return de.dyn.Tree()
+}
+
+// CacheKey returns the layout-cache key of the most recently published
+// placement (construction or the latest rebuild boundary). The entry
+// itself may have been invalidated since, if mutations superseded it.
+func (de *DynEngine) CacheKey() CacheKey {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de.key
+}
+
+// SubmitTreefix enqueues a bottom-up treefix sum on the current tree;
+// see Engine.SubmitTreefix. vals must match the current vertex count.
+func (de *DynEngine) SubmitTreefix(vals []int64, op treefix.Op) *Future {
+	return de.submit(func(e *Engine) *Future { return e.SubmitTreefix(vals, op) })
+}
+
+// SubmitTopDown enqueues a top-down treefix sum on the current tree.
+func (de *DynEngine) SubmitTopDown(vals []int64, op treefix.Op) *Future {
+	return de.submit(func(e *Engine) *Future { return e.SubmitTopDown(vals, op) })
+}
+
+// SubmitLCA enqueues a batch of LCA queries on the current tree.
+func (de *DynEngine) SubmitLCA(queries []lca.Query) *Future {
+	return de.submit(func(e *Engine) *Future { return e.SubmitLCA(queries) })
+}
+
+// SubmitMinCut enqueues a 1-respecting minimum-cut computation against
+// the current tree.
+func (de *DynEngine) SubmitMinCut(edges []mincut.Edge) *Future {
+	return de.submit(func(e *Engine) *Future { return e.SubmitMinCut(edges) })
+}
+
+// SubmitExpr enqueues evaluation of an expression whose tree matches the
+// current tree structurally.
+func (de *DynEngine) SubmitExpr(x *exprtree.Expr) *Future {
+	return de.submit(func(e *Engine) *Future { return e.SubmitExpr(x) })
+}
+
+// submit routes one request to the current epoch's inner engine under
+// the mutation lock, so a submission can never land on a retired epoch.
+// A submission that fills the window runs its batch inline while holding
+// the lock — mutations land between batches, as documented.
+func (de *DynEngine) submit(f func(*Engine) *Future) *Future {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	eng, err := de.engineLocked()
+	if err != nil {
+		return failedFuture(err)
+	}
+	return f(eng)
+}
+
+// Flush runs the pending batch, if any, and blocks until it resolves.
+func (de *DynEngine) Flush() {
+	de.mu.Lock()
+	inner := de.inner
+	de.mu.Unlock()
+	if inner != nil {
+		inner.Flush()
+	}
+}
+
+// Pending returns the number of queued, unflushed requests.
+func (de *DynEngine) Pending() int {
+	de.mu.Lock()
+	inner := de.inner
+	de.mu.Unlock()
+	if inner == nil {
+		return 0
+	}
+	return inner.Pending()
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (de *DynEngine) Stats() DynStats {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	eng := de.retired
+	if de.inner != nil {
+		eng.Add(de.inner.Stats())
+	}
+	eng.Cache = de.opts.Cache.Stats()
+	return DynStats{
+		Epoch:         de.epoch,
+		N:             de.dyn.N(),
+		Inserts:       uint64(de.dyn.Inserts),
+		Deletes:       uint64(de.dyn.Deletes),
+		Rebuilds:      uint64(de.dyn.Rebuilds),
+		Refreshes:     de.refreshes,
+		ParkEnergy:    de.dyn.ParkEnergy,
+		MigrateEnergy: de.dyn.MigrateEnergy,
+		Engine:        eng,
+	}
+}

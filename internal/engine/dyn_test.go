@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"spatialtree/internal/lca"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// mutate applies one random mutation to de (an insert, or a delete of a
+// random leaf) and returns whether it succeeded.
+func mutate(t *testing.T, de *DynEngine, r *rng.RNG) {
+	t.Helper()
+	if r.Intn(3) == 0 && de.N() > 2 {
+		// Find a leaf to delete; renumbering keeps ids contiguous.
+		for v := de.N() - 1; v > 0; v-- {
+			if de.IsLeaf(v) {
+				if _, err := de.DeleteLeaf(v); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+	}
+	if _, err := de.InsertLeaf(r.Intn(de.N())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynDifferential is the acceptance check of the mutable serving
+// path: after every burst of random mutations, the DynEngine must return
+// kernel results identical to a fresh static engine built from scratch
+// on the post-mutation tree, across all request kinds.
+func TestDynDifferential(t *testing.T) {
+	r := rng.New(77)
+	base := tree.RandomAttachment(180, r)
+	de, err := NewDyn(base, DynOptions{Options: Options{Window: 64, Seed: 5}, Epsilon: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		for m := 0; m < 25; m++ {
+			mutate(t, de, r)
+		}
+		cur, err := de.Tree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := New(cur, Options{Window: 64, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n := cur.N()
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000)) - 500
+		}
+		queries := make([]lca.Query, 40)
+		for i := range queries {
+			queries[i] = lca.Query{U: r.Intn(n), V: r.Intn(n)}
+		}
+		edges := mincut.RandomGraph(cur, n/2, 10, rng.New(uint64(round)))
+
+		type pair struct {
+			name     string
+			dyn, ref *Future
+		}
+		pairs := []pair{
+			{"treefix", de.SubmitTreefix(vals, treefix.Add), static.SubmitTreefix(vals, treefix.Add)},
+			{"topdown", de.SubmitTopDown(vals, treefix.Max), static.SubmitTopDown(vals, treefix.Max)},
+			{"lca", de.SubmitLCA(queries), static.SubmitLCA(queries)},
+			{"mincut", de.SubmitMinCut(edges), static.SubmitMinCut(edges)},
+		}
+		for _, p := range pairs {
+			got, want := p.dyn.Wait(), p.ref.Wait()
+			if got.Err != nil || want.Err != nil {
+				t.Fatalf("round %d %s: errs %v / %v", round, p.name, got.Err, want.Err)
+			}
+			switch p.name {
+			case "treefix", "topdown":
+				for v := range want.Sums {
+					if got.Sums[v] != want.Sums[v] {
+						t.Fatalf("round %d %s: sum[%d] = %d, want %d", round, p.name, v, got.Sums[v], want.Sums[v])
+					}
+				}
+			case "lca":
+				for i := range want.Answers {
+					if got.Answers[i] != want.Answers[i] {
+						t.Fatalf("round %d lca: answer[%d] = %d, want %d", round, i, got.Answers[i], want.Answers[i])
+					}
+				}
+			case "mincut":
+				if got.MinCut.MinWeight != want.MinCut.MinWeight {
+					t.Fatalf("round %d mincut: weight %d, want %d", round, got.MinCut.MinWeight, want.MinCut.MinWeight)
+				}
+			}
+		}
+	}
+	st := de.Stats()
+	if st.Epoch != 200 || st.Inserts+st.Deletes != 200 {
+		t.Fatalf("epoch %d inserts %d deletes %d after 200 mutations", st.Epoch, st.Inserts, st.Deletes)
+	}
+	if st.Refreshes == 0 || st.Engine.Batches == 0 {
+		t.Fatalf("no refreshes (%d) or batches (%d) recorded", st.Refreshes, st.Engine.Batches)
+	}
+}
+
+// TestDynMutationDrainsPending asserts the documented ordering: futures
+// submitted before a mutation resolve (against the pre-mutation tree)
+// before the mutation is applied.
+func TestDynMutationDrainsPending(t *testing.T) {
+	tr := tree.RandomAttachment(64, rng.New(1))
+	de, err := NewDyn(tr, DynOptions{Options: Options{Window: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = 1
+	}
+	fut := de.SubmitTreefix(vals, treefix.Add)
+	if fut.Done() {
+		t.Fatal("future resolved before any flush")
+	}
+	if _, err := de.InsertLeaf(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fut.Done() {
+		t.Fatal("mutation did not drain the pending batch")
+	}
+	res := fut.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Sums) != 64 {
+		t.Fatalf("pre-mutation request saw %d vertices, want 64", len(res.Sums))
+	}
+	if res.Sums[tr.Root()] != 64 {
+		t.Fatalf("root sum %d on the pre-mutation tree, want 64", res.Sums[tr.Root()])
+	}
+	// The next request serves the mutated tree: old-length vals are now
+	// rejected, new-length vals succeed.
+	if res := de.SubmitTreefix(vals, treefix.Add).Wait(); res.Err == nil {
+		t.Fatal("stale-length vals accepted after mutation")
+	}
+	vals = append(vals, 1)
+	if res := de.SubmitTreefix(vals, treefix.Add).Wait(); res.Err != nil || res.Sums[tr.Root()] != 65 {
+		t.Fatalf("post-mutation treefix: err=%v root sum=%v, want 65", res.Err, res.Sums[tr.Root()])
+	}
+}
+
+// TestDynEpochKeysCache asserts the versioning scheme: placements are
+// published under keys with the engine id and epoch folded in, every
+// refresh invalidates the superseded entry (so a stale placement can
+// never be served, even when a mutation sequence returns to a
+// structurally identical tree), and fresh entries appear only at
+// rebuild boundaries — dyn entries never churn the shared LRU.
+func TestDynEpochKeysCache(t *testing.T) {
+	cache := NewLayoutCache(8)
+	tr := tree.RandomAttachment(50, rng.New(2))
+	de, err := NewDyn(tr, DynOptions{Options: Options{Cache: cache}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key0 := de.CacheKey()
+	if !strings.HasPrefix(key0.Order, "dyn@") {
+		t.Fatalf("cache key order %q does not carry the epoch", key0.Order)
+	}
+	if _, ok := cache.Get(key0); !ok {
+		t.Fatal("construction placement not published")
+	}
+
+	// Insert a leaf and delete it again: the parent array (and hence the
+	// structural fingerprint) returns to its original value, but the
+	// epoch advanced by 2 — the construction entry must not survive the
+	// next refresh, or its stale parked positions could be mistaken for
+	// current ones.
+	v, err := de.InsertLeaf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := de.DeleteLeaf(v); err != nil {
+		t.Fatal(err)
+	}
+	if res := de.SubmitLCA([]lca.Query{{U: 1, V: 2}}).Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if _, ok := cache.Get(key0); ok {
+		t.Fatal("stale construction placement still served from the cache")
+	}
+	if de.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", de.Epoch())
+	}
+
+	// Mutate past the drift budget (ε=0.2 of n≈50) to force a dynlayout
+	// rebuild: the next refresh publishes a fresh entry under the new
+	// epoch's key.
+	for i := 0; i < 15; i++ {
+		if _, err := de.InsertLeaf(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := de.SubmitLCA([]lca.Query{{U: 1, V: 2}}).Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := de.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatal("expected a dynlayout rebuild past the drift budget")
+	}
+	keyR := de.CacheKey()
+	if keyR == key0 {
+		t.Fatal("rebuild did not republish under a fresh key")
+	}
+	if !strings.HasPrefix(keyR.Order, "dyn@") {
+		t.Fatalf("rebuild key order %q", keyR.Order)
+	}
+	if _, ok := cache.Get(keyR); !ok {
+		t.Fatal("rebuild placement not published")
+	}
+}
+
+// TestDynLazyRefresh asserts mutations are O(1) on the serving side:
+// a burst of mutations with no queries in between triggers at most one
+// placement refresh, on the next submission.
+func TestDynLazyRefresh(t *testing.T) {
+	de, err := NewDyn(tree.RandomAttachment(100, rng.New(3)), DynOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := de.Stats().Refreshes; r != 1 {
+		t.Fatalf("refreshes after construction = %d, want 1", r)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := de.InsertLeaf(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := de.Stats().Refreshes; r != 1 {
+		t.Fatalf("refreshes after idle mutations = %d, want still 1", r)
+	}
+	if res := de.SubmitLCA([]lca.Query{{U: 0, V: 1}}).Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if r := de.Stats().Refreshes; r != 2 {
+		t.Fatalf("refreshes after first post-mutation submit = %d, want 2", r)
+	}
+}
+
+// TestDynInvalidInputs asserts user errors surface as errors, not
+// panics, through the mutable engine.
+func TestDynInvalidInputs(t *testing.T) {
+	de, err := NewDyn(tree.Path(8), DynOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := de.InsertLeaf(-1); err == nil {
+		t.Error("negative parent accepted")
+	}
+	if _, err := de.InsertLeaf(99); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if _, err := de.DeleteLeaf(3); err == nil {
+		t.Error("deleting an internal vertex accepted")
+	}
+	if _, err := de.DeleteLeaf(0); err == nil {
+		t.Error("deleting the root accepted")
+	}
+	if res := de.SubmitTreefix(make([]int64, 3), treefix.Add).Wait(); res.Err == nil {
+		t.Error("short vals accepted")
+	}
+	if res := de.SubmitLCA([]lca.Query{{U: -1, V: 0}}).Wait(); res.Err == nil {
+		t.Error("out-of-range LCA query accepted")
+	}
+	if _, err := NewDyn(tree.MustFromParents(nil), DynOptions{}); err == nil {
+		t.Error("empty tree accepted")
+	}
+	if _, err := NewDyn(tree.Path(4), DynOptions{Options: Options{Curve: "nope"}}); err == nil {
+		t.Error("unknown curve accepted")
+	}
+}
+
+// TestPoolDynShards asserts mutable shards are routed by identity and
+// folded into FlushAll and Stats.
+func TestPoolDynShards(t *testing.T) {
+	pool := NewPool(2, Options{Window: 1000})
+	tr := tree.RandomAttachment(60, rng.New(4))
+	d1, err := pool.NewDynShard(tr, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure, second shard: identity routing means a distinct
+	// engine (unlike Pool.Engine, which would share by fingerprint).
+	d2, err := pool.NewDynShard(tree.MustFromParents(tr.Parents()), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("dyn shards deduplicated by structure")
+	}
+	// Identity also separates their cache keys: structurally identical
+	// shards at the same epoch must not clobber each other's entries.
+	if d1.CacheKey() == d2.CacheKey() {
+		t.Fatal("dyn shards share a cache key")
+	}
+	if pool.Size() != 2 {
+		t.Fatalf("pool size %d, want 2", pool.Size())
+	}
+	if _, err := d1.InsertLeaf(0); err != nil {
+		t.Fatal(err)
+	}
+	futs := []*Future{
+		d1.SubmitLCA([]lca.Query{{U: 0, V: 1}}),
+		d2.SubmitLCA([]lca.Query{{U: 0, V: 1}}),
+	}
+	pool.FlushAll()
+	for _, f := range futs {
+		if !f.Done() {
+			t.Fatal("FlushAll left a dyn shard's future pending")
+		}
+		if res := f.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	st := pool.Stats()
+	if st.Requests != 2 || st.Batches != 2 {
+		t.Fatalf("pool stats requests=%d batches=%d, want 2/2", st.Requests, st.Batches)
+	}
+}

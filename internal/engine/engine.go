@@ -203,6 +203,16 @@ type Engine struct {
 	seed   uint64
 	cache  *LayoutCache
 
+	// Order-dependent kernels (batched LCA and min-cut) require a dense
+	// light-first rank — their correctness depends on subtrees being
+	// contiguous ranges, which a dynamic layout's parked placement does
+	// not guarantee. orderRankFn supplies that rank lazily on first
+	// need; when nil the placement's own order is used (the static
+	// case, where they coincide).
+	orderRankFn func() []int
+	orderOnce   sync.Once
+	orderRanks  []int
+
 	mu       sync.Mutex
 	pending  []*request
 	batchSeq uint64
@@ -241,6 +251,36 @@ func New(t *tree.Tree, opts Options) (*Engine, error) {
 	}, nil
 }
 
+// newWithPlacement builds an engine serving t on an explicit placement
+// (p.Tree must be t) instead of a cached light-first one. This is the
+// constructor DynEngine uses: a dynamic layout's placement holds parked,
+// spread-out positions that no cache key describes. Callers whose
+// placement is not a light-first order must also set orderRankFn, or
+// LCA and min-cut results are undefined. opts.Curve is ignored — the
+// placement's curve governs; opts.Cache only feeds the Stats snapshot
+// (nil means a fresh private cache, as in New).
+func newWithPlacement(t *tree.Tree, p *layout.Placement, opts Options) (*Engine, error) {
+	if p == nil || p.Tree != t {
+		return nil, fmt.Errorf("engine: placement was not built for this tree")
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewLayoutCache(DefaultCacheCapacity)
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Engine{
+		t:      t,
+		fp:     Fingerprint(t),
+		p:      p,
+		window: window,
+		seed:   opts.Seed,
+		cache:  cache,
+	}, nil
+}
+
 // Tree returns the engine's tree.
 func (e *Engine) Tree() *tree.Tree { return e.t }
 
@@ -249,6 +289,19 @@ func (e *Engine) Placement() *layout.Placement { return e.p }
 
 // Fingerprint returns the structural fingerprint of the engine's tree.
 func (e *Engine) Fingerprint() uint64 { return e.fp }
+
+// orderRank returns the dense light-first rank the order-dependent
+// kernels run on, computing it at most once per engine.
+func (e *Engine) orderRank() []int {
+	e.orderOnce.Do(func() {
+		if e.orderRankFn != nil {
+			e.orderRanks = e.orderRankFn()
+		} else {
+			e.orderRanks = e.p.Order.Rank
+		}
+	})
+	return e.orderRanks
+}
 
 // Stats returns a snapshot of the engine counters plus the layout
 // cache's.
@@ -267,10 +320,19 @@ func (e *Engine) Pending() int {
 	return len(e.pending)
 }
 
+// failedFuture returns an already-resolved future carrying err. Its
+// engine pointer may be nil: Wait sees a closed done channel and never
+// dereferences it.
+func failedFuture(err error) *Future {
+	f := &Future{done: make(chan struct{})}
+	f.resolve(Result{Err: err})
+	return f
+}
+
 // failed returns an already-resolved future carrying err.
 func (e *Engine) failed(err error) *Future {
-	f := &Future{e: e, done: make(chan struct{})}
-	f.resolve(Result{Err: err})
+	f := failedFuture(err)
+	f.e = e
 	return f
 }
 
@@ -367,7 +429,10 @@ func (e *Engine) Flush() {
 // called without e.mu held; distinct batches may run concurrently on
 // independent simulators.
 func (e *Engine) runBatch(batch []*request, seq uint64) {
-	s := machine.New(e.t.N(), e.p.Curve)
+	// Size the simulator by the placement's grid, not the vertex count:
+	// for standard placements these coincide (Side == Curve.Side(n)),
+	// but a dynamic layout's spread positions occupy ranks up to Side².
+	s := machine.New(e.p.Side*e.p.Side, e.p.Curve)
 	r := rng.New(e.seed ^ (seq+1)*0x9e3779b97f4a7c15)
 	rank := e.p.Order.Rank
 
@@ -384,7 +449,7 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 			sums, _ := treefix.TopDown(s, e.t, rank, req.vals, req.op, r)
 			req.fut.resolve(Result{Sums: sums, Cost: s.Since(mark)})
 		case kindMinCut:
-			res, err := mincut.OneRespecting(s, e.t, rank, req.edges, r)
+			res, err := mincut.OneRespecting(s, e.t, e.orderRank(), req.edges, r)
 			req.fut.resolve(Result{MinCut: res, Cost: s.Since(mark), Err: err})
 		case kindExpr:
 			v, _ := exprtree.EvalSpatial(s, req.expr, rank)
@@ -400,7 +465,7 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 			all = append(all, req.queries...)
 		}
 		mark := s.Cost()
-		answers, _ := lca.Batched(s, e.t, rank, all, r)
+		answers, _ := lca.Batched(s, e.t, e.orderRank(), all, r)
 		cost := s.Since(mark)
 		off := 0
 		for _, req := range lcaReqs {

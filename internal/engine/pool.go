@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
 	"spatialtree/internal/par"
@@ -13,13 +14,28 @@ import (
 // traffic spans many trees (e.g. a forest of per-tenant indexes): same
 // tree → same engine → coalesced batches; different trees → different
 // shards → concurrent simulator runs.
+//
+// Mutable trees cannot be routed structurally — every mutation changes
+// the fingerprint — so the pool routes them by engine identity instead:
+// NewDynShard registers a DynEngine and hands back the handle, which is
+// the shard's only address. FlushAll and Stats cover both kinds.
 type Pool struct {
 	opts    Options
 	workers int
 
-	mu      sync.Mutex
-	engines map[uint64]*Engine
-	shards  []*Engine // stable insertion order for FlushAll and Stats
+	mu       sync.Mutex
+	engines  map[uint64]*Engine
+	building map[uint64]*poolBuild
+	shards   []*Engine    // stable insertion order for FlushAll and Stats
+	dyns     []*DynEngine // mutable shards, routed by identity
+}
+
+// poolBuild coalesces concurrent Engine calls for one unseen
+// fingerprint: the first caller constructs the engine, the rest wait.
+type poolBuild struct {
+	done chan struct{}
+	e    *Engine
+	err  error
 }
 
 // NewPool returns a pool whose FlushAll uses at most workers goroutines
@@ -34,14 +50,17 @@ func NewPool(workers int, opts Options) *Pool {
 		opts.Cache = NewLayoutCache(DefaultCacheCapacity)
 	}
 	return &Pool{
-		opts:    opts,
-		workers: workers,
-		engines: make(map[uint64]*Engine),
+		opts:     opts,
+		workers:  workers,
+		engines:  make(map[uint64]*Engine),
+		building: make(map[uint64]*poolBuild),
 	}
 }
 
 // Engine returns the pool's engine for t, creating it on first sight of
 // the tree's fingerprint. Structurally identical trees share a shard.
+// Concurrent first sights of the same fingerprint coalesce onto one
+// construction (and, through the shared cache, one layout build).
 func (p *Pool) Engine(t *tree.Tree) (*Engine, error) {
 	fp := Fingerprint(t)
 	p.mu.Lock()
@@ -49,56 +68,98 @@ func (p *Pool) Engine(t *tree.Tree) (*Engine, error) {
 		p.mu.Unlock()
 		return e, nil
 	}
+	if b, ok := p.building[fp]; ok {
+		p.mu.Unlock()
+		<-b.done
+		return b.e, b.err
+	}
+	b := &poolBuild{done: make(chan struct{})}
+	p.building[fp] = b
 	p.mu.Unlock()
+
 	// Build outside the lock: layout construction is the expensive part
-	// and must not serialize unrelated shards.
-	e, err := New(t, p.opts)
+	// and must not serialize unrelated shards. The deferred publish runs
+	// even if the build panics, so waiters get an error instead of
+	// blocking forever on a done channel that never closes.
+	var e *Engine
+	var err error
+	defer func() {
+		if e == nil && err == nil {
+			err = fmt.Errorf("engine: pool build for fingerprint %x did not complete", fp)
+		}
+		p.mu.Lock()
+		delete(p.building, fp)
+		if err == nil {
+			p.engines[fp] = e
+			p.shards = append(p.shards, e)
+		}
+		b.e, b.err = e, err
+		p.mu.Unlock()
+		close(b.done)
+	}()
+	e, err = New(t, p.opts)
+	return e, err
+}
+
+// NewDynShard creates a mutable shard for t, backed by the pool's
+// options and shared cache, and registers it for FlushAll and Stats.
+// The returned handle is the shard's address — the pool never routes
+// mutable trees by fingerprint, because mutations change it.
+func (p *Pool) NewDynShard(t *tree.Tree, epsilon float64) (*DynEngine, error) {
+	de, err := NewDyn(t, DynOptions{Options: p.opts, Epsilon: epsilon})
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if prior, ok := p.engines[fp]; ok { // lost a build race; keep the first
-		return prior, nil
-	}
-	p.engines[fp] = e
-	p.shards = append(p.shards, e)
-	return e, nil
+	p.dyns = append(p.dyns, de)
+	p.mu.Unlock()
+	return de, nil
 }
 
 // Cache returns the shared layout cache.
 func (p *Pool) Cache() *LayoutCache { return p.opts.Cache }
 
-// Size returns the number of shards (distinct trees seen).
+// Size returns the number of shards (distinct immutable trees plus
+// registered mutable shards).
 func (p *Pool) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.shards)
+	return len(p.shards) + len(p.dyns)
 }
 
-// FlushAll flushes every shard, running independent shards' batches in
-// parallel across the pool's workers, and blocks until all of them have
-// resolved.
+// FlushAll flushes every shard — immutable and mutable — running
+// independent shards' batches in parallel across the pool's workers,
+// and blocks until all of them have resolved.
 func (p *Pool) FlushAll() {
 	p.mu.Lock()
 	shards := append([]*Engine(nil), p.shards...)
+	dyns := append([]*DynEngine(nil), p.dyns...)
 	p.mu.Unlock()
-	par.For(len(shards), p.workers, func(lo, hi int) {
+	par.For(len(shards)+len(dyns), p.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			shards[i].Flush()
+			if i < len(shards) {
+				shards[i].Flush()
+			} else {
+				dyns[i-len(shards)].Flush()
+			}
 		}
 	})
 }
 
-// Stats aggregates the counters of every shard. The Cache field is the
-// shared cache's (not a per-shard sum).
+// Stats aggregates the counters of every shard, folding mutable shards'
+// inner-engine counters in. The Cache field is the shared cache's (not
+// a per-shard sum).
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	shards := append([]*Engine(nil), p.shards...)
+	dyns := append([]*DynEngine(nil), p.dyns...)
 	p.mu.Unlock()
 	var agg Stats
 	for _, e := range shards {
 		agg.Add(e.Stats())
+	}
+	for _, d := range dyns {
+		agg.Add(d.Stats().Engine)
 	}
 	agg.Cache = p.opts.Cache.Stats()
 	return agg

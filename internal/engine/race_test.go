@@ -126,6 +126,134 @@ func TestEngineConcurrentHammer(t *testing.T) {
 	}
 }
 
+// TestDynEngineConcurrentHammer races mutators against submitters on
+// one mutable engine. Mutations are confined to vertices ≥ stable, so
+// ids below it are never renumbered and the base oracle stays valid for
+// the query goroutines: leaf inserts/deletes elsewhere cannot change
+// the LCA of two untouched vertices.
+func TestDynEngineConcurrentHammer(t *testing.T) {
+	const (
+		n      = 200
+		stable = 100
+		rounds = 40
+	)
+	base := tree.RandomAttachment(n, rng.New(55))
+	de, err := NewDyn(base, DynOptions{Options: Options{Window: 5, Seed: 2}, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := lca.NewOracle(base)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+
+	// Inserter: parents drawn from the stable prefix are always valid.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rng.New(7)
+		for i := 0; i < rounds; i++ {
+			if _, err := de.InsertLeaf(r.Intn(stable)); err != nil {
+				errs <- "insert: " + err.Error()
+				return
+			}
+		}
+	}()
+	// Deleter: only ids ≥ 150 are candidates, so renumbering never
+	// touches the stable prefix. IsLeaf→DeleteLeaf is not atomic, so a
+	// racing mutation may invalidate the pick — that error is expected.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/2; i++ {
+			if de.N() <= 160 {
+				continue
+			}
+			for v := de.N() - 1; v >= 150; v-- {
+				if de.IsLeaf(v) {
+					de.DeleteLeaf(v) // racing errors tolerated
+					break
+				}
+			}
+		}
+	}()
+	// Query goroutines: LCA over the stable prefix, checked against the
+	// base oracle; treefix with a length snapshot, where a concurrent
+	// mutation may legitimately reject the stale length.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(300 + g))
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					qs := make([]lca.Query, 4)
+					for j := range qs {
+						qs[j] = lca.Query{U: r.Intn(stable), V: r.Intn(stable)}
+					}
+					res := de.SubmitLCA(qs).Wait()
+					if res.Err != nil {
+						errs <- "lca: " + res.Err.Error()
+						return
+					}
+					for j, q := range qs {
+						if res.Answers[j] != oracle.LCA(q.U, q.V) {
+							errs <- "lca mismatch under concurrent mutation"
+							return
+						}
+					}
+				} else {
+					vals := make([]int64, de.N())
+					res := de.SubmitTreefix(vals, treefix.Add).Wait()
+					if res.Err == nil && len(res.Sums) != len(vals) {
+						errs <- "treefix length mismatch"
+						return
+					}
+					de.Flush()
+					_ = de.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	if _, err := de.Tree(); err != nil {
+		t.Fatal(err)
+	}
+	st := de.Stats()
+	if st.Inserts != rounds {
+		t.Fatalf("Inserts = %d, want %d", st.Inserts, rounds)
+	}
+	if st.Epoch != st.Inserts+st.Deletes {
+		t.Fatalf("epoch %d != inserts %d + deletes %d", st.Epoch, st.Inserts, st.Deletes)
+	}
+	// Post-hammer differential: the final tree must serve like a fresh
+	// static engine.
+	cur, err := de.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalOracle := lca.NewOracle(cur)
+	qs := make([]lca.Query, 16)
+	r := rng.New(9)
+	for i := range qs {
+		qs[i] = lca.Query{U: r.Intn(cur.N()), V: r.Intn(cur.N())}
+	}
+	res := de.SubmitLCA(qs).Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i, q := range qs {
+		if res.Answers[i] != finalOracle.LCA(q.U, q.V) {
+			t.Fatalf("final lca mismatch at query %d", i)
+		}
+	}
+}
+
 func TestPoolConcurrentAcrossTrees(t *testing.T) {
 	const clients = 8
 	pool := NewPool(0, Options{Window: 4})

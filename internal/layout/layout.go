@@ -8,6 +8,7 @@
 package layout
 
 import (
+	"fmt"
 	"math"
 
 	"spatialtree/internal/order"
@@ -54,6 +55,39 @@ func New(t *tree.Tree, o order.Order, c sfc.Curve) *Placement {
 // curve — the paper's layout.
 func LightFirst(t *tree.Tree, c sfc.Curve) *Placement {
 	return New(t, order.LightFirst(t), c)
+}
+
+// FromRanks builds a placement from explicit per-vertex curve ranks on a
+// side×side grid. Unlike New, the ranks need not be the contiguous image
+// of an order — a dynamic layout's spread-out, parked positions are the
+// intended input — so the grid side is given by the caller and every
+// rank must be a distinct slot inside it.
+func FromRanks(t *tree.Tree, name string, ranks []int, c sfc.Curve, side int) (*Placement, error) {
+	if len(ranks) != t.N() {
+		return nil, fmt.Errorf("layout: %d ranks for %d vertices", len(ranks), t.N())
+	}
+	slots := side * side
+	p := &Placement{
+		Tree:  t,
+		Order: order.Order{Name: name, Rank: append([]int(nil), ranks...)},
+		Curve: c,
+		Side:  side,
+		x:     make([]int32, t.N()),
+		y:     make([]int32, t.N()),
+	}
+	seen := make([]bool, slots)
+	for v, r := range ranks {
+		if r < 0 || r >= slots {
+			return nil, fmt.Errorf("layout: vertex %d at rank %d outside the %d×%d grid", v, r, side, side)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("layout: two vertices at rank %d", r)
+		}
+		seen[r] = true
+		x, y := c.XY(r, side)
+		p.x[v], p.y[v] = int32(x), int32(y)
+	}
+	return p, nil
 }
 
 // Pos returns the grid coordinates of vertex v.

@@ -218,3 +218,57 @@ func TestRankDist(t *testing.T) {
 		t.Fatal("self rank distance nonzero")
 	}
 }
+
+// TestKernelCostSingleVertex pins the divide-by-zero edges of the
+// kernel measurement: a one-vertex tree has no messages, so every
+// normalized field must be 0 (not NaN or Inf).
+func TestKernelCostSingleVertex(t *testing.T) {
+	p := LightFirst(tree.MustFromParents([]int{-1}), sfc.Hilbert{})
+	k := ParentChildEnergy(p)
+	if k.Messages != 0 || k.Energy != 0 || k.MaxDist != 0 {
+		t.Fatalf("single-vertex kernel = %+v, want zeros", k)
+	}
+	if k.PerMessage != 0 || k.PerVertex != 0 {
+		t.Fatalf("single-vertex normalization = %+v, want zeros (no NaN)", k)
+	}
+	if math.IsNaN(k.PerMessage) || math.IsNaN(k.PerVertex) {
+		t.Fatal("NaN leaked from zero-message kernel")
+	}
+}
+
+func TestFromRanks(t *testing.T) {
+	tr := tree.Path(4)
+	// Sparse, non-contiguous ranks on an 4×4 grid.
+	p, err := FromRanks(tr, "sparse", []int{0, 2, 4, 6}, sfc.Hilbert{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Side != 4 || p.Order.Name != "sparse" {
+		t.Fatalf("placement = side %d order %q", p.Side, p.Order.Name)
+	}
+	for v, r := range []int{0, 2, 4, 6} {
+		x, y := sfc.Hilbert{}.XY(r, 4)
+		if px, py := p.Pos(v); px != x || py != y {
+			t.Fatalf("vertex %d at (%d,%d), want (%d,%d)", v, px, py, x, y)
+		}
+	}
+	// The kernel measurement works on sparse placements.
+	if k := ParentChildEnergy(p); k.Messages != 3 || k.Energy <= 0 {
+		t.Fatalf("sparse kernel = %+v", k)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		ranks []int
+		side  int
+	}{
+		{"wrong length", []int{0, 1}, 4},
+		{"negative rank", []int{-1, 1, 2, 3}, 4},
+		{"rank beyond grid", []int{0, 1, 2, 16}, 4},
+		{"duplicate rank", []int{0, 1, 1, 3}, 4},
+	} {
+		if _, err := FromRanks(tr, "bad", tc.ranks, sfc.Hilbert{}, tc.side); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

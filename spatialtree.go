@@ -23,7 +23,10 @@
 //     use, and PRAM baselines for comparison;
 //   - a batched query engine (Engine, EnginePool) that amortizes one
 //     cached layout across many request batches and coalesces
-//     concurrently submitted work into shared simulator runs.
+//     concurrently submitted work into shared simulator runs;
+//   - a mutable serving path (DynEngine) wiring the §VII dynamic layout
+//     into the engine: leaf inserts/deletes between batches, with
+//     epoch-versioned placements instead of rebuild-per-mutation.
 //
 // Quick start:
 //
@@ -266,8 +269,12 @@ func EvaluateExpression(e *Expression, p *Placement) (int64, Cost) {
 }
 
 // DynamicLayout is a dynamically maintained light-first layout
-// supporting leaf insertions (the paper's §VII future-work direction):
-// a gap-spread placement with amortized rebuilds.
+// supporting leaf insertions and deletions (the paper's §VII
+// future-work direction): a gap-spread placement with amortized
+// rebuilds and a grid that grows and shrinks with the tree. DeleteLeaf
+// keeps vertex ids contiguous by renumbering the last id into the hole;
+// see its documentation. All methods report failures as errors — no
+// panics are reachable on valid inputs.
 type DynamicLayout = dynlayout.Dyn
 
 // NewDynamicLayout creates a dynamic layout for t on the named curve.
@@ -327,6 +334,32 @@ func NewEnginePool(workers int, opts EngineOptions) *EnginePool {
 // TreeFingerprint returns the structural hash of t used in layout-cache
 // keys: equal parent arrays hash equally.
 func TreeFingerprint(t *Tree) uint64 { return engine.Fingerprint(t) }
+
+// DynEngine is the mutable-tree counterpart of Engine: it owns a
+// DynamicLayout, serves the same Submit*/Flush batching protocol, and
+// accepts InsertLeaf/DeleteLeaf between batches. A mutation drains the
+// pending batch first (futures resolve against the tree they were
+// submitted to), bumps the placement epoch — which is folded into the
+// layout-cache key, so a stale placement can never serve a mutated
+// tree — and the next submission refreshes the serving state from the
+// dynamic layout instead of rebuilding it from scratch. See
+// internal/engine's DynEngine documentation for the full semantics.
+type DynEngine = engine.DynEngine
+
+// DynEngineOptions configures NewDynEngine: the embedded EngineOptions
+// plus the dynamic layout's rebuild threshold Epsilon.
+type DynEngineOptions = engine.DynOptions
+
+// DynEngineStats snapshots a dynamic engine's counters: mutation side
+// (epoch, inserts, deletes, layout rebuilds, parking and migration
+// energy), serving side (refreshes plus the folded EngineStats of all
+// epochs).
+type DynEngineStats = engine.DynStats
+
+// NewDynEngine builds a mutable batched query engine for t.
+func NewDynEngine(t *Tree, opts DynEngineOptions) (*DynEngine, error) {
+	return engine.NewDyn(t, opts)
+}
 
 // ParallelTreefixEngine returns the goroutine-parallel treefix executor
 // (+ operator) for wall-clock use; workers <= 0 means GOMAXPROCS.

@@ -177,7 +177,11 @@ func TestPublicAPIDynamicLayout(t *testing.T) {
 	if d.N() != 500 {
 		t.Fatalf("n = %d", d.N())
 	}
-	ratio := float64(d.KernelCost().Energy) / float64(d.FreshKernelCost().Energy)
+	fresh, err := d.FreshKernelCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(d.KernelCost().Energy) / float64(fresh.Energy)
 	if ratio > 4 {
 		t.Fatalf("dynamic layout drifted to %.2fx", ratio)
 	}
@@ -193,5 +197,100 @@ func TestCurveRegistryExposed(t *testing.T) {
 	c, err := CurveByName("hilbert")
 	if err != nil || c.Name() != "hilbert" {
 		t.Fatal("CurveByName broken")
+	}
+}
+
+func TestPublicAPIDynEngine(t *testing.T) {
+	tr := RandomTree(300, 31)
+	cache := NewLayoutCache(8)
+	eng, err := NewDynEngine(tr, DynEngineOptions{
+		Options: EngineOptions{Curve: "hilbert", Window: 8, Cache: cache},
+		Epsilon: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("construction published %d cache entries, want 1", cache.Len())
+	}
+
+	// Serve, mutate, serve again: results must track the current tree.
+	ones := make([]int64, eng.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	if res := eng.SubmitTreefix(ones, OpAdd).Wait(); res.Err != nil || res.Sums[tr.Root()] != 300 {
+		t.Fatalf("initial treefix: err=%v rootsum=%v", res.Err, res.Sums[tr.Root()])
+	}
+	v, err := eng.InsertLeaf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := eng.SubmitLCA([]Query{{U: v, V: 1}}).Wait(); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if _, err := eng.DeleteLeaf(v); err != nil {
+		t.Fatal(err)
+	}
+	ones = ones[:eng.N()]
+	if res := eng.SubmitTreefix(ones, OpAdd).Wait(); res.Err != nil || res.Sums[tr.Root()] != 300 {
+		t.Fatalf("post-churn treefix: err=%v rootsum=%v", res.Err, res.Sums[tr.Root()])
+	}
+
+	// Invalid inputs come back as errors — never panics — through every
+	// exported entry point.
+	if _, err := eng.InsertLeaf(-5); err == nil {
+		t.Error("bad parent accepted")
+	}
+	if _, err := eng.DeleteLeaf(0); err == nil {
+		t.Error("root deletion accepted")
+	}
+	if res := eng.SubmitTreefix(make([]int64, 2), OpAdd).Wait(); res.Err == nil {
+		t.Error("short vals accepted")
+	}
+	if res := eng.SubmitLCA([]Query{{U: 0, V: 1 << 20}}).Wait(); res.Err == nil {
+		t.Error("out-of-range query accepted")
+	}
+	if _, err := NewDynEngine(tr, DynEngineOptions{Options: EngineOptions{Curve: "warp"}}); err == nil {
+		t.Error("unknown curve accepted")
+	}
+
+	st := eng.Stats()
+	if st.Epoch != 2 || st.Inserts != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Engine.Requests == 0 {
+		t.Fatal("inner engine requests not counted")
+	}
+	// Mutations superseded the construction placement and no dynlayout
+	// rebuild has happened yet, so the stale entry is invalidated and
+	// nothing replaces it until the next rebuild boundary.
+	if cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries after mutations, want 0 (stale invalidated)", cache.Len())
+	}
+}
+
+func TestPublicAPIDynamicLayoutDelete(t *testing.T) {
+	tr := RandomTree(100, 32)
+	d, err := NewDynamicLayout(tr, "hilbert", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.InsertLeaf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := d.DeleteLeaf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != v {
+		t.Fatalf("deleting the last id moved %d", moved)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tree(); err != nil {
+		t.Fatal(err)
 	}
 }
