@@ -21,6 +21,13 @@
 // from-scratch tree validation + light-first rebuild — the
 // rebuild-per-mutation baseline the dynamic path is measured against.
 //
+// By default the engines run under the background autoflush scheduler
+// (-flush-delay): waiting clients no longer force a flush, so a round's
+// sub-batches keep coalescing with other clients' until the window
+// fills or the deadline fires — the same adaptive batching the
+// spatialtreed daemon serves over HTTP. -flush-delay 0 restores the
+// explicit Flush/Wait semantics of the earlier PRs.
+//
 // Usage:
 //
 //	spatialserve                           # defaults: 4 trees × 64 rounds
@@ -28,6 +35,7 @@
 //	spatialserve -naive                    # per-call baseline for the same traffic
 //	spatialserve -churn 4                  # mutable forest: 1 in 4 rounds mutates
 //	spatialserve -churn 4 -naive           # naive rebuild-per-mutation baseline
+//	spatialserve -flush-delay 0            # disable the autoflush scheduler
 package main
 
 import (
@@ -71,6 +79,7 @@ func main() {
 		churn   = flag.Int("churn", 0, "1 in k rounds mutates its tree (insert+delete) before serving (0 = immutable forest)")
 		restart = flag.Int("restart", 4, "immutable forest only: 1 in k rounds uses an ephemeral engine rebuilt from the shared cache, modeling shard restarts (0 = never)")
 		epsilon = flag.Float64("epsilon", 0.2, "dynamic layout rebuild threshold (churn mode)")
+		fldelay = flag.Duration("flush-delay", time.Millisecond, "autoflush scheduler deadline; 0 disables the scheduler (explicit Flush/Wait semantics)")
 	)
 	flag.Parse()
 
@@ -94,10 +103,11 @@ func main() {
 	}
 
 	opts := engine.Options{
-		Curve:  *curve,
-		Window: *window,
-		Seed:   *seed,
-		Cache:  engine.NewLayoutCache(2 * *trees),
+		Curve:      *curve,
+		Window:     *window,
+		Seed:       *seed,
+		Cache:      engine.NewLayoutCache(2 * *trees),
+		FlushDelay: *fldelay,
 	}
 	pool := engine.NewPool(*workers, opts)
 
@@ -197,6 +207,8 @@ func main() {
 	fmt.Printf("engine: batches=%d requests=%d coalescing=%.1f req/batch lca-queries=%d lca-runs=%d\n",
 		st.Batches, st.Requests, float64(st.Requests)/float64(max64(st.Batches, 1)),
 		st.LCAQueries, st.LCARuns)
+	fmt.Printf("scheduler: size-flushes=%d deadline-flushes=%d flush-delay=%v\n",
+		st.SizeFlushes, st.DeadlineFlushes, *fldelay)
 	fmt.Printf("cache: hits=%d misses=%d evictions=%d size=%d hit-rate=%.1f%%\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Size,
 		100*st.Cache.HitRate())
@@ -390,6 +402,10 @@ var (
 // folds an ephemeral engine's counters into the report.
 func engineFor(pool *engine.Pool, opts engine.Options, ephemeral bool, t *tree.Tree) (*engine.Engine, func()) {
 	if ephemeral {
+		// No scheduler on a round-private engine: nothing else can join
+		// its batches, so Wait should flush at once instead of sleeping
+		// out the autoflush deadline.
+		opts.FlushDelay = 0
 		eng, err := engine.New(t, opts)
 		if err != nil {
 			fatal(err)

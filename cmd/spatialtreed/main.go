@@ -1,0 +1,119 @@
+// Command spatialtreed is the network serving daemon: it exposes the
+// batched query engines over HTTP/JSON (see internal/server) with an
+// adaptive batch scheduler per shard — requests are enqueued on
+// arrival and dispatched to shared simulator runs when a shard
+// accumulates -max-batch requests or its oldest request has waited
+// -max-delay, whichever comes first. Admission is a bounded queue
+// (-queue) that answers 429 under pressure; SIGINT/SIGTERM triggers a
+// graceful drain that resolves every in-flight request before exit.
+//
+// Endpoints (all JSON; see internal/server for the wire types):
+//
+//	POST /v1/trees            register a tree {parents} → {tree_id}
+//	POST /v1/query            {tree_id|parents, kind, ...} → result
+//	POST /v1/dyn              create a mutable shard → {shard_id}
+//	POST /v1/dyn/{id}/mutate  {op: insert|delete, parent|leaf}
+//	POST /v1/dyn/{id}/query   query the shard's current tree
+//	GET  /metrics             scheduler + engine + cache counters
+//	GET  /healthz             liveness (503 while draining)
+//
+// Usage:
+//
+//	spatialtreed                              # serve on :8372
+//	spatialtreed -addr :9000 -max-batch 32 -max-delay 5ms
+//	spatialtreed -preload 4 -preload-n 4096   # seed a 4-tree forest, ids logged
+//
+// A quick smoke from a shell:
+//
+//	curl -s localhost:8372/healthz
+//	curl -s -X POST localhost:8372/v1/trees -d '{"parents":[-1,0,0,1]}'
+//	curl -s -X POST localhost:8372/v1/query \
+//	    -d '{"parents":[-1,0,0,1],"kind":"lca","queries":[{"u":2,"v":3}]}'
+//	curl -s localhost:8372/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/server"
+	"spatialtree/internal/tree"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8372", "listen address")
+		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch, "scheduler size trigger: flush a shard at this many pending requests")
+		maxDelay = flag.Duration("max-delay", server.DefaultMaxDelay, "scheduler deadline trigger: flush a shard once its oldest request waited this long")
+		queue    = flag.Int("queue", server.DefaultQueueLimit, "admission limit: concurrent requests beyond this get 429")
+		shards   = flag.Int("max-shards", server.DefaultMaxShards, "retained per-tree serving state bound; registrations beyond it get 429")
+		workers  = flag.Int("workers", 0, "parallel shard flush workers (0 = GOMAXPROCS)")
+		curve    = flag.String("curve", "hilbert", "space-filling curve for placements")
+		seed     = flag.Uint64("seed", 1, "simulator seed")
+		cacheCap = flag.Int("cache-cap", server.DefaultCacheCapacity, "layout cache capacity (placements)")
+		epsilon  = flag.Float64("epsilon", 0.2, "default drift budget of mutable shards")
+		preload  = flag.Int("preload", 0, "register this many random trees at startup (ids logged)")
+		preN     = flag.Int("preload-n", 4096, "vertices per preloaded tree")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		QueueLimit:    *queue,
+		MaxShards:     *shards,
+		Workers:       *workers,
+		Curve:         *curve,
+		Seed:          *seed,
+		CacheCapacity: *cacheCap,
+		Epsilon:       *epsilon,
+	})
+	for i := 0; i < *preload; i++ {
+		t := tree.RandomAttachment(*preN, rng.New(*seed+uint64(i)))
+		id, err := srv.RegisterTree(t)
+		if err != nil {
+			log.Fatalf("spatialtreed: preload tree %d: %v", i, err)
+		}
+		log.Printf("preloaded tree %d: id=%s n=%d", i, id, t.N())
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("spatialtreed listening on %s (max-batch=%d max-delay=%v queue=%d curve=%s)",
+		*addr, *maxBatch, *maxDelay, *queue, *curve)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("spatialtreed: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("spatialtreed draining (budget %v)...", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	// Drain first — new requests bounce with 503 while in-flight ones
+	// resolve through the scheduler — then close the listener.
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("spatialtreed: %v", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("spatialtreed: shutdown: %v", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("served: requests=%d batches=%d (%.1f req/batch) size-flushes=%d deadline-flushes=%d rejected=%d\n",
+		m.Scheduler.Requests, m.Scheduler.Batches, m.Scheduler.RequestsPerBatch,
+		m.Scheduler.SizeFlushes, m.Scheduler.DeadlineFlushes, m.Server.Rejected)
+}

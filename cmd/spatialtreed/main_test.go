@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/server"
+	"spatialtree/internal/tree"
+)
+
+// TestDaemonEndToEnd exercises the daemon's serving shape over a real
+// TCP listener: the same server wiring main uses, 64+ concurrent
+// clients against a preloaded forest, scheduler coalescing visible in
+// /metrics, then the signal path's drain + shutdown sequence.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv := server.New(server.Config{MaxBatch: 16, MaxDelay: 40 * time.Millisecond})
+
+	// Preload a seeded forest the way -preload does.
+	const forest = 3
+	ids := make([]string, forest)
+	for i := range ids {
+		tr := tree.RandomAttachment(512, rng.New(uint64(i)+1))
+		id, err := srv.RegisterTree(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body, _ := json.Marshal(server.QueryRequest{
+				TreeID:  ids[c%forest],
+				Kind:    "lca",
+				Queries: []server.LCAQuery{{U: c, V: 511 - c}},
+			})
+			r, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("client %d: status %d", c, r.StatusCode)
+				return
+			}
+			var q server.QueryResponse
+			if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+				errs[c] = err
+				return
+			}
+			if len(q.Answers) != 1 {
+				errs[c] = fmt.Errorf("client %d: %d answers", c, len(q.Answers))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m server.MetricsResponse
+	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if m.Scheduler.Requests < clients {
+		t.Fatalf("requests = %d, want >= %d", m.Scheduler.Requests, clients)
+	}
+	if m.Scheduler.Batches >= m.Scheduler.Requests {
+		t.Fatalf("batches = %d for %d requests: no coalescing over TCP", m.Scheduler.Batches, m.Scheduler.Requests)
+	}
+
+	// The shutdown sequence main runs on SIGTERM.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

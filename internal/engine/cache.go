@@ -42,7 +42,9 @@ type CacheKey struct {
 // build already in flight (every coalesced lookup is also a hit);
 // Builds counts layout pipelines actually run — with the in-flight
 // coalescing of GetOrBuild, Builds == Misses no matter how many
-// goroutines miss the same key concurrently.
+// goroutines miss the same key concurrently. Evictions counts entries
+// removed before natural replacement, whether by LRU pressure or by
+// Invalidate.
 type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -147,7 +149,9 @@ func (c *LayoutCache) putLocked(key CacheKey, p *layout.Placement) {
 // Invalidate removes the entry for key, if present, and reports whether
 // an entry was removed. A dynamic engine calls this when it republishes
 // a mutated tree's placement under a fresh epoch key, so the stale
-// placement can never be served again.
+// placement can never be served again. A removed entry counts as an
+// eviction in Stats, exactly like an LRU eviction: either way a cached
+// placement left the cache before natural replacement.
 func (c *LayoutCache) Invalidate(key CacheKey) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -157,6 +161,7 @@ func (c *LayoutCache) Invalidate(key CacheKey) bool {
 	}
 	c.lru.Remove(el)
 	delete(c.entries, key)
+	c.evictions++
 	return true
 }
 

@@ -211,11 +211,13 @@ func (de *DynEngine) engineLocked() (*Engine, error) {
 	return de.inner, nil
 }
 
-// drainLocked flushes the pending batch so that every already-submitted
-// request resolves against the pre-mutation tree.
+// drainLocked quiesces the inner engine so that every already-submitted
+// request resolves against the pre-mutation tree AND every in-flight
+// batch — the autoflush timer may have dispatched one — has recorded
+// its counters before the engine can be retired by a refresh.
 func (de *DynEngine) drainLocked() {
 	if de.inner != nil {
-		de.inner.Flush()
+		de.inner.Quiesce()
 	}
 }
 

@@ -23,9 +23,26 @@
 //
 //   - the number of pending requests reaches Options.Window (the
 //     filling submitter runs the batch on its own goroutine);
+//   - the autoflush deadline expires (see below);
 //   - a caller invokes Flush explicitly;
 //   - a caller invokes Future.Wait on an unresolved future (Wait flushes
 //     the engine so that waiting can never deadlock).
+//
+// # Autoflush scheduler
+//
+// StartAutoFlush (or Options.FlushDelay at construction) arms a
+// background batch scheduler with two triggers: a batch is dispatched
+// when it reaches maxBatch pending requests (the Window mechanism) or
+// when its oldest request has waited maxDelay, whichever comes first.
+// Under the scheduler, explicit Flush becomes optional: Future.Wait no
+// longer forces an early flush — it simply blocks, because the deadline
+// guarantees progress — so concurrently submitted requests keep
+// coalescing into shared runs even while every submitter is already
+// waiting. This adapts batch size to the arrival rate: under heavy
+// traffic batches fill to maxBatch and the deadline never fires; under
+// trickle traffic the deadline bounds latency at maxDelay.
+// Stats.SizeFlushes and Stats.DeadlineFlushes count how often each
+// trigger dispatched a batch.
 //
 // All requests of one flush run against a single spatial-computer
 // simulator sharing the engine's placement, so per-run setup is paid
@@ -57,6 +74,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"spatialtree/internal/exprtree"
 	"spatialtree/internal/layout"
@@ -84,11 +102,21 @@ type Options struct {
 	// of DefaultCacheCapacity placements. Share one cache across engines
 	// to amortize layouts across trees and engine lifetimes.
 	Cache *LayoutCache
+	// FlushDelay, when positive, arms the background autoflush
+	// scheduler at construction, as if StartAutoFlush(Window, FlushDelay)
+	// had been called: a pending batch is dispatched once its oldest
+	// request has waited FlushDelay, even if nothing fills the window.
+	// Zero leaves the scheduler off (explicit Flush/Wait semantics).
+	FlushDelay time.Duration
 }
 
 // DefaultWindow is the automatic-flush threshold used when
 // Options.Window is not positive.
 const DefaultWindow = 64
+
+// DefaultFlushDelay is the deadline used by StartAutoFlush when its
+// maxDelay argument is not positive.
+const DefaultFlushDelay = 2 * time.Millisecond
 
 // Stats is a snapshot of an engine's lifetime counters.
 type Stats struct {
@@ -101,6 +129,14 @@ type Stats struct {
 	// LCARuns counts coalesced lca.Batched invocations; LCARuns <
 	// number of LCA requests means coalescing saved whole runs.
 	LCARuns uint64
+	// SizeFlushes counts batches dispatched because the pending count
+	// reached the window (the scheduler's MaxBatch trigger).
+	SizeFlushes uint64
+	// DeadlineFlushes counts batches dispatched by the autoflusher's
+	// MaxDelay deadline. Batches - SizeFlushes - DeadlineFlushes is the
+	// number of explicit flushes (Flush, Wait, StopAutoFlush) that had
+	// work.
+	DeadlineFlushes uint64
 	// Cost accumulates the exact spatial-model cost over all batches
 	// (depths add as if batches ran back to back).
 	Cost machine.Cost
@@ -117,6 +153,8 @@ func (s *Stats) Add(o Stats) {
 	s.Requests += o.Requests
 	s.LCAQueries += o.LCAQueries
 	s.LCARuns += o.LCARuns
+	s.SizeFlushes += o.SizeFlushes
+	s.DeadlineFlushes += o.DeadlineFlushes
 	s.Cost = s.Cost.Plus(o.Cost)
 }
 
@@ -158,9 +196,14 @@ func (f *Future) Done() bool {
 
 // Wait returns the result, flushing the engine first if this request's
 // batch has not run yet (so Wait never deadlocks on an idle engine).
+// When the engine's autoflush scheduler is armed, Wait does not flush —
+// it just blocks, because the deadline guarantees progress and an eager
+// flush here would defeat the scheduler's coalescing.
 func (f *Future) Wait() Result {
 	if !f.Done() {
-		f.e.Flush()
+		if f.e != nil && !f.e.scheduled() {
+			f.e.Flush()
+		}
 		<-f.done
 	}
 	return f.res
@@ -217,6 +260,17 @@ type Engine struct {
 	pending  []*request
 	batchSeq uint64
 	stats    Stats
+	// running counts detached batches whose runBatch has not finished;
+	// idle (on mu) is broadcast when it returns to zero. Quiesce waits
+	// on it so callers can observe a moment with no simulator work in
+	// flight — not just no pending requests.
+	running int
+	idle    sync.Cond
+	// Autoflush scheduler state, all under mu. afDelay > 0 means the
+	// scheduler is armed; afTimer is non-nil exactly while a pending
+	// batch awaits its deadline.
+	afDelay time.Duration
+	afTimer *time.Timer
 }
 
 // New builds an engine for t. The placement comes from the layout cache
@@ -241,14 +295,19 @@ func New(t *tree.Tree, opts Options) (*Engine, error) {
 		window = DefaultWindow
 	}
 	fp := Fingerprint(t)
-	return &Engine{
+	e := &Engine{
 		t:      t,
 		fp:     fp,
 		p:      cache.GetOrBuild(t, fp, c),
 		window: window,
 		seed:   opts.Seed,
 		cache:  cache,
-	}, nil
+	}
+	if opts.FlushDelay > 0 {
+		e.afDelay = opts.FlushDelay
+	}
+	e.idle.L = &e.mu
+	return e, nil
 }
 
 // newWithPlacement builds an engine serving t on an explicit placement
@@ -271,14 +330,19 @@ func newWithPlacement(t *tree.Tree, p *layout.Placement, opts Options) (*Engine,
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &Engine{
+	e := &Engine{
 		t:      t,
 		fp:     Fingerprint(t),
 		p:      p,
 		window: window,
 		seed:   opts.Seed,
 		cache:  cache,
-	}, nil
+	}
+	if opts.FlushDelay > 0 {
+		e.afDelay = opts.FlushDelay
+	}
+	e.idle.L = &e.mu
+	return e, nil
 }
 
 // Tree returns the engine's tree.
@@ -396,6 +460,9 @@ func (e *Engine) submit(req *request) *Future {
 	e.pending = append(e.pending, req)
 	if len(e.pending) >= e.window {
 		batch, seq = e.takeBatchLocked()
+		e.stats.SizeFlushes++
+	} else if e.afDelay > 0 && e.afTimer == nil {
+		e.armTimerLocked()
 	}
 	e.mu.Unlock()
 	if batch != nil {
@@ -404,13 +471,103 @@ func (e *Engine) submit(req *request) *Future {
 	return fut
 }
 
-// takeBatchLocked detaches the pending batch; e.mu must be held.
+// takeBatchLocked detaches the pending batch and disarms the autoflush
+// timer, if any; e.mu must be held. A non-empty batch is counted as
+// running until runBatch retires it — every non-empty take must be
+// followed by exactly one runBatch call.
 func (e *Engine) takeBatchLocked() ([]*request, uint64) {
+	if e.afTimer != nil {
+		e.afTimer.Stop()
+		e.afTimer = nil
+	}
 	batch := e.pending
 	e.pending = nil
 	seq := e.batchSeq
 	e.batchSeq++
+	if len(batch) > 0 {
+		e.running++
+	}
 	return batch, seq
+}
+
+// armTimerLocked schedules a deadline flush for the batch currently
+// accumulating (sequence e.batchSeq); e.mu must be held. The sequence
+// guard in flushDeadline makes a stale timer — one whose batch was
+// already taken by a size trigger or an explicit Flush — a no-op
+// instead of an early flush of the next batch.
+func (e *Engine) armTimerLocked() {
+	seq := e.batchSeq
+	e.afTimer = time.AfterFunc(e.afDelay, func() { e.flushDeadline(seq) })
+}
+
+// flushDeadline runs the batch with the given sequence if it is still
+// pending; it is the autoflush timer's fire path.
+func (e *Engine) flushDeadline(seq uint64) {
+	e.mu.Lock()
+	if e.batchSeq != seq || len(e.pending) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	batch, s := e.takeBatchLocked()
+	e.stats.DeadlineFlushes++
+	e.mu.Unlock()
+	e.runBatch(batch, s)
+}
+
+// scheduled reports whether the autoflush scheduler is armed.
+func (e *Engine) scheduled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.afDelay > 0
+}
+
+// StartAutoFlush arms the background batch scheduler: a pending batch
+// is dispatched when it reaches maxBatch requests (maxBatch > 0 replaces
+// the engine's window) or when its oldest request has waited maxDelay
+// (<= 0 means DefaultFlushDelay), whichever comes first. With the
+// scheduler armed, explicit Flush becomes optional and Future.Wait no
+// longer forces an early flush. Restarting an armed scheduler just
+// updates the parameters; requests already pending are rescheduled
+// under them.
+func (e *Engine) StartAutoFlush(maxBatch int, maxDelay time.Duration) {
+	if maxDelay <= 0 {
+		maxDelay = DefaultFlushDelay
+	}
+	var batch []*request
+	var seq uint64
+	e.mu.Lock()
+	if maxBatch > 0 {
+		e.window = maxBatch
+	}
+	e.afDelay = maxDelay
+	if e.afTimer != nil {
+		e.afTimer.Stop()
+		e.afTimer = nil
+	}
+	if len(e.pending) >= e.window {
+		batch, seq = e.takeBatchLocked()
+		e.stats.SizeFlushes++
+	} else if len(e.pending) > 0 {
+		e.armTimerLocked()
+	}
+	e.mu.Unlock()
+	if batch != nil {
+		e.runBatch(batch, seq)
+	}
+}
+
+// StopAutoFlush disarms the scheduler and flushes whatever is pending,
+// so no future submitted under the scheduler is ever stranded waiting
+// for a deadline that will no longer fire. The engine reverts to
+// explicit Flush/Wait semantics.
+func (e *Engine) StopAutoFlush() {
+	e.mu.Lock()
+	e.afDelay = 0
+	batch, seq := e.takeBatchLocked()
+	e.mu.Unlock()
+	if len(batch) > 0 {
+		e.runBatch(batch, seq)
+	}
 }
 
 // Flush runs every pending request in one shared simulator run and
@@ -423,6 +580,21 @@ func (e *Engine) Flush() {
 	if len(batch) > 0 {
 		e.runBatch(batch, seq)
 	}
+}
+
+// Quiesce flushes pending work and then blocks until every in-flight
+// batch — including ones another goroutine or the autoflush timer
+// dispatched — has finished running and recorded its stats. After
+// Quiesce returns (and absent concurrent submissions) the engine is
+// fully idle; DynEngine uses this as its pre-mutation barrier so no
+// batch counters are lost when an epoch's engine is retired.
+func (e *Engine) Quiesce() {
+	e.Flush()
+	e.mu.Lock()
+	for e.running > 0 {
+		e.idle.Wait()
+	}
+	e.mu.Unlock()
 }
 
 // runBatch executes one detached batch on a fresh simulator. It is
@@ -485,5 +657,9 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		LCARuns:    lcaRuns,
 		Cost:       s.Cost(),
 	})
+	e.running--
+	if e.running == 0 {
+		e.idle.Broadcast()
+	}
 	e.mu.Unlock()
 }

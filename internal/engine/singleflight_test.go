@@ -107,8 +107,16 @@ func TestCacheInvalidate(t *testing.T) {
 	if !c.Invalidate(key) {
 		t.Fatal("Invalidate found nothing")
 	}
+	// Regression: an invalidated entry left the cache and must count as
+	// an eviction — it used to vanish without touching the counter.
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions after Invalidate = %d, want 1", st.Evictions)
+	}
 	if c.Invalidate(key) {
 		t.Fatal("Invalidate removed a second time")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions after no-op Invalidate = %d, want still 1", st.Evictions)
 	}
 	if _, ok := c.Get(key); ok {
 		t.Fatal("entry served after invalidation")

@@ -1,0 +1,177 @@
+package server
+
+// The wire types of the HTTP/JSON API. Every request body is a JSON
+// object; every response is either the documented response object
+// (status 200) or an ErrorResponse (status >= 400).
+
+// RegisterRequest registers an immutable tree with the server
+// (POST /v1/trees). Parents is the parent array with parents[root] = -1.
+type RegisterRequest struct {
+	Parents []int `json:"parents"`
+}
+
+// RegisterResponse identifies the registered tree. ID is derived from
+// the structural fingerprint: registering an identical tree returns the
+// same id and routes to the same shard.
+type RegisterResponse struct {
+	ID string `json:"tree_id"`
+	N  int    `json:"n"`
+}
+
+// LCAQuery asks for the lowest common ancestor of U and V.
+type LCAQuery struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// GraphEdge is a weighted undirected edge for min-cut queries.
+type GraphEdge struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// QueryRequest submits one request to a shard (POST /v1/query and
+// POST /v1/dyn/{id}/query). Kind selects the kernel: "treefix",
+// "topdown", "lca" or "mincut". Exactly one of TreeID / Parents routes
+// a /v1/query; the dyn endpoint ignores both.
+type QueryRequest struct {
+	TreeID  string      `json:"tree_id,omitempty"`
+	Parents []int       `json:"parents,omitempty"`
+	Kind    string      `json:"kind"`
+	Op      string      `json:"op,omitempty"` // treefix/topdown: add|max|min|xor ("" = add)
+	Vals    []int64     `json:"vals,omitempty"`
+	Queries []LCAQuery  `json:"queries,omitempty"`
+	Edges   []GraphEdge `json:"edges,omitempty"`
+}
+
+// Cost is the spatial-model cost attributed to a request: its
+// incremental share of the shared batch simulator run.
+type Cost struct {
+	Energy   int64 `json:"energy"`
+	Messages int64 `json:"messages"`
+	Depth    int64 `json:"depth"`
+}
+
+// MinCutResult reports a 1-respecting minimum cut.
+type MinCutResult struct {
+	MinWeight int64 `json:"min_weight"`
+	ArgVertex int   `json:"arg_vertex"`
+}
+
+// QueryResponse carries the kernel output: exactly the field matching
+// the request kind is populated.
+type QueryResponse struct {
+	Sums    []int64       `json:"sums,omitempty"`
+	Answers []int         `json:"answers,omitempty"`
+	MinCut  *MinCutResult `json:"min_cut,omitempty"`
+	Cost    Cost          `json:"cost"`
+}
+
+// DynCreateRequest creates a mutable shard (POST /v1/dyn). Epsilon <= 0
+// uses the server's configured default.
+type DynCreateRequest struct {
+	Parents []int   `json:"parents"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// DynCreateResponse identifies the new mutable shard. IDs are
+// per-server handles (mutations change the tree's fingerprint, so
+// mutable shards are routed by id, never structurally).
+type DynCreateResponse struct {
+	ID string `json:"shard_id"`
+	N  int    `json:"n"`
+}
+
+// MutateRequest applies one mutation to a dyn shard
+// (POST /v1/dyn/{id}/mutate). Op is "insert" (Parent = attachment
+// vertex) or "delete" (Leaf = vertex to remove).
+type MutateRequest struct {
+	Op     string `json:"op"`
+	Parent int    `json:"parent,omitempty"`
+	Leaf   int    `json:"leaf,omitempty"`
+}
+
+// MutateResponse reports the mutation outcome. Vertex is the id of an
+// inserted leaf; Moved is the old id renumbered into a deleted slot
+// (== the deleted leaf when nothing moved). Epoch and N describe the
+// shard after the mutation.
+type MutateResponse struct {
+	Vertex int    `json:"vertex,omitempty"`
+	Moved  int    `json:"moved,omitempty"`
+	Epoch  uint64 `json:"epoch"`
+	N      int    `json:"n"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+// ErrorResponse is the body of every non-200 reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ServerMetrics reports the HTTP layer's counters.
+type ServerMetrics struct {
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	InFlight  int    `json:"in_flight"`
+	Draining  bool   `json:"draining"`
+	Trees     int    `json:"trees"`
+	DynShards int    `json:"dyn_shards"`
+}
+
+// SchedulerMetrics reports the adaptive batch scheduler: configuration
+// plus how traffic actually dispatched. RequestsPerBatch is the
+// coalescing factor — values above 1 mean the scheduler merged
+// concurrent requests into shared simulator runs.
+type SchedulerMetrics struct {
+	MaxBatch         int     `json:"max_batch"`
+	MaxDelayMillis   float64 `json:"max_delay_ms"`
+	Batches          uint64  `json:"batches"`
+	Requests         uint64  `json:"requests"`
+	SizeFlushes      uint64  `json:"size_flushes"`
+	DeadlineFlushes  uint64  `json:"deadline_flushes"`
+	RequestsPerBatch float64 `json:"requests_per_batch"`
+}
+
+// EngineMetrics reports the kernel side of the pool's engines.
+type EngineMetrics struct {
+	LCAQueries uint64 `json:"lca_queries"`
+	LCARuns    uint64 `json:"lca_runs"`
+	Cost       Cost   `json:"cost"`
+}
+
+// CacheMetrics reports the shared layout cache.
+type CacheMetrics struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Builds    uint64  `json:"builds"`
+	Coalesced uint64  `json:"coalesced"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// DynMetrics aggregates the mutable shards.
+type DynMetrics struct {
+	Shards    int    `json:"shards"`
+	Epoch     uint64 `json:"epoch"`
+	Inserts   uint64 `json:"inserts"`
+	Deletes   uint64 `json:"deletes"`
+	Rebuilds  uint64 `json:"rebuilds"`
+	Refreshes uint64 `json:"refreshes"`
+}
+
+// MetricsResponse is the /metrics body.
+type MetricsResponse struct {
+	Server    ServerMetrics    `json:"server"`
+	Scheduler SchedulerMetrics `json:"scheduler"`
+	Engine    EngineMetrics    `json:"engine"`
+	Cache     CacheMetrics     `json:"cache"`
+	Dyn       DynMetrics       `json:"dyn"`
+}

@@ -1,0 +1,711 @@
+// Package server exposes the batched query engines over HTTP/JSON: the
+// serving subsystem behind cmd/spatialtreed. It separates request
+// arrival from batch execution the way the paper separates layout
+// construction from kernel runs — handlers enqueue work and wait on
+// futures while a per-shard adaptive scheduler (the engines' autoflush:
+// MaxBatch requests or a MaxDelay deadline, whichever comes first)
+// decides when simulator runs actually happen, so concurrent clients
+// hitting one tree coalesce into far fewer runs than requests.
+//
+// Endpoints:
+//
+//	POST /v1/trees          register an immutable tree → tree_id
+//	POST /v1/query          run treefix|topdown|lca|mincut on a tree
+//	POST /v1/dyn            create a mutable shard → shard_id
+//	POST /v1/dyn/{id}/mutate  insert/delete a leaf
+//	POST /v1/dyn/{id}/query   query the mutable shard's current tree
+//	GET  /metrics           server + scheduler + engine + cache stats
+//	GET  /healthz           liveness (503 while draining)
+//
+// Immutable traffic is routed per tenant by tree fingerprint through an
+// engine.Pool: structurally identical trees share a shard and therefore
+// a batch window. Mutable shards are routed by id. Admission control is
+// a bounded in-flight queue: when QueueLimit requests are already being
+// served, further work is rejected with 429 rather than queued without
+// bound. Drain stops admission, waits for in-flight requests and
+// flushes every shard, so shutdown never strands a future.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialtree/internal/engine"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// Defaults used by New when the corresponding Config field is zero.
+const (
+	DefaultMaxBatch      = 64
+	DefaultMaxDelay      = 2 * time.Millisecond
+	DefaultQueueLimit    = 1024
+	DefaultCacheCapacity = 128
+	DefaultBodyLimit     = 64 << 20
+	DefaultMaxShards     = 1024
+)
+
+// Config configures a Server.
+type Config struct {
+	// MaxBatch is the scheduler's size trigger: a shard's pending batch
+	// is dispatched as soon as it holds this many requests (0 means
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxDelay is the scheduler's deadline trigger: a pending batch is
+	// dispatched once its oldest request has waited this long (0 means
+	// DefaultMaxDelay).
+	MaxDelay time.Duration
+	// QueueLimit bounds concurrently admitted requests; excess traffic
+	// receives 429 (0 means DefaultQueueLimit).
+	QueueLimit int
+	// Workers bounds the pool's parallel shard flushes (0 means
+	// GOMAXPROCS).
+	Workers int
+	// Curve names the space-filling curve for placements ("" means
+	// "hilbert").
+	Curve string
+	// Seed drives the Las Vegas coins of the simulator runs.
+	Seed uint64
+	// CacheCapacity sizes the shared layout cache (0 means
+	// DefaultCacheCapacity).
+	CacheCapacity int
+	// Epsilon is the default drift budget of mutable shards (0 means
+	// engine.DefaultEpsilon).
+	Epsilon float64
+	// BodyLimit caps request body bytes (0 means DefaultBodyLimit).
+	BodyLimit int64
+	// MaxShards bounds retained per-tree serving state (registered
+	// trees + mutable shards + pool shards auto-created for ad-hoc
+	// query trees; 0 means DefaultMaxShards). Beyond it, registration
+	// and shard creation are refused with 429, and ad-hoc query trees
+	// are served from ephemeral engines instead of growing the pool —
+	// admission control for memory, the way QueueLimit is admission
+	// control for concurrency.
+	MaxShards int
+}
+
+// Server serves the engines over HTTP. Construct with New; the zero
+// value is not usable.
+type Server struct {
+	cfg     Config
+	pool    *engine.Pool
+	engOpts engine.Options // the pool's options (shared cache); used for ephemeral engines
+	mux     *http.ServeMux
+
+	// ephem folds the counters of ephemeral engines (ad-hoc query
+	// trees served beyond the shard budget), which would otherwise
+	// vanish from /metrics.
+	ephemMu sync.Mutex
+	ephem   engine.Stats
+
+	sem      chan struct{}
+	draining atomic.Bool
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+
+	// flightMu serializes request admission against Drain: enter checks
+	// the draining flag and bumps inflight under it, so Drain can set
+	// the flag and wait for a moment when inflight is provably zero.
+	flightMu  sync.Mutex
+	inflight  int
+	drainDone chan struct{} // non-nil while a Drain waits; closed at inflight 0
+
+	mu      sync.Mutex
+	trees   map[string]*tree.Tree
+	dyns    map[string]*engine.DynEngine
+	adhoc   map[uint64]struct{} // fingerprints of pool shards auto-created for ad-hoc query trees
+	nextDyn int
+}
+
+// New builds a server; all zero Config fields take the documented
+// defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = engine.DefaultEpsilon
+	}
+	if cfg.BodyLimit <= 0 {
+		cfg.BodyLimit = DefaultBodyLimit
+	}
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = DefaultMaxShards
+	}
+	opts := engine.Options{
+		Curve:      cfg.Curve,
+		Window:     cfg.MaxBatch,
+		Seed:       cfg.Seed,
+		Cache:      engine.NewLayoutCache(cfg.CacheCapacity),
+		FlushDelay: cfg.MaxDelay,
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    engine.NewPool(cfg.Workers, opts),
+		engOpts: opts,
+		sem:     make(chan struct{}, cfg.QueueLimit),
+		trees:   make(map[string]*tree.Tree),
+		dyns:    make(map[string]*engine.DynEngine),
+		adhoc:   make(map[uint64]struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/trees", s.admitted(s.handleRegister))
+	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/dyn", s.admitted(s.handleDynCreate))
+	s.mux.HandleFunc("POST /v1/dyn/{id}/mutate", s.admitted(s.handleDynMutate))
+	s.mux.HandleFunc("POST /v1/dyn/{id}/query", s.admitted(s.handleDynQuery))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool returns the underlying engine pool (exposed for the daemon's
+// preloading and for tests).
+func (s *Server) Pool() *engine.Pool { return s.pool }
+
+// Drain performs a graceful shutdown of the serving layer: new requests
+// are rejected with 503, in-flight requests are waited for (bounded by
+// ctx), and every shard is flushed so that no submitted future is left
+// pending. The HTTP listener itself is the caller's to close (see
+// cmd/spatialtreed).
+func (s *Server) Drain(ctx context.Context) error {
+	s.flightMu.Lock()
+	s.draining.Store(true)
+	var done chan struct{}
+	if s.inflight > 0 {
+		done = make(chan struct{})
+		s.drainDone = done
+	}
+	s.flightMu.Unlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return errors.New("server: drain interrupted with requests in flight")
+		}
+	}
+	s.pool.FlushAll()
+	return nil
+}
+
+// enter registers an admitted request; it fails once draining started.
+func (s *Server) enter() bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// exit retires an admitted request, waking a waiting Drain when the
+// last one leaves.
+func (s *Server) exit() {
+	s.flightMu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.drainDone != nil {
+		close(s.drainDone)
+		s.drainDone = nil
+	}
+	s.flightMu.Unlock()
+}
+
+// admitted wraps a handler with admission control: requests beyond the
+// bounded queue are rejected with 429 (backpressure the client can see)
+// and everything admitted is tracked for Drain.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "request queue full")
+			return
+		}
+		if !s.enter() {
+			<-s.sem
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.accepted.Add(1)
+		defer func() {
+			<-s.sem
+			s.exit()
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.BodyLimit)
+		h(w, r)
+	}
+}
+
+// errShardLimit reports that MaxShards worth of per-tree serving state
+// is already retained.
+var errShardLimit = errors.New("shard limit reached (MaxShards): delete load or raise the limit")
+
+// RegisterTree registers t and returns its id, warming the shard (and
+// through it the layout cache). The id is stable across servers: it is
+// derived from the structural fingerprint. Registration beyond the
+// MaxShards budget fails with errShardLimit — unless the tree is
+// already registered, which retains nothing new. (The budget check and
+// the shard creation are not atomic; concurrent registrations can
+// overshoot by their own count, which is why this is a memory
+// admission bound, not an exact quota.)
+func (s *Server) RegisterTree(t *tree.Tree) (string, error) {
+	fp := engine.Fingerprint(t)
+	id := treeID(fp)
+	s.mu.Lock()
+	_, known := s.trees[id]
+	if !known {
+		// A shard auto-created for this structure's ad-hoc traffic
+		// already exists; promoting it to a registration retains only
+		// the id mapping.
+		_, known = s.adhoc[fp]
+	}
+	s.mu.Unlock()
+	if !known && s.pool.Size() >= s.cfg.MaxShards {
+		return "", errShardLimit
+	}
+	if _, err := s.pool.Engine(t); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.trees[id] = t
+	// A promoted ad-hoc shard is now accounted as registered; free its
+	// slot in the ad-hoc half of the budget.
+	delete(s.adhoc, fp)
+	s.mu.Unlock()
+	return id, nil
+}
+
+func treeID(fp uint64) string {
+	return "t" + strconv.FormatUint(fp, 16)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	t, err := tree.FromParents(req.Parents)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := s.RegisterTree(t)
+	if errors.Is(err, errShardLimit) {
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{ID: id, N: t.N()})
+}
+
+// submitter is the Submit surface Engine and DynEngine share; the
+// query path is identical for both shard kinds.
+type submitter interface {
+	SubmitTreefix([]int64, treefix.Op) *engine.Future
+	SubmitTopDown([]int64, treefix.Op) *engine.Future
+	SubmitLCA([]lca.Query) *engine.Future
+	SubmitMinCut([]mincut.Edge) *engine.Future
+}
+
+// checkQuery validates the cheap, tree-independent parts of a query —
+// kind and operator — so handlers can reject garbage before any shard
+// state is created or budget consumed. Keep its kind set in sync with
+// submit's dispatch below.
+func checkQuery(req *QueryRequest) error {
+	switch req.Kind {
+	case "lca", "mincut":
+		return nil
+	case "treefix", "topdown":
+		if req.Op == "" {
+			return nil
+		}
+		_, err := treefix.OpByName(req.Op)
+		return err
+	default:
+		return fmt.Errorf("unknown kind %q (want treefix, topdown, lca or mincut)", req.Kind)
+	}
+}
+
+// submit enqueues the request on the shard. It never runs kernel work
+// itself (beyond the size-trigger dispatch the scheduler may hand the
+// calling goroutine) — the returned future resolves when the shard's
+// scheduler flushes the batch.
+func submit(sh submitter, req *QueryRequest) (*engine.Future, error) {
+	switch req.Kind {
+	case "treefix", "topdown":
+		opName := req.Op
+		if opName == "" {
+			opName = "add"
+		}
+		op, err := treefix.OpByName(opName)
+		if err != nil {
+			return nil, err
+		}
+		if req.Kind == "treefix" {
+			return sh.SubmitTreefix(req.Vals, op), nil
+		}
+		return sh.SubmitTopDown(req.Vals, op), nil
+	case "lca":
+		qs := make([]lca.Query, len(req.Queries))
+		for i, q := range req.Queries {
+			qs[i] = lca.Query{U: q.U, V: q.V}
+		}
+		return sh.SubmitLCA(qs), nil
+	case "mincut":
+		es := make([]mincut.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			es[i] = mincut.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		return sh.SubmitMinCut(es), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want treefix, topdown, lca or mincut)", req.Kind)
+	}
+}
+
+// serveQuery runs the shared tail of both query endpoints: enqueue,
+// wait for the scheduler to dispatch the batch, translate the result.
+func serveQuery(w http.ResponseWriter, sh submitter, req *QueryRequest) {
+	fut, err := submit(sh, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res := fut.Wait()
+	if res.Err != nil {
+		writeError(w, http.StatusBadRequest, res.Err.Error())
+		return
+	}
+	resp := QueryResponse{
+		Sums:    res.Sums,
+		Answers: res.Answers,
+		Cost:    Cost{Energy: res.Cost.Energy, Messages: res.Cost.Messages, Depth: res.Cost.Depth},
+	}
+	if req.Kind == "mincut" {
+		resp.MinCut = &MinCutResult{MinWeight: res.MinCut.MinWeight, ArgVertex: res.MinCut.ArgVertex}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := checkQuery(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var t *tree.Tree
+	switch {
+	case req.TreeID != "":
+		s.mu.Lock()
+		t = s.trees[req.TreeID]
+		s.mu.Unlock()
+		if t == nil {
+			writeError(w, http.StatusNotFound, "unknown tree_id "+req.TreeID)
+			return
+		}
+	case len(req.Parents) > 0:
+		var err error
+		if t, err = tree.FromParents(req.Parents); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "tree_id or parents required")
+		return
+	}
+	eng, retire, err := s.engineFor(t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	serveQuery(w, eng, &req)
+	retire()
+}
+
+// engineFor resolves the shard serving an ad-hoc query tree. Known
+// trees (registered, or ad-hoc structures already given a shard) join
+// their pooled shard — equal fingerprints coalesce into one batch
+// window. New ad-hoc structures get a pooled shard only while the
+// ad-hoc half of the MaxShards budget lasts; the other half stays
+// reserved for explicit registration, so unauthenticated one-off
+// traffic can bound neither memory nor the registration API. Beyond
+// the budget the tree is served from an ephemeral engine (the shared
+// layout cache still catches repeated structures). retire must run
+// after the request's future resolves — for an ephemeral engine it
+// folds the counters into /metrics.
+func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
+	fp := engine.Fingerprint(t)
+	id := treeID(fp)
+	s.mu.Lock()
+	_, known := s.trees[id]
+	if !known {
+		_, known = s.adhoc[fp]
+		if !known && len(s.adhoc) < s.cfg.MaxShards/2 && s.pool.Size() < s.cfg.MaxShards {
+			s.adhoc[fp] = struct{}{}
+			known = true
+		}
+	}
+	s.mu.Unlock()
+	if known {
+		eng, err := s.pool.Engine(t)
+		return eng, func() {}, err
+	}
+	opts := s.engOpts
+	// No scheduler on a single-request engine: nothing can ever join
+	// its batch, so Wait should flush at once instead of sleeping out
+	// the MaxDelay deadline.
+	opts.FlushDelay = 0
+	eng, err := engine.New(t, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, func() {
+		st := eng.Stats()
+		st.Cache = engine.CacheStats{} // shared-cache counters stay with the pool's
+		s.ephemMu.Lock()
+		s.ephem.Add(st)
+		s.ephemMu.Unlock()
+	}, nil
+}
+
+func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
+	var req DynCreateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	t, err := tree.FromParents(req.Parents)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.pool.Size() >= s.cfg.MaxShards {
+		writeError(w, http.StatusTooManyRequests, errShardLimit.Error())
+		return
+	}
+	eps := req.Epsilon
+	if eps <= 0 {
+		eps = s.cfg.Epsilon
+	}
+	de, err := s.pool.NewDynShard(t, eps)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.nextDyn++
+	id := "d" + strconv.Itoa(s.nextDyn)
+	s.dyns[id] = de
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, DynCreateResponse{ID: id, N: t.N()})
+}
+
+func (s *Server) dynShard(w http.ResponseWriter, r *http.Request) *engine.DynEngine {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	de := s.dyns[id]
+	s.mu.Unlock()
+	if de == nil {
+		writeError(w, http.StatusNotFound, "unknown shard_id "+id)
+	}
+	return de
+}
+
+func (s *Server) handleDynMutate(w http.ResponseWriter, r *http.Request) {
+	de := s.dynShard(w, r)
+	if de == nil {
+		return
+	}
+	var req MutateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp := MutateResponse{}
+	var err error
+	epochBefore := de.Epoch()
+	switch req.Op {
+	case "insert":
+		resp.Vertex, err = de.InsertLeaf(req.Parent)
+	case "delete":
+		resp.Moved, err = de.DeleteLeaf(req.Leaf)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown op "+strconv.Quote(req.Op)+" (want insert or delete)")
+		return
+	}
+	if err != nil {
+		// An error with the epoch bumped means the mutation applied but
+		// the layout's post-mutation rebuild failed — server-side
+		// degradation, not a bad request. (Epoch comparison can misread
+		// under concurrent mutations on one shard; the worst case is a
+		// 500 for what was a 400, which errs on the honest side.)
+		status := http.StatusBadRequest
+		if de.Epoch() != epochBefore {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	resp.Epoch, resp.N = de.Epoch(), de.N()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDynQuery(w http.ResponseWriter, r *http.Request) {
+	de := s.dynShard(w, r)
+	if de == nil {
+		return
+	}
+	var req QueryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	// Same pre-validation as /v1/query (a dyn shard has no budget to
+	// protect, but the two surfaces must agree on what a valid request
+	// is).
+	if err := checkQuery(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	serveQuery(w, de, &req)
+}
+
+// Metrics snapshots every layer's counters (also served as /metrics).
+func (s *Server) Metrics() MetricsResponse {
+	st := s.pool.Stats()
+	s.ephemMu.Lock()
+	st.Add(s.ephem)
+	s.ephemMu.Unlock()
+	// Copy the shard list under s.mu, then aggregate without it:
+	// DynEngine.Stats blocks on the shard's mutation lock, which a slow
+	// mutation can hold through a drain and a layout rebuild — routing
+	// must not queue behind a metrics scrape for that long.
+	s.mu.Lock()
+	trees, shards := len(s.trees), len(s.dyns)
+	dynList := make([]*engine.DynEngine, 0, len(s.dyns))
+	for _, de := range s.dyns {
+		dynList = append(dynList, de)
+	}
+	s.mu.Unlock()
+	var dyn DynMetrics
+	dyn.Shards = shards
+	for _, de := range dynList {
+		ds := de.Stats()
+		dyn.Epoch += ds.Epoch
+		dyn.Inserts += ds.Inserts
+		dyn.Deletes += ds.Deletes
+		dyn.Rebuilds += ds.Rebuilds
+		dyn.Refreshes += ds.Refreshes
+	}
+	batches := st.Batches
+	perBatch := 0.0
+	if batches > 0 {
+		perBatch = float64(st.Requests) / float64(batches)
+	}
+	return MetricsResponse{
+		Server: ServerMetrics{
+			Accepted:  s.accepted.Load(),
+			Rejected:  s.rejected.Load(),
+			InFlight:  len(s.sem),
+			Draining:  s.draining.Load(),
+			Trees:     trees,
+			DynShards: shards,
+		},
+		Scheduler: SchedulerMetrics{
+			MaxBatch:         s.cfg.MaxBatch,
+			MaxDelayMillis:   float64(s.cfg.MaxDelay) / float64(time.Millisecond),
+			Batches:          st.Batches,
+			Requests:         st.Requests,
+			SizeFlushes:      st.SizeFlushes,
+			DeadlineFlushes:  st.DeadlineFlushes,
+			RequestsPerBatch: perBatch,
+		},
+		Engine: EngineMetrics{
+			LCAQueries: st.LCAQueries,
+			LCARuns:    st.LCARuns,
+			Cost:       Cost{Energy: st.Cost.Energy, Messages: st.Cost.Messages, Depth: st.Cost.Depth},
+		},
+		Cache: CacheMetrics{
+			Hits:      st.Cache.Hits,
+			Misses:    st.Cache.Misses,
+			Evictions: st.Cache.Evictions,
+			Builds:    st.Cache.Builds,
+			Coalesced: st.Cache.Coalesced,
+			Size:      st.Cache.Size,
+			Capacity:  st.Cache.Capacity,
+			HitRate:   st.Cache.HitRate(),
+		},
+		Dyn: dyn,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{OK: false, Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true})
+}
+
+// decode parses the JSON body into v, replying 400 (or 413 for an
+// oversized body) itself on failure.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
+		return false
+	}
+	_, _ = io.Copy(io.Discard, r.Body)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -23,10 +23,16 @@
 //     use, and PRAM baselines for comparison;
 //   - a batched query engine (Engine, EnginePool) that amortizes one
 //     cached layout across many request batches and coalesces
-//     concurrently submitted work into shared simulator runs;
+//     concurrently submitted work into shared simulator runs, with an
+//     optional background autoflush scheduler (StartAutoFlush /
+//     EngineOptions.FlushDelay) dispatching batches on a size or
+//     deadline trigger;
 //   - a mutable serving path (DynEngine) wiring the §VII dynamic layout
 //     into the engine: leaf inserts/deletes between batches, with
-//     epoch-versioned placements instead of rebuild-per-mutation.
+//     epoch-versioned placements instead of rebuild-per-mutation;
+//   - a network serving daemon (cmd/spatialtreed over internal/server)
+//     exposing both engine kinds over HTTP/JSON with adaptive batching,
+//     bounded-queue admission control and graceful drain.
 //
 // Quick start:
 //
@@ -296,12 +302,14 @@ func NewDynamicLayout(t *Tree, curveName string, epsilon float64) (*DynamicLayou
 type Engine = engine.Engine
 
 // EngineOptions configures NewEngine: curve, auto-flush window, Las
-// Vegas seed, and an optional shared LayoutCache.
+// Vegas seed, an optional shared LayoutCache, and the autoflush
+// scheduler's deadline (FlushDelay; see Engine.StartAutoFlush).
 type EngineOptions = engine.Options
 
 // EngineStats snapshots an engine's lifetime counters: batches,
-// requests, coalesced LCA traffic, accumulated model cost, and
-// layout-cache hits/misses/evictions.
+// requests, coalesced LCA traffic, scheduler trigger counts
+// (size-triggered vs deadline-triggered flushes), accumulated model
+// cost, and layout-cache hits/misses/evictions.
 type EngineStats = engine.Stats
 
 // EngineResult is the resolved outcome of one submitted request.
