@@ -24,8 +24,10 @@ import (
 	"spatialtree/internal/mincut"
 	"spatialtree/internal/order"
 	"spatialtree/internal/par"
+	"spatialtree/internal/persist"
 	"spatialtree/internal/pram"
 	"spatialtree/internal/rng"
+	"spatialtree/internal/server"
 	"spatialtree/internal/sfc"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
@@ -546,4 +548,134 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// e15Mutate applies the deterministic E15 churn schedule to a mutable
+// shard: three inserts per delete of the youngest inserted leaf.
+func e15Mutate(b *testing.B, de *engine.DynEngine, n, mutations int) {
+	b.Helper()
+	var last int
+	for i := 0; i < mutations; i++ {
+		if i%4 == 3 {
+			if _, err := de.DeleteLeaf(last); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		v, err := de.InsertLeaf(i % n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+}
+
+// e15DynSnapshot converts an engine state capture into the store's
+// snapshot form (the conversion internal/server performs when it
+// creates a shard log).
+func e15DynSnapshot(st engine.DynState) persist.DynSnapshot {
+	return persist.DynSnapshot{
+		Parents: st.Parents, Curve: st.Curve, Side: st.Side, Ranks: st.Ranks,
+		Epsilon: st.Epsilon, Epoch: st.Epoch, Drift: st.Drift,
+		Inserts: st.Inserts, Deletes: st.Deletes, Rebuilds: st.Rebuilds,
+		ParkEnergy: st.ParkEnergy, MigrateEnergy: st.MigrateEnergy,
+	}
+}
+
+// BenchmarkE15Recovery measures the durability subsystem's warm-start
+// against what a store-less deployment must redo after a restart. The
+// fixture is a serving state of 4 registered trees (n=2^14 each) plus
+// one mutable shard (n=2048) that took 400 journaled mutations. The
+// warm arm opens the data dir and runs the full snapshot+WAL recovery:
+// placements come back through the seeded layout cache (no light-first
+// pipeline runs) and the dyn shard replays only its WAL. The cold arm
+// rebuilds the same state from scratch: one light-first pipeline per
+// registered tree, a fresh dynamic layout, and a full re-application of
+// the mutation history — which a real store-less restart could not even
+// do, because the mutation history dies with the process. Both arms pay
+// the same per-vertex curve-coordinate cost (the placement must exist
+// either way), so the warm arm's edge is the skipped pipeline work —
+// ~1.3× on wall clock — and the gate's job is to keep recovery from
+// regressing into costing more than the rebuild it replaces.
+func BenchmarkE15Recovery(b *testing.B) {
+	const (
+		regTrees  = 4
+		regN      = 16384
+		dynN      = 2048
+		mutations = 400
+	)
+	trees := make([]*tree.Tree, regTrees)
+	for i := range trees {
+		trees[i] = tree.RandomAttachment(regN, rng.New(uint64(60+i)))
+	}
+	dynBase := tree.RandomAttachment(dynN, rng.New(70))
+
+	// Build the durable fixture once.
+	dir := b.TempDir()
+	store, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := server.New(server.Config{Store: store})
+	for _, tr := range trees {
+		if _, err := seed.RegisterTree(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	de, err := seed.Pool().NewDynShard(dynBase, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardLog, err := store.CreateShardLog("d1", e15DynSnapshot(de.State()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	de.SetJournal(func(rec engine.MutationRecord) error {
+		pr := persist.Record{Epoch: rec.Epoch, Arg: rec.Arg, Result: rec.Result, Type: persist.RecInsert}
+		if rec.Op == engine.MutDelete {
+			pr.Type = persist.RecDelete
+		}
+		return shardLog.Append(pr)
+	})
+	e15Mutate(b, de, dynN, mutations)
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm-start", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := persist.Open(persist.Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(server.Config{Store: st})
+			rs, err := srv.Recover()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rs.Trees != regTrees || rs.DynShards != 1 || rs.Records != mutations {
+				b.Fatalf("recovery incomplete: %+v", rs)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(mutations), "replayed-records")
+	})
+
+	b.Run("cold-restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv := server.New(server.Config{})
+			for _, tr := range trees {
+				if _, err := srv.RegisterTree(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			de, err := srv.Pool().NewDynShard(dynBase, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e15Mutate(b, de, dynN, mutations)
+		}
+	})
 }

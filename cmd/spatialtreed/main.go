@@ -19,9 +19,16 @@
 //
 // Usage:
 //
-//	spatialtreed                              # serve on :8372
+//	spatialtreed                              # serve on :8372, in-memory only
 //	spatialtreed -addr :9000 -max-batch 32 -max-delay 5ms
 //	spatialtreed -preload 4 -preload-n 4096   # seed a 4-tree forest, ids logged
+//	spatialtreed -data-dir /var/lib/spatialtree  # durable shards + warm restart
+//
+// With -data-dir, registered trees and mutable shards survive restarts:
+// trees persist as placement snapshots (recovered without re-running
+// the layout pipeline), dyn shards as a snapshot plus a mutation WAL
+// replayed on boot. -fsync picks the WAL durability/latency trade-off
+// and -compact-after bounds replay work; see docs/persistence.md.
 //
 // A quick smoke from a shell:
 //
@@ -44,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"spatialtree/internal/persist"
 	"spatialtree/internal/rng"
 	"spatialtree/internal/server"
 	"spatialtree/internal/tree"
@@ -64,8 +72,28 @@ func main() {
 		preload  = flag.Int("preload", 0, "register this many random trees at startup (ids logged)")
 		preN     = flag.Int("preload-n", 4096, "vertices per preloaded tree")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+		dataDir  = flag.String("data-dir", "", "durable storage directory; registered trees and dyn shards survive restarts ('' = in-memory only)")
+		fsyncPol = flag.String("fsync", "always", "WAL fsync policy: always (fsync per mutation) or off (OS page cache)")
+		compact  = flag.Int("compact-after", persist.DefaultCompactAfter, "WAL records per dyn shard before compaction into a fresh snapshot")
 	)
 	flag.Parse()
+
+	var store *persist.Store
+	if *dataDir != "" {
+		var doSync bool
+		switch *fsyncPol {
+		case "always":
+			doSync = true
+		case "off":
+		default:
+			log.Fatalf("spatialtreed: -fsync must be always or off, got %q", *fsyncPol)
+		}
+		var err error
+		store, err = persist.Open(persist.Options{Dir: *dataDir, Fsync: doSync, CompactAfter: *compact})
+		if err != nil {
+			log.Fatalf("spatialtreed: %v", err)
+		}
+	}
 
 	srv := server.New(server.Config{
 		MaxBatch:      *maxBatch,
@@ -77,7 +105,16 @@ func main() {
 		Seed:          *seed,
 		CacheCapacity: *cacheCap,
 		Epsilon:       *epsilon,
+		Store:         store,
 	})
+	if store != nil {
+		rs, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("spatialtreed: recovery: %v", err)
+		}
+		log.Printf("recovered %d trees and %d dyn shards (%d WAL records replayed) from %s",
+			rs.Trees, rs.DynShards, rs.Records, store.Dir())
+	}
 	for i := 0; i < *preload; i++ {
 		t := tree.RandomAttachment(*preN, rng.New(*seed+uint64(i)))
 		id, err := srv.RegisterTree(t)
@@ -111,6 +148,14 @@ func main() {
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("spatialtreed: shutdown: %v", err)
+	}
+	// Close the store after the drain: every admitted mutation has
+	// journaled by now, so this final sync makes the whole session
+	// durable even under -fsync=off.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("spatialtreed: closing store: %v", err)
+		}
 	}
 	m := srv.Metrics()
 	fmt.Printf("served: requests=%d batches=%d (%.1f req/batch) size-flushes=%d deadline-flushes=%d rejected=%d\n",

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"spatialtree/internal/persist"
 	"spatialtree/internal/rng"
 	"spatialtree/internal/server"
 	"spatialtree/internal/tree"
@@ -116,5 +117,94 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDaemonRestartDurability drives the -data-dir path the way two
+// consecutive daemon processes would: serve over TCP with a store,
+// register + mutate, run the SIGTERM sequence (drain, shutdown, store
+// close), then boot a second server on the same directory and verify
+// the whole shard table — ids, counts, query answers — survived.
+func TestDaemonRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	store, err := persist.Open(persist.Options{Dir: dir, Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func(st *persist.Store) (*server.Server, *http.Server, string) {
+		srv := server.New(server.Config{MaxBatch: 8, MaxDelay: time.Millisecond, Store: st})
+		if _, err := srv.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return srv, hs, "http://" + ln.Addr().String()
+	}
+	stop := func(srv *server.Server, hs *http.Server, st *persist.Store) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := func(base, path string, body, out any) {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	srv1, hs1, base1 := boot(store)
+	tr := tree.RandomAttachment(256, rng.New(7))
+	var reg server.RegisterResponse
+	post(base1, "/v1/trees", server.RegisterRequest{Parents: tr.Parents()}, &reg)
+	var dyn server.DynCreateResponse
+	post(base1, "/v1/dyn", server.DynCreateRequest{Parents: tree.RandomAttachment(64, rng.New(8)).Parents()}, &dyn)
+	for i := 0; i < 20; i++ {
+		post(base1, "/v1/dyn/"+dyn.ID+"/mutate", server.MutateRequest{Op: "insert", Parent: i % 64}, nil)
+	}
+	q := server.QueryRequest{Kind: "lca", Queries: []server.LCAQuery{{U: 5, V: 77}}}
+	var before server.QueryResponse
+	post(base1, "/v1/dyn/"+dyn.ID+"/query", q, &before)
+	stop(srv1, hs1, store)
+
+	store2, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, hs2, base2 := boot(store2)
+	defer stop(srv2, hs2, store2)
+
+	var regAgain server.RegisterResponse
+	post(base2, "/v1/trees", server.RegisterRequest{Parents: tr.Parents()}, &regAgain)
+	if regAgain.ID != reg.ID {
+		t.Fatalf("tree id changed across restart: %s vs %s", regAgain.ID, reg.ID)
+	}
+	var after server.QueryResponse
+	post(base2, "/v1/dyn/"+dyn.ID+"/query", q, &after)
+	if len(after.Answers) != 1 || after.Answers[0] != before.Answers[0] {
+		t.Fatalf("dyn answers changed across restart: %v vs %v", after.Answers, before.Answers)
 	}
 }

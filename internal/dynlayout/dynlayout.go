@@ -93,8 +93,69 @@ func New(t *tree.Tree, curve sfc.Curve, epsilon float64) (*Dyn, error) {
 	return d, nil
 }
 
+// Restore rebuilds a dynamic layout from persisted state: the parent
+// array, the sparse vertex→rank assignment on a side×side grid, the
+// drift (mutations applied since the last rebuild) and the rebuild
+// threshold. The children and occupancy arrays are re-derived and the
+// full invariant suite is checked, so corrupt or mismatched state comes
+// back as an error, never as a later panic. Lifetime counters (Inserts,
+// Deletes, Rebuilds, ParkEnergy, MigrateEnergy) are exported fields and
+// are the caller's to restore.
+func Restore(parents, ranks []int, side int, curve sfc.Curve, epsilon float64, drift int) (*Dyn, error) {
+	n := len(parents)
+	switch {
+	case n == 0:
+		return nil, fmt.Errorf("dynlayout: empty tree")
+	case epsilon <= 0:
+		return nil, fmt.Errorf("dynlayout: epsilon must be positive")
+	case len(ranks) != n:
+		return nil, fmt.Errorf("dynlayout: %d ranks for %d vertices", len(ranks), n)
+	case side <= 0 || spread*n > side*side:
+		return nil, fmt.Errorf("dynlayout: %d vertices do not fit a %d×%d grid at spread %d", n, side, side, spread)
+	case drift < 0:
+		return nil, fmt.Errorf("dynlayout: negative drift %d", drift)
+	}
+	d := &Dyn{curve: curve, side: side, epsilon: epsilon, mutationsSinceRebuild: drift}
+	d.parent = append(d.parent, parents...)
+	d.pos = append(d.pos, ranks...)
+	d.children = make([][]int, n)
+	for v, p := range parents {
+		if p < -1 || p >= n || p == v {
+			return nil, fmt.Errorf("dynlayout: vertex %d has invalid parent %d", v, p)
+		}
+		if p != -1 {
+			d.children[p] = append(d.children[p], v)
+		}
+	}
+	d.used = make([]bool, side*side)
+	for v, r := range d.pos {
+		if r < 0 || r >= len(d.used) {
+			return nil, fmt.Errorf("dynlayout: vertex %d at rank %d outside the %d×%d grid", v, r, side, side)
+		}
+		if d.used[r] {
+			return nil, fmt.Errorf("dynlayout: two vertices at rank %d", r)
+		}
+		d.used[r] = true
+	}
+	if err := d.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
 // N returns the current vertex count.
 func (d *Dyn) N() int { return len(d.parent) }
+
+// Epsilon returns the rebuild threshold the layout was created with.
+func (d *Dyn) Epsilon() float64 { return d.epsilon }
+
+// Drift returns the number of mutations applied since the last rebuild
+// — the quantity the epsilon threshold is compared against, and part of
+// the state a snapshot must carry for a faithful restore.
+func (d *Dyn) Drift() int { return d.mutationsSinceRebuild }
+
+// Parents returns a copy of the current parent array.
+func (d *Dyn) Parents() []int { return append([]int(nil), d.parent...) }
 
 // Side returns the current grid side.
 func (d *Dyn) Side() int { return d.side }

@@ -70,7 +70,51 @@ type DynEngine struct {
 	epoch     uint64
 	dirty     bool
 	refreshes uint64
-	retired   Stats // folded counters of previous epochs' inner engines
+	retired   Stats       // folded counters of previous epochs' inner engines
+	journal   JournalFunc // durability hook; nil = no journaling
+}
+
+// MutationOp discriminates the two DynEngine mutations in a
+// MutationRecord.
+type MutationOp uint8
+
+// Mutation kinds carried by MutationRecord.
+const (
+	MutInsert MutationOp = iota + 1
+	MutDelete
+)
+
+// MutationRecord describes one applied mutation for durability hooks:
+// the epoch the shard reached by applying it (epochs advance by exactly
+// one per record), the operation, its argument (the parent for inserts,
+// the leaf for deletes) and its result (the new vertex id for inserts,
+// the renumbered id for deletes — enough to re-apply the record
+// deterministically and to verify a replay).
+type MutationRecord struct {
+	Epoch  uint64
+	Op     MutationOp
+	Arg    int
+	Result int
+}
+
+// JournalFunc persists one mutation record. It is invoked while the
+// engine holds its mutation lock, after the pending batch has been
+// drained through the Quiesce barrier and the mutation has been applied
+// — so records are strictly ordered against both each other and batch
+// dispatch, and a record is only ever written for a mutation that
+// actually happened. An error fails the mutation call that produced the
+// record; the in-memory mutation stands (the tree did change), but the
+// caller knows it is not durable.
+type JournalFunc func(MutationRecord) error
+
+// SetJournal installs (or, with nil, removes) the durability hook.
+// Install it after constructing or restoring the engine and before
+// serving mutations; recovery installs it only after WAL replay, so
+// replayed mutations are not journaled twice.
+func (de *DynEngine) SetJournal(fn JournalFunc) {
+	de.mu.Lock()
+	de.journal = fn
+	de.mu.Unlock()
 }
 
 // dynEngineIDs hands every DynEngine a process-unique id for its cache
@@ -223,6 +267,10 @@ func (de *DynEngine) drainLocked() {
 
 // InsertLeaf drains the pending batch, adds a new leaf under parent, and
 // returns its vertex id. The next submission serves the mutated tree.
+// When the mutation applied but something after it failed — the
+// layout's post-mutation rebuild, or the durability journal — the
+// vertex id is returned alongside the error, so the caller can still
+// reconcile its id mapping with the shard's.
 func (de *DynEngine) InsertLeaf(parent int) (int, error) {
 	de.mu.Lock()
 	defer de.mu.Unlock()
@@ -231,10 +279,16 @@ func (de *DynEngine) InsertLeaf(parent int) (int, error) {
 	v, err := de.dyn.InsertLeaf(parent)
 	// Bump the epoch whenever the layout actually mutated — including
 	// when a post-mutation rebuild failed — so the serving state can
-	// never keep presenting the pre-mutation tree as current.
+	// never keep presenting the pre-mutation tree as current. The same
+	// condition gates the journal: a record is written exactly when the
+	// tree changed, keeping the WAL's epochs consecutive.
 	if de.dyn.Inserts != before {
 		de.epoch++
 		de.dirty = true
+		if jerr := de.journalLocked(MutationRecord{Epoch: de.epoch, Op: MutInsert, Arg: parent, Result: v}); err == nil {
+			err = jerr
+		}
+		return v, err
 	}
 	if err != nil {
 		return 0, err
@@ -242,10 +296,26 @@ func (de *DynEngine) InsertLeaf(parent int) (int, error) {
 	return v, nil
 }
 
+// journalLocked invokes the durability hook, if any; de.mu must be held
+// (which is also what orders records against batch dispatch — the
+// caller drained the engine through Quiesce before mutating).
+func (de *DynEngine) journalLocked(rec MutationRecord) error {
+	if de.journal == nil {
+		return nil
+	}
+	if err := de.journal(rec); err != nil {
+		return fmt.Errorf("engine: mutation applied but not journaled: %w", err)
+	}
+	return nil
+}
+
 // DeleteLeaf drains the pending batch and removes leaf v. As in
 // dynlayout.Dyn.DeleteLeaf, ids stay contiguous: the returned moved is
 // the old id of the vertex renumbered into v (moved == v when v was the
-// last id and nothing moved).
+// last id and nothing moved). As in InsertLeaf, an applied-but-degraded
+// mutation (rebuild or journal failure) still returns moved with the
+// error — losing the renumbering would silently desynchronize the
+// caller's id mapping.
 func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
 	de.mu.Lock()
 	defer de.mu.Unlock()
@@ -255,6 +325,10 @@ func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
 	if de.dyn.Deletes != before {
 		de.epoch++
 		de.dirty = true
+		if jerr := de.journalLocked(MutationRecord{Epoch: de.epoch, Op: MutDelete, Arg: v, Result: moved}); err == nil {
+			err = jerr
+		}
+		return moved, err
 	}
 	if err != nil {
 		return 0, err
@@ -367,6 +441,89 @@ func (de *DynEngine) Pending() int {
 		return 0
 	}
 	return inner.Pending()
+}
+
+// DynState is the complete durable state of a DynEngine: everything a
+// snapshot must carry so that RestoreDyn yields a shard serving
+// identical answers with identical accounting. Parents and Ranks are
+// parallel to vertex ids; Ranks are the dynamic layout's sparse parked
+// positions on a Side×Side grid (not a dense order).
+type DynState struct {
+	Parents []int
+	Ranks   []int
+	Side    int
+	Curve   string
+	Epsilon float64
+	// Epoch is the serving epoch (applied mutation count); WAL records
+	// continue from it.
+	Epoch uint64
+	// Drift is the dynamic layout's mutations-since-rebuild counter.
+	Drift int
+	// Lifetime counters, restored so restarts do not reset the
+	// maintenance-cost accounting.
+	Inserts, Deletes, Rebuilds uint64
+	ParkEnergy, MigrateEnergy  int64
+}
+
+// State captures the engine's durable state under the mutation lock, so
+// it is consistent with the epoch of the last journaled record — the
+// invariant compaction relies on (a snapshot at epoch E supersedes
+// exactly the WAL records with epoch <= E).
+func (de *DynEngine) State() DynState {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return DynState{
+		Parents:       de.dyn.Parents(),
+		Ranks:         de.dyn.Ranks(),
+		Side:          de.dyn.Side(),
+		Curve:         de.curve.Name(),
+		Epsilon:       de.dyn.Epsilon(),
+		Epoch:         de.epoch,
+		Drift:         de.dyn.Drift(),
+		Inserts:       uint64(de.dyn.Inserts),
+		Deletes:       uint64(de.dyn.Deletes),
+		Rebuilds:      uint64(de.dyn.Rebuilds),
+		ParkEnergy:    de.dyn.ParkEnergy,
+		MigrateEnergy: de.dyn.MigrateEnergy,
+	}
+}
+
+// RestoreDyn rebuilds a mutable engine from a State() capture (directly
+// or decoded from a snapshot): the dynamic layout is reconstructed and
+// invariant-checked, counters and epoch are restored, and the serving
+// state is refreshed exactly as NewDyn would. WAL records newer than
+// st.Epoch are the caller's to re-apply through InsertLeaf/DeleteLeaf
+// before installing a journal with SetJournal.
+func RestoreDyn(st DynState, opts Options) (*DynEngine, error) {
+	name := st.Curve
+	if name == "" {
+		name = "hilbert"
+	}
+	c, err := sfc.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dynlayout.Restore(st.Parents, st.Ranks, st.Side, c, st.Epsilon, st.Drift)
+	if err != nil {
+		return nil, err
+	}
+	d.Inserts = int(st.Inserts)
+	d.Deletes = int(st.Deletes)
+	d.Rebuilds = int(st.Rebuilds)
+	d.ParkEnergy = st.ParkEnergy
+	d.MigrateEnergy = st.MigrateEnergy
+	resolved := opts
+	resolved.Curve = name
+	if resolved.Cache == nil {
+		resolved.Cache = NewLayoutCache(DefaultCacheCapacity)
+	}
+	if resolved.Window <= 0 {
+		resolved.Window = DefaultWindow
+	}
+	de := &DynEngine{id: dynEngineIDs.Add(1), curve: c, opts: resolved, dyn: d, epoch: st.Epoch}
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return de, de.refreshLocked()
 }
 
 // Stats returns a snapshot of the engine's counters.

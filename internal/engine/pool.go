@@ -116,6 +116,21 @@ func (p *Pool) NewDynShard(t *tree.Tree, epsilon float64) (*DynEngine, error) {
 	return de, nil
 }
 
+// RestoreDynShard adopts a recovered mutable shard: the engine is
+// rebuilt from st (see RestoreDyn) with the pool's options and shared
+// cache and registered for FlushAll and Stats, exactly like a shard
+// created through NewDynShard.
+func (p *Pool) RestoreDynShard(st DynState) (*DynEngine, error) {
+	de, err := RestoreDyn(st, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.dyns = append(p.dyns, de)
+	p.mu.Unlock()
+	return de, nil
+}
+
 // Cache returns the shared layout cache.
 func (p *Pool) Cache() *LayoutCache { return p.opts.Cache }
 

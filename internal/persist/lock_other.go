@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// Non-unix platforms have no flock; the store runs unguarded there.
+// Single-writer discipline is the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// WAL record frame layout (little-endian):
+//
+//	offset 0: payload length (uint32)
+//	offset 4: CRC-32C of the payload (uint32)
+//	offset 8: payload
+//
+// payload:
+//
+//	byte    record type (1 = insert, 2 = delete, 3 = fence)
+//	uvarint epoch
+//	varint  arg    (insert: parent; delete: leaf; fence: 0)
+//	varint  result (insert: new vertex id; delete: moved id; fence: 0)
+//
+// Records are written with a single Write call each, so a crash can
+// only ever produce a torn tail: a final frame whose length prefix,
+// payload, or CRC is incomplete. Readers treat the first invalid frame
+// as the end of the log and report everything before it — the
+// "surviving prefix" the crash-recovery property test pins down.
+const (
+	recordHeaderLen  = 8
+	maxRecordPayload = 64 // generous bound; real payloads are < 32 bytes
+)
+
+// RecordType discriminates WAL records.
+type RecordType byte
+
+// WAL record types. Insert and Delete mirror the two DynEngine
+// mutations; Fence marks a segment boundary and carries the epoch the
+// log had reached when the segment was created, letting replay verify
+// continuity across rotation and compaction.
+const (
+	RecInsert RecordType = 1
+	RecDelete RecordType = 2
+	RecFence  RecordType = 3
+)
+
+// Record is one WAL entry. For mutations, Epoch is the shard epoch
+// after applying the record — epochs advance by exactly one per applied
+// mutation, which is what lets replay detect gaps.
+type Record struct {
+	Type   RecordType
+	Epoch  uint64
+	Arg    int
+	Result int
+}
+
+// appendRecord appends the framed encoding of r to buf.
+func appendRecord(buf []byte, r Record) []byte {
+	var p []byte
+	p = append(p, byte(r.Type))
+	p = binary.AppendUvarint(p, r.Epoch)
+	p = binary.AppendVarint(p, int64(r.Arg))
+	p = binary.AppendVarint(p, int64(r.Result))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(p, castagnoli))
+	return append(buf, p...)
+}
+
+// scanRecords decodes consecutive record frames from data. It stops at
+// the first frame that is truncated or fails its CRC and returns the
+// records before it, each record's starting byte offset, and the offset
+// where the valid prefix ends — the offset a recovering writer
+// truncates to before appending. A scan that consumes all of data
+// returns valid == len(data).
+func scanRecords(data []byte) (recs []Record, starts []int, valid int) {
+	off := 0
+	for {
+		if len(data)-off < recordHeaderLen {
+			return recs, starts, off
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen == 0 || plen > maxRecordPayload || plen > len(data)-off-recordHeaderLen {
+			return recs, starts, off
+		}
+		payload := data[off+recordHeaderLen : off+recordHeaderLen+plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, starts, off
+		}
+		r, ok := decodeRecordPayload(payload)
+		if !ok {
+			return recs, starts, off
+		}
+		recs = append(recs, r)
+		starts = append(starts, off)
+		off += recordHeaderLen + plen
+	}
+}
+
+func decodeRecordPayload(p []byte) (Record, bool) {
+	if len(p) < 1 {
+		return Record{}, false
+	}
+	r := Record{Type: RecordType(p[0])}
+	if r.Type != RecInsert && r.Type != RecDelete && r.Type != RecFence {
+		return Record{}, false
+	}
+	p = p[1:]
+	epoch, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, false
+	}
+	p = p[n:]
+	arg, n := binary.Varint(p)
+	if n <= 0 {
+		return Record{}, false
+	}
+	p = p[n:]
+	res, n := binary.Varint(p)
+	if n <= 0 || len(p) != n {
+		return Record{}, false
+	}
+	r.Epoch, r.Arg, r.Result = epoch, int(arg), int(res)
+	return r, true
+}

@@ -167,6 +167,24 @@ type DynMetrics struct {
 	Refreshes uint64 `json:"refreshes"`
 }
 
+// PersistMetrics reports the durability layer; present only when the
+// server was configured with a Store.
+type PersistMetrics struct {
+	Enabled bool `json:"enabled"`
+	// JournalRecords counts WAL records appended by this process.
+	JournalRecords uint64 `json:"journal_records"`
+	// WALRecords counts records currently past their shards' snapshots
+	// (replayed on the next restart).
+	WALRecords uint64 `json:"wal_records"`
+	// Compactions counts WAL foldings into fresh snapshots.
+	Compactions uint64 `json:"compactions"`
+	// RecoveredTrees / RecoveredShards / ReplayedRecords describe the
+	// warm start this process performed, if any.
+	RecoveredTrees  int `json:"recovered_trees"`
+	RecoveredShards int `json:"recovered_shards"`
+	ReplayedRecords int `json:"replayed_records"`
+}
+
 // MetricsResponse is the /metrics body.
 type MetricsResponse struct {
 	Server    ServerMetrics    `json:"server"`
@@ -174,4 +192,5 @@ type MetricsResponse struct {
 	Engine    EngineMetrics    `json:"engine"`
 	Cache     CacheMetrics     `json:"cache"`
 	Dyn       DynMetrics       `json:"dyn"`
+	Persist   *PersistMetrics  `json:"persist,omitempty"`
 }

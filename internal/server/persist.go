@@ -1,0 +1,306 @@
+package server
+
+// Durability wiring: when Config.Store is set, the server persists its
+// shard table — registered trees as placement snapshots, mutable shards
+// as a snapshot plus a mutation WAL — and Recover rebuilds all of it on
+// boot. Registered trees warm-start through the layout cache: their
+// snapshots carry the light-first ranks, so recovery seeds the cache
+// with an O(n) reconstruction and the subsequent pool registration is a
+// cache hit instead of a fresh O(n log n) layout pipeline run per
+// shard. Dyn shards replay their WAL's surviving records through the
+// normal mutation path, verifying each record's result against the log.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spatialtree/internal/engine"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/order"
+	"spatialtree/internal/persist"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+// RecoveryStats reports what a Recover call rebuilt.
+type RecoveryStats struct {
+	// Trees is the number of registered trees restored.
+	Trees int
+	// DynShards is the number of mutable shards restored.
+	DynShards int
+	// Records is the number of WAL records replayed across all shards.
+	Records int
+}
+
+// Recover rebuilds the server's shard table from Config.Store: every
+// persisted tree is re-registered (with its placement seeded into the
+// layout cache, so no layout pipeline runs), every dyn shard is
+// restored from its snapshot and its WAL's surviving records are
+// replayed, and journaling is re-armed so new mutations append where
+// the log left off. Call it once, after New and before serving; with no
+// Store configured it is a no-op. Recovery does not count against
+// MaxShards — the persisted state was admitted when it was created.
+func (s *Server) Recover() (RecoveryStats, error) {
+	var rs RecoveryStats
+	if s.cfg.Store == nil {
+		return rs, nil
+	}
+	saved, err := s.cfg.Store.LoadTrees()
+	if err != nil {
+		return rs, err
+	}
+	for _, st := range saved {
+		if err := s.recoverTree(st); err != nil {
+			return rs, fmt.Errorf("server: recovering tree %s: %w", st.ID, err)
+		}
+		rs.Trees++
+	}
+	ids, err := s.cfg.Store.ShardIDs()
+	if err != nil {
+		return rs, err
+	}
+	for _, id := range ids {
+		replayed, err := s.recoverDynShard(id)
+		if err != nil {
+			return rs, fmt.Errorf("server: recovering shard %s: %w", id, err)
+		}
+		rs.DynShards++
+		rs.Records += replayed
+	}
+	s.mu.Lock()
+	s.recovered = rs
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// recoverTree re-registers one persisted tree, seeding the layout cache
+// with the snapshot's placement so the registration is a cache hit.
+func (s *Server) recoverTree(st persist.SavedTree) error {
+	t, err := tree.FromParents(st.Snap.Parents)
+	if err != nil {
+		return err
+	}
+	fp := engine.Fingerprint(t)
+	if got := treeID(fp); got != st.ID {
+		return fmt.Errorf("snapshot decodes to tree %s, not %s", got, st.ID)
+	}
+	c, err := sfc.ByName(st.Snap.Curve)
+	if err != nil {
+		return err
+	}
+	// Seed the cache only with a faithful static placement: the ranks
+	// must be a dense permutation (the image of an order) on the side
+	// the engine itself would choose, or the engine's simulators and
+	// kernels would disagree with a freshly built shard.
+	if st.Snap.Side != c.Side(t.N()) {
+		return fmt.Errorf("snapshot side %d is not the curve's side for %d vertices", st.Snap.Side, t.N())
+	}
+	if !(order.Order{Rank: st.Snap.Ranks}).IsPermutation() {
+		return fmt.Errorf("snapshot ranks are not a permutation")
+	}
+	p, err := layout.FromRanks(t, st.Snap.Order, st.Snap.Ranks, c, st.Snap.Side)
+	if err != nil {
+		return err
+	}
+	s.pool.Cache().Put(engine.CacheKey{Fingerprint: fp, Curve: st.Snap.Curve, Order: st.Snap.Order}, p)
+	_, err = s.registerTree(t, false)
+	return err
+}
+
+// recoverDynShard restores one mutable shard: snapshot, WAL replay with
+// per-record verification, journal re-arming, and a catch-up compaction
+// when the surviving log already exceeds the threshold.
+func (s *Server) recoverDynShard(id string) (replayed int, err error) {
+	log, snap, recs, err := s.cfg.Store.OpenShardLog(id)
+	if err != nil {
+		return 0, err
+	}
+	de, err := s.pool.RestoreDynShard(dynStateFromSnap(snap))
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range recs {
+		if err := replayRecord(de, r); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+	de.SetJournal(s.journalFunc(log))
+	s.mu.Lock()
+	s.dyns[id] = de
+	s.logs[id] = log
+	if k, ok := dynSeq(id); ok && k > s.nextDyn {
+		s.nextDyn = k
+	}
+	s.mu.Unlock()
+	if log.NeedsCompact() {
+		// Catch-up compaction is an optimization, exactly like the
+		// runtime one in maybeCompact: a shard that recovered cleanly
+		// must not fail the whole boot because folding its long-but-
+		// valid log into a snapshot did not succeed.
+		_ = log.Compact(dynSnapFromState(de.State()))
+	}
+	return replayed, nil
+}
+
+// replayRecord re-applies one WAL record through the engine's normal
+// mutation path and verifies the outcome against what the log recorded
+// when the mutation originally ran — replay is deterministic, so any
+// disagreement means the snapshot and log do not belong together.
+func replayRecord(de *engine.DynEngine, r persist.Record) error {
+	var got int
+	var err error
+	switch r.Type {
+	case persist.RecInsert:
+		got, err = de.InsertLeaf(r.Arg)
+	case persist.RecDelete:
+		got, err = de.DeleteLeaf(r.Arg)
+	default:
+		return fmt.Errorf("unexpected WAL record type %d", r.Type)
+	}
+	if err != nil {
+		return fmt.Errorf("replaying record at epoch %d: %w", r.Epoch, err)
+	}
+	if got != r.Result || de.Epoch() != r.Epoch {
+		return fmt.Errorf("replay diverged at epoch %d: got result %d epoch %d, log says %d", r.Epoch, got, de.Epoch(), r.Result)
+	}
+	return nil
+}
+
+// journalFunc adapts a shard log into the engine's durability hook.
+func (s *Server) journalFunc(log *persist.ShardLog) engine.JournalFunc {
+	return func(rec engine.MutationRecord) error {
+		if err := log.Append(persistRecord(rec)); err != nil {
+			return err
+		}
+		s.journaled.Add(1)
+		return nil
+	}
+}
+
+// persistDynCreate initializes durability for a freshly created shard
+// and arms its journal; called from handleDynCreate after the id is
+// assigned. On failure the shard is served memory-only for this
+// process's lifetime but reported as an error to the creator.
+func (s *Server) persistDynCreate(id string, de *engine.DynEngine) error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	log, err := s.cfg.Store.CreateShardLog(id, dynSnapFromState(de.State()))
+	if err != nil {
+		return err
+	}
+	de.SetJournal(s.journalFunc(log))
+	s.mu.Lock()
+	s.logs[id] = log
+	s.mu.Unlock()
+	return nil
+}
+
+// maybeCompact folds a shard's WAL into a fresh snapshot once it
+// outgrows the threshold. Best-effort: a failed compaction leaves the
+// longer log in place, and the next mutation retries.
+func (s *Server) maybeCompact(id string, de *engine.DynEngine) {
+	s.mu.Lock()
+	log := s.logs[id]
+	s.mu.Unlock()
+	if log == nil || !log.NeedsCompact() {
+		return
+	}
+	_ = log.Compact(dynSnapFromState(de.State()))
+}
+
+// repairJournal restores a shard's durability after a failed append:
+// the engine's epoch has run ahead of the log (the mutation applied in
+// memory but its record was lost), the WAL's consecutive-epoch contract
+// means the gap can never be filled, so the only way back is a fresh
+// snapshot at the engine's current state — after which appends resume.
+// Best-effort: while the disk stays broken this fails too, mutations
+// keep returning 500, and every failure retries the repair.
+func (s *Server) repairJournal(id string, de *engine.DynEngine) {
+	s.mu.Lock()
+	log := s.logs[id]
+	s.mu.Unlock()
+	if log == nil {
+		return
+	}
+	st := de.State()
+	if log.LastEpoch() >= st.Epoch {
+		return // log is not behind; nothing to repair
+	}
+	_ = log.Compact(dynSnapFromState(st))
+}
+
+// persistTree saves a registered tree's placement snapshot.
+func (s *Server) persistTree(id string, eng *engine.Engine) error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	p := eng.Placement()
+	t := eng.Tree()
+	return s.cfg.Store.SaveTree(id, persist.PlacementSnapshot{
+		Parents: append([]int(nil), t.Parents()...),
+		Curve:   p.Curve.Name(),
+		Order:   p.Order.Name,
+		Side:    p.Side,
+		Ranks:   append([]int(nil), p.Order.Rank...),
+	})
+}
+
+func persistRecord(rec engine.MutationRecord) persist.Record {
+	r := persist.Record{Epoch: rec.Epoch, Arg: rec.Arg, Result: rec.Result}
+	if rec.Op == engine.MutInsert {
+		r.Type = persist.RecInsert
+	} else {
+		r.Type = persist.RecDelete
+	}
+	return r
+}
+
+func dynSnapFromState(st engine.DynState) persist.DynSnapshot {
+	return persist.DynSnapshot{
+		Parents:       st.Parents,
+		Curve:         st.Curve,
+		Side:          st.Side,
+		Ranks:         st.Ranks,
+		Epsilon:       st.Epsilon,
+		Epoch:         st.Epoch,
+		Drift:         st.Drift,
+		Inserts:       st.Inserts,
+		Deletes:       st.Deletes,
+		Rebuilds:      st.Rebuilds,
+		ParkEnergy:    st.ParkEnergy,
+		MigrateEnergy: st.MigrateEnergy,
+	}
+}
+
+func dynStateFromSnap(snap persist.DynSnapshot) engine.DynState {
+	return engine.DynState{
+		Parents:       snap.Parents,
+		Ranks:         snap.Ranks,
+		Side:          snap.Side,
+		Curve:         snap.Curve,
+		Epsilon:       snap.Epsilon,
+		Epoch:         snap.Epoch,
+		Drift:         snap.Drift,
+		Inserts:       snap.Inserts,
+		Deletes:       snap.Deletes,
+		Rebuilds:      snap.Rebuilds,
+		ParkEnergy:    snap.ParkEnergy,
+		MigrateEnergy: snap.MigrateEnergy,
+	}
+}
+
+// dynSeq extracts the numeric suffix of a dyn shard id ("d17" → 17).
+func dynSeq(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "d")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(num)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}

@@ -41,6 +41,7 @@ import (
 	"spatialtree/internal/engine"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/mincut"
+	"spatialtree/internal/persist"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
 )
@@ -92,6 +93,11 @@ type Config struct {
 	// admission control for memory, the way QueueLimit is admission
 	// control for concurrency.
 	MaxShards int
+	// Store, when non-nil, makes the shard table durable: registered
+	// trees are persisted as placement snapshots, mutable shards as a
+	// snapshot plus a mutation WAL, and Recover replays all of it on
+	// boot. Nil serves everything from memory, as before.
+	Store *persist.Store
 }
 
 // Server serves the engines over HTTP. Construct with New; the zero
@@ -120,11 +126,16 @@ type Server struct {
 	inflight  int
 	drainDone chan struct{} // non-nil while a Drain waits; closed at inflight 0
 
-	mu      sync.Mutex
-	trees   map[string]*tree.Tree
-	dyns    map[string]*engine.DynEngine
-	adhoc   map[uint64]struct{} // fingerprints of pool shards auto-created for ad-hoc query trees
-	nextDyn int
+	// journaled counts WAL records appended across all dyn shards.
+	journaled atomic.Uint64
+
+	mu        sync.Mutex
+	trees     map[string]*tree.Tree
+	dyns      map[string]*engine.DynEngine
+	logs      map[string]*persist.ShardLog // per-dyn-shard WALs (nil Store: empty)
+	adhoc     map[uint64]struct{}          // fingerprints of pool shards auto-created for ad-hoc query trees
+	nextDyn   int
+	recovered RecoveryStats
 }
 
 // New builds a server; all zero Config fields take the documented
@@ -165,6 +176,7 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.QueueLimit),
 		trees:   make(map[string]*tree.Tree),
 		dyns:    make(map[string]*engine.DynEngine),
+		logs:    make(map[string]*persist.ShardLog),
 		adhoc:   make(map[uint64]struct{}),
 	}
 	s.mux = http.NewServeMux()
@@ -274,10 +286,18 @@ var errShardLimit = errors.New("shard limit reached (MaxShards): delete load or 
 // overshoot by their own count, which is why this is a memory
 // admission bound, not an exact quota.)
 func (s *Server) RegisterTree(t *tree.Tree) (string, error) {
+	return s.registerTree(t, true)
+}
+
+// registerTree is RegisterTree with the persistence side controllable:
+// Recover re-registers trees that are already on disk (and were
+// admitted when first registered, so the budget does not re-apply).
+func (s *Server) registerTree(t *tree.Tree, save bool) (string, error) {
 	fp := engine.Fingerprint(t)
 	id := treeID(fp)
 	s.mu.Lock()
-	_, known := s.trees[id]
+	_, registered := s.trees[id]
+	known := registered
 	if !known {
 		// A shard auto-created for this structure's ad-hoc traffic
 		// already exists; promoting it to a registration retains only
@@ -285,11 +305,19 @@ func (s *Server) RegisterTree(t *tree.Tree) (string, error) {
 		_, known = s.adhoc[fp]
 	}
 	s.mu.Unlock()
-	if !known && s.pool.Size() >= s.cfg.MaxShards {
+	if save && !known && s.pool.Size() >= s.cfg.MaxShards {
 		return "", errShardLimit
 	}
-	if _, err := s.pool.Engine(t); err != nil {
+	eng, err := s.pool.Engine(t)
+	if err != nil {
 		return "", err
+	}
+	// Persist on first registration — including the promotion of an
+	// ad-hoc shard, which was never saved when it was auto-created.
+	if save && !registered {
+		if err := s.persistTree(id, eng); err != nil {
+			return "", err
+		}
 	}
 	s.mu.Lock()
 	s.trees[id] = t
@@ -524,6 +552,17 @@ func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextDyn++
 	id := "d" + strconv.Itoa(s.nextDyn)
+	s.mu.Unlock()
+	// Durability before routability: the shard becomes addressable only
+	// once its initial snapshot and WAL exist, so no mutation can ever
+	// precede its log. On persistence failure the pool keeps an
+	// unroutable shard until restart — an acceptable leak on a path
+	// that only fails with the disk.
+	if err := s.persistDynCreate(id, de); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
 	s.dyns[id] = de
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, DynCreateResponse{ID: id, N: t.N()})
@@ -541,6 +580,7 @@ func (s *Server) dynShard(w http.ResponseWriter, r *http.Request) *engine.DynEng
 }
 
 func (s *Server) handleDynMutate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	de := s.dynShard(w, r)
 	if de == nil {
 		return
@@ -563,18 +603,24 @@ func (s *Server) handleDynMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		// An error with the epoch bumped means the mutation applied but
-		// the layout's post-mutation rebuild failed — server-side
-		// degradation, not a bad request. (Epoch comparison can misread
-		// under concurrent mutations on one shard; the worst case is a
-		// 500 for what was a 400, which errs on the honest side.)
+		// the layout's post-mutation rebuild failed — or its journal
+		// append did — server-side degradation, not a bad request.
+		// (Epoch comparison can misread under concurrent mutations on
+		// one shard; the worst case is a 500 for what was a 400, which
+		// errs on the honest side.) A journal failure leaves the log
+		// behind the engine; repairJournal re-snapshots to close the
+		// gap so one transient disk error cannot wedge durability for
+		// the rest of the process.
 		status := http.StatusBadRequest
 		if de.Epoch() != epochBefore {
 			status = http.StatusInternalServerError
+			s.repairJournal(id, de)
 		}
 		writeError(w, status, err.Error())
 		return
 	}
 	resp.Epoch, resp.N = de.Epoch(), de.N()
+	s.maybeCompact(id, de)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -613,7 +659,26 @@ func (s *Server) Metrics() MetricsResponse {
 	for _, de := range s.dyns {
 		dynList = append(dynList, de)
 	}
+	logList := make([]*persist.ShardLog, 0, len(s.logs))
+	for _, l := range s.logs {
+		logList = append(logList, l)
+	}
+	recovered := s.recovered
 	s.mu.Unlock()
+	var pm *PersistMetrics
+	if s.cfg.Store != nil {
+		pm = &PersistMetrics{
+			Enabled:         true,
+			JournalRecords:  s.journaled.Load(),
+			RecoveredTrees:  recovered.Trees,
+			RecoveredShards: recovered.DynShards,
+			ReplayedRecords: recovered.Records,
+		}
+		for _, l := range logList {
+			pm.Compactions += l.Compactions()
+			pm.WALRecords += l.RecordsSinceSnapshot()
+		}
+	}
 	var dyn DynMetrics
 	dyn.Shards = shards
 	for _, de := range dynList {
@@ -662,7 +727,8 @@ func (s *Server) Metrics() MetricsResponse {
 			Capacity:  st.Cache.Capacity,
 			HitRate:   st.Cache.HitRate(),
 		},
-		Dyn: dyn,
+		Dyn:     dyn,
+		Persist: pm,
 	}
 }
 

@@ -1,0 +1,59 @@
+package treefix
+
+import (
+	"reflect"
+	"testing"
+
+	"spatialtree/internal/layout"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/rng"
+	"spatialtree/internal/sfc"
+	"spatialtree/internal/tree"
+)
+
+// TestRenumberedTreeRegression pins the rake-cascade bug: on trees
+// where a parent's id exceeds a child's — which the standard generators
+// never produce but dynamic delete-renumbering produces routinely — a
+// vertex whose children were raked away could itself be raked by its
+// parent in the same COMPACT pass, and the uncontraction then restored
+// its partial sum before the parent's undo read it, silently dropping
+// the raked values. The minimal shape is parents [1 3 1 -1]: vertex 1
+// rakes leaves 0 and 2, and vertex 3 (its parent, visited later in the
+// same pass) must NOT rake vertex 1 until the next round.
+func TestRenumberedTreeRegression(t *testing.T) {
+	minimal := []int{1, 3, 1, -1}
+	checkTreeAllOps(t, tree.MustFromParents(minimal), 0)
+
+	// Random permutation-labeled trees: every parent/child id order is
+	// exercised, unlike RandomAttachment's strictly increasing ids.
+	r := rng.New(99)
+	for n := 4; n <= 48; n += 11 {
+		for trial := 0; trial < 25; trial++ {
+			parents := make([]int, n)
+			perm := r.Perm(n)
+			parents[perm[0]] = -1
+			for i := 1; i < n; i++ {
+				parents[perm[i]] = perm[r.Intn(i)]
+			}
+			checkTreeAllOps(t, tree.MustFromParents(parents), uint64(n*1000+trial))
+		}
+	}
+}
+
+func checkTreeAllOps(t *testing.T, tr *tree.Tree, seed uint64) {
+	t.Helper()
+	n := tr.N()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(5*i + 3)
+	}
+	p := layout.LightFirst(tr, sfc.Hilbert{})
+	s := machine.New(n, p.Curve)
+	bu, td, _ := Both(s, tr, p.Order.Rank, vals, Add, rng.New(seed))
+	if want := SequentialBottomUp(tr, vals, Add); !reflect.DeepEqual(bu, want) {
+		t.Fatalf("seed %d parents %v:\nbottom-up %v\nwant      %v", seed, tr.Parents(), bu, want)
+	}
+	if want := SequentialTopDown(tr, vals, Add); !reflect.DeepEqual(td, want) {
+		t.Fatalf("seed %d parents %v:\ntop-down %v\nwant     %v", seed, tr.Parents(), td, want)
+	}
+}

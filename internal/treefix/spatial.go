@@ -245,6 +245,7 @@ func (c *contraction) contract(r *rng.RNG) {
 		activeList = append(activeList, v)
 	}
 	coin := make([]bool, n)
+	leafNow := make([]bool, n)
 	for len(activeList) > 1 {
 		c.stats.Rounds++
 		round := int32(c.stats.Rounds)
@@ -297,14 +298,26 @@ func (c *contraction) contract(r *rng.RNG) {
 		c.infoPhase(activeList)
 
 		// Step 5: rake. u may rake all its leaf children when at most
-		// one non-leaf child remains.
+		// one non-leaf child remains. Leaf status is the snapshot the
+		// step-4 notification delivered: a vertex whose children were
+		// raked away earlier in this same pass is not yet known to its
+		// parent as a leaf, so it cannot cascade into a second rake
+		// this round. (Cascading is not just unfaithful to the message
+		// discipline — it corrupts the undo log: the intermediate's
+		// partial sum would be restored by its own group's undo before
+		// its parent's undo reads it, silently dropping the raked
+		// values. Reachable only when a parent's id exceeds a child's,
+		// which delete-renumbered dynamic trees produce routinely.)
+		for _, v := range activeList {
+			leafNow[v] = len(c.children[v]) == 0
+		}
 		for _, u := range activeList {
 			if !c.active[u] || len(c.children[u]) == 0 {
 				continue
 			}
 			var leaves, rest []int
 			for _, v := range c.children[u] {
-				if len(c.children[v]) == 0 {
+				if leafNow[v] {
 					leaves = append(leaves, v)
 				} else {
 					rest = append(rest, v)

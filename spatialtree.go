@@ -32,7 +32,11 @@
 //     epoch-versioned placements instead of rebuild-per-mutation;
 //   - a network serving daemon (cmd/spatialtreed over internal/server)
 //     exposing both engine kinds over HTTP/JSON with adaptive batching,
-//     bounded-queue admission control and graceful drain.
+//     bounded-queue admission control and graceful drain;
+//   - a durability subsystem (internal/persist): CRC-checked placement
+//     snapshots (SaveSnapshot/LoadSnapshot) plus a mutation WAL for
+//     dynamic shards, giving the daemon warm restarts that skip layout
+//     construction and replay surviving mutations (-data-dir).
 //
 // Quick start:
 //
@@ -55,6 +59,7 @@ package spatialtree
 
 import (
 	"fmt"
+	"io"
 
 	"spatialtree/internal/dynlayout"
 	"spatialtree/internal/engine"
@@ -65,6 +70,7 @@ import (
 	"spatialtree/internal/machine"
 	"spatialtree/internal/mincut"
 	"spatialtree/internal/order"
+	"spatialtree/internal/persist"
 	"spatialtree/internal/rng"
 	"spatialtree/internal/sfc"
 	"spatialtree/internal/tree"
@@ -154,6 +160,55 @@ func LayoutWithOrder(t *Tree, orderName, curveName string, seed uint64) (*Placem
 	}
 	return layout.New(t, o, c), nil
 }
+
+// SaveSnapshot writes p — tree, order, curve and grid — to w in the
+// versioned binary snapshot format of internal/persist (length-prefixed
+// and CRC-checked; see docs/persistence.md for the wire layout). A
+// loaded snapshot reconstructs the placement in O(n), skipping the
+// O(n log n) layout pipeline — the same mechanism cmd/spatialtreed uses
+// for warm restarts.
+func SaveSnapshot(w io.Writer, p *Placement) error {
+	_, err := w.Write(persist.EncodePlacement(persist.PlacementSnapshot{
+		Parents: append([]int(nil), p.Tree.Parents()...),
+		Curve:   p.Curve.Name(),
+		Order:   p.Order.Name,
+		Side:    p.Side,
+		Ranks:   append([]int(nil), p.Order.Rank...),
+	}))
+	return err
+}
+
+// LoadSnapshot reads a placement snapshot written by SaveSnapshot. The
+// tree, the curve and every rank are validated; corrupt or truncated
+// input returns an error wrapping persist.ErrCorrupt (and a newer
+// format version one wrapping persist.ErrVersion) — never a panic.
+func LoadSnapshot(r io.Reader) (*Placement, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := persist.DecodePlacement(raw)
+	if err != nil {
+		return nil, err
+	}
+	t, err := tree.FromParents(snap.Parents)
+	if err != nil {
+		return nil, fmt.Errorf("spatialtree: snapshot tree: %w", err)
+	}
+	c, err := sfc.ByName(snap.Curve)
+	if err != nil {
+		return nil, fmt.Errorf("spatialtree: snapshot curve: %w", err)
+	}
+	return layout.FromRanks(t, snap.Order, snap.Ranks, c, snap.Side)
+}
+
+// SnapshotErrors exposes the typed decode failures of the snapshot
+// format, so callers can distinguish corruption from version skew:
+// errors.Is(err, ErrSnapshotCorrupt) / errors.Is(err, ErrSnapshotVersion).
+var (
+	ErrSnapshotCorrupt = persist.ErrCorrupt
+	ErrSnapshotVersion = persist.ErrVersion
+)
 
 // KernelEnergy measures the local messaging kernel on a placement:
 // every vertex sends one message to each child. Theorems 1 and 2 bound
