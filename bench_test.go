@@ -445,6 +445,63 @@ func BenchmarkE14DynChurn(b *testing.B) {
 	})
 }
 
+// BenchmarkE16NativeBackend measures the execution-backend layer on an
+// E13-style batched treefix workload at n=2^14: 16 coalesced treefix
+// requests (bottom-up and top-down, operators cycling through the
+// registry so every native dispatch path is on the clock) per
+// iteration, identical on both arms. The sim arm is the engine's
+// historical serving path — every batch through the spatial-computer
+// simulator with per-message accounting; the native arm runs the same
+// batches on the goroutine-parallel kernels. The acceptance target is
+// native ≥ 5× sim; in practice the gap is well over an order of
+// magnitude, which is the whole argument for demoting the simulator to
+// a metering/validation backend.
+func BenchmarkE16NativeBackend(b *testing.B) {
+	t := tree.RandomAttachment(benchN, rng.New(80))
+	const reqs = 16
+	ops := []treefix.Op{treefix.Add, treefix.Max, treefix.Min, treefix.Xor}
+	vals := make([]int64, t.N())
+	for i := range vals {
+		vals[i] = int64(i%1013) - 500
+	}
+	for _, backend := range []string{"sim", "native"} {
+		b.Run(backend+"-backend", func(b *testing.B) {
+			cache := engine.NewLayoutCache(4)
+			if _, err := engine.New(t, engine.Options{Cache: cache}); err != nil {
+				b.Fatal(err) // warm the cache outside the timer
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(t, engine.Options{
+					Backend: backend,
+					Cache:   cache,
+					Window:  reqs + 1,
+					Seed:    uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs := make([]*engine.Future, 0, reqs)
+				for r := 0; r < reqs; r++ {
+					if r%2 == 0 {
+						futs = append(futs, eng.SubmitTreefix(vals, ops[r%len(ops)]))
+					} else {
+						futs = append(futs, eng.SubmitTopDown(vals, ops[r%len(ops)]))
+					}
+				}
+				eng.Flush()
+				for _, f := range futs {
+					if res := f.Wait(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(reqs*b.N)/b.Elapsed().Seconds(), "treefix/s")
+		})
+	}
+}
+
 // BenchmarkExprEval measures the §V-cited application: Miller-Reif
 // expression evaluation by rake contraction on the simulator.
 func BenchmarkExprEval(b *testing.B) {

@@ -1,8 +1,9 @@
 // Command benchgate is the CI benchmark-regression gate: it runs the
-// serving benchmarks several times, emits a machine-readable artifact
-// (BENCH_3.json — see docs/bench.md for the schema), and fails when
-// wall-clock ns/op regresses beyond a tolerance against a checked-in
-// baseline.
+// serving benchmarks (E13 engine throughput, E14 dyn churn, E15
+// recovery, E16 native-vs-sim backends) several times, emits a
+// machine-readable artifact (BENCH_3.json — see docs/bench.md for the
+// schema), and fails when wall-clock ns/op regresses beyond a tolerance
+// against a checked-in baseline.
 //
 // The gate compares the MINIMUM ns/op across -count runs: the minimum
 // is the least noisy estimator of a benchmark's true cost on a shared
@@ -65,7 +66,7 @@ var (
 
 func main() {
 	var (
-		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery", "benchmark regexp passed to go test -bench")
+		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery|E16NativeBackend", "benchmark regexp passed to go test -bench")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		count     = flag.Int("count", 5, "runs per benchmark (minimum is kept)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime")

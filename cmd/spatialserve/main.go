@@ -47,6 +47,7 @@ import (
 
 	"spatialtree/internal/dynlayout"
 	"spatialtree/internal/engine"
+	"spatialtree/internal/exec"
 	"spatialtree/internal/layout"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/machine"
@@ -80,8 +81,14 @@ func main() {
 		restart = flag.Int("restart", 4, "immutable forest only: 1 in k rounds uses an ephemeral engine rebuilt from the shared cache, modeling shard restarts (0 = never)")
 		epsilon = flag.Float64("epsilon", 0.2, "dynamic layout rebuild threshold (churn mode)")
 		fldelay = flag.Duration("flush-delay", time.Millisecond, "autoflush scheduler deadline; 0 disables the scheduler (explicit Flush/Wait semantics)")
+		backend = flag.String("backend", "native", "engine execution backend: native (goroutine-parallel) or sim (model-cost metering)")
+		shadow  = flag.Int("shadow-meter", 0, "with -backend native, sample 1 in N batches through a shadow sim run (0 = off)")
 	)
 	flag.Parse()
+
+	if !exec.Valid(*backend) {
+		fatal("-backend must be one of", exec.Names())
+	}
 
 	crv, err := sfc.ByName(*curve)
 	if err != nil {
@@ -103,11 +110,13 @@ func main() {
 	}
 
 	opts := engine.Options{
-		Curve:      *curve,
-		Window:     *window,
-		Seed:       *seed,
-		Cache:      engine.NewLayoutCache(2 * *trees),
-		FlushDelay: *fldelay,
+		Curve:       *curve,
+		Window:      *window,
+		Seed:        *seed,
+		Cache:       engine.NewLayoutCache(2 * *trees),
+		FlushDelay:  *fldelay,
+		Backend:     *backend,
+		ShadowMeter: *shadow,
 	}
 	pool := engine.NewPool(*workers, opts)
 
@@ -202,8 +211,16 @@ func main() {
 	ephemMu.Lock()
 	st.Add(ephemStats)
 	ephemMu.Unlock()
-	fmt.Printf("model: energy=%d messages=%d depth=%d (summed over batch runs)\n",
-		st.Cost.Energy, st.Cost.Messages, st.Cost.Depth)
+	switch {
+	case *backend == exec.Sim:
+		fmt.Printf("model: energy=%d messages=%d depth=%d (summed over batch runs)\n",
+			st.Cost.Energy, st.Cost.Messages, st.Cost.Depth)
+	case st.ShadowBatches > 0:
+		fmt.Printf("model: energy=%d messages=%d depth=%d (sampled: %d of %d batches shadow-metered, %d mismatches)\n",
+			st.Cost.Energy, st.Cost.Messages, st.Cost.Depth, st.ShadowBatches, st.Batches, st.ShadowMismatches)
+	default:
+		fmt.Printf("model: unmetered (backend=%s; use -backend sim or -shadow-meter N for model costs)\n", *backend)
+	}
 	fmt.Printf("engine: batches=%d requests=%d coalescing=%.1f req/batch lca-queries=%d lca-runs=%d\n",
 		st.Batches, st.Requests, float64(st.Requests)/float64(max64(st.Batches, 1)),
 		st.LCAQueries, st.LCARuns)

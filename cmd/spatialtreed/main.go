@@ -23,6 +23,15 @@
 //	spatialtreed -addr :9000 -max-batch 32 -max-delay 5ms
 //	spatialtreed -preload 4 -preload-n 4096   # seed a 4-tree forest, ids logged
 //	spatialtreed -data-dir /var/lib/spatialtree  # durable shards + warm restart
+//	spatialtreed -backend sim                 # meter every batch on the simulator
+//	spatialtreed -shadow-meter 16             # native serving, 1-in-16 sim sampling
+//
+// Serving runs on the native goroutine-parallel backend by default;
+// -backend sim routes every batch through the spatial-computer
+// simulator (exact model Energy/Depth in /metrics, at simulator speed),
+// and -shadow-meter N keeps native serving while sampling one batch in
+// N through a shadow sim run for metering and cross-validation.
+// Register/create requests may override the backend per shard.
 //
 // With -data-dir, registered trees and mutable shards survive restarts:
 // trees persist as placement snapshots (recovered without re-running
@@ -51,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"spatialtree/internal/exec"
 	"spatialtree/internal/persist"
 	"spatialtree/internal/rng"
 	"spatialtree/internal/server"
@@ -69,6 +79,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulator seed")
 		cacheCap = flag.Int("cache-cap", server.DefaultCacheCapacity, "layout cache capacity (placements)")
 		epsilon  = flag.Float64("epsilon", 0.2, "default drift budget of mutable shards")
+		backend  = flag.String("backend", "native", "default execution backend: native (goroutine-parallel serving) or sim (spatial-computer simulator with exact model-cost metering); register/create requests may override per shard")
+		shadow   = flag.Int("shadow-meter", 0, "with -backend native, sample 1 in N batches through a shadow sim run so /metrics keeps (sampled) model energy/depth and validates results (0 = off)")
 		preload  = flag.Int("preload", 0, "register this many random trees at startup (ids logged)")
 		preN     = flag.Int("preload-n", 4096, "vertices per preloaded tree")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
@@ -77,6 +89,10 @@ func main() {
 		compact  = flag.Int("compact-after", persist.DefaultCompactAfter, "WAL records per dyn shard before compaction into a fresh snapshot")
 	)
 	flag.Parse()
+
+	if !exec.Valid(*backend) {
+		log.Fatalf("spatialtreed: -backend must be one of %v, got %q", exec.Names(), *backend)
+	}
 
 	var store *persist.Store
 	if *dataDir != "" {
@@ -106,6 +122,8 @@ func main() {
 		CacheCapacity: *cacheCap,
 		Epsilon:       *epsilon,
 		Store:         store,
+		Backend:       *backend,
+		ShadowMeter:   *shadow,
 	})
 	if store != nil {
 		rs, err := srv.Recover()
@@ -127,8 +145,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("spatialtreed listening on %s (max-batch=%d max-delay=%v queue=%d curve=%s)",
-		*addr, *maxBatch, *maxDelay, *queue, *curve)
+	log.Printf("spatialtreed listening on %s (backend=%s max-batch=%d max-delay=%v queue=%d curve=%s)",
+		*addr, *backend, *maxBatch, *maxDelay, *queue, *curve)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

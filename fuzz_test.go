@@ -12,7 +12,9 @@ import (
 
 	"spatialtree/internal/order"
 	"spatialtree/internal/persist"
+	"spatialtree/internal/rng"
 	"spatialtree/internal/sfc"
+	"spatialtree/internal/treefix"
 )
 
 // fuzzParents decodes fuzz bytes into a parent array: one signed byte
@@ -222,6 +224,56 @@ func headerTruncLen(frame []byte) int {
 		return len(frame)
 	}
 	return 10
+}
+
+// FuzzNativeTreefix differential-fuzzes the native treefix executor:
+// any parent array the tree validator accepts, under any registered
+// operator and any value assignment, must produce exactly the
+// sequential oracle's bottom-up and top-down folds — across every
+// dispatch path (prefix-scan difference, sparse range table, pointer
+// doubling, host fallback) and both the single-worker and parallel
+// grains.
+func FuzzNativeTreefix(f *testing.F) {
+	f.Add([]byte{0xff}, byte(0), uint64(1))                               // single vertex, add
+	f.Add([]byte{0xff, 0x00, 0x00, 0x01, 0x01}, byte(1), uint64(2))       // binary tree, max
+	f.Add([]byte{0xff, 0x00, 0x01, 0x02, 0x03, 0x04}, byte(2), uint64(3)) // path, min
+	f.Add([]byte{0x02, 0x02, 0xff, 0x02, 0x02}, byte(3), uint64(4))       // star, root mid-array, xor
+	f.Add([]byte{0x01, 0xff, 0x01, 0x02, 0x02, 0x03}, byte(0), uint64(5)) // parent ids above child ids
+	f.Fuzz(func(t *testing.T, data []byte, opIdx byte, valSeed uint64) {
+		parents := fuzzParents(data)
+		tr, err := NewTree(parents)
+		if err != nil || tr.N() == 0 {
+			return // garbage or empty: nothing to differentiate
+		}
+		ops := []Op{OpAdd, OpMax, OpMin, OpXor}
+		op := ops[int(opIdx)%len(ops)]
+		r := rng.New(valSeed)
+		vals := make([]int64, tr.N())
+		for i := range vals {
+			vals[i] = int64(r.Intn(4001)) - 2000
+		}
+		wantBU := treefix.SequentialBottomUp(tr, vals, op)
+		wantTD := treefix.SequentialTopDown(tr, vals, op)
+		for _, workers := range []int{1, 4} {
+			e := ParallelTreefixEngine(tr, workers)
+			gotBU, err := e.BottomUp(vals, op)
+			if err != nil {
+				t.Fatalf("bottom-up w=%d: %v", workers, err)
+			}
+			gotTD, err := e.TopDown(vals, op)
+			if err != nil {
+				t.Fatalf("top-down w=%d: %v", workers, err)
+			}
+			for v := 0; v < tr.N(); v++ {
+				if gotBU[v] != wantBU[v] {
+					t.Fatalf("op=%s w=%d bottom-up[%d] = %d, oracle %d", op.Name, workers, v, gotBU[v], wantBU[v])
+				}
+				if gotTD[v] != wantTD[v] {
+					t.Fatalf("op=%s w=%d top-down[%d] = %d, oracle %d", op.Name, workers, v, gotTD[v], wantTD[v])
+				}
+			}
+		}
+	})
 }
 
 // FuzzCurveRoundTrip asserts that every registered curve is a bijection

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"spatialtree/internal/dynlayout"
+	"spatialtree/internal/exec"
 	"spatialtree/internal/exprtree"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/mincut"
@@ -217,6 +218,11 @@ func (de *DynEngine) refreshLocked() error {
 		st := de.inner.Stats()
 		st.Cache = CacheStats{} // cache counters are global, not per-epoch
 		de.retired.Add(st)
+		// Shadow sampling is a per-shard rate, not per-epoch: carry the
+		// tick across inner engines, or every post-mutation epoch would
+		// sample its first batch and churny shards would shadow-run the
+		// simulator on nearly every batch.
+		inner.shadowTick.Store(de.inner.shadowTick.Load())
 	}
 	// Version the cache entry: every refresh invalidates the superseded
 	// epoch's entry, but a fresh one is published only at rebuild
@@ -342,6 +348,13 @@ func (de *DynEngine) N() int {
 	defer de.mu.Unlock()
 	return de.dyn.N()
 }
+
+// Backend returns the shard's resolved execution-backend name. Every
+// epoch's inner engine runs on it: the backend's per-tree preprocessing
+// (Euler tour positions, lazily the LCA table) is rebuilt at each
+// serving-state refresh, an O(n)-to-O(n log n) cost of the same class
+// as the placement refresh it rides along with.
+func (de *DynEngine) Backend() string { return exec.Normalize(de.opts.Backend) }
 
 // Epoch returns the number of mutations applied so far; it versions the
 // placement and is folded into the layout-cache key.

@@ -44,13 +44,28 @@
 // Stats.SizeFlushes and Stats.DeadlineFlushes count how often each
 // trigger dispatched a batch.
 //
-// All requests of one flush run against a single spatial-computer
-// simulator sharing the engine's placement, so per-run setup is paid
-// once per batch instead of once per call. LCA requests in the same
-// batch are additionally coalesced: their query slices are concatenated
-// into one lca.Batched run (whose fixed cost — two treefix sums and the
-// cover sweep — is independent of the query count) and the answers are
-// demultiplexed back to the individual futures.
+// # Execution backends
+//
+// All requests of one flush run against a single execution-backend run
+// (internal/exec) sharing the engine's placement, so per-run setup is
+// paid once per batch instead of once per call. Options.Backend picks
+// the backend: "sim" (the default here — the spatial-computer simulator
+// with exact model-cost accounting, the metering and validation path)
+// or "native" (goroutine-parallel kernels with zero simulator
+// bookkeeping — the serving default in internal/server, typically an
+// order of magnitude faster on wall clock). Both backends produce
+// identical results; only the cost accounting differs. A native engine
+// can additionally arm shadow metering (Options.ShadowMeter): every
+// N-th batch also runs through a sim backend whose results are compared
+// against the served ones (Stats.ShadowMismatches) and whose model cost
+// feeds Stats.Cost, so sampled Energy/Depth stay observable without
+// paying instrumentation on every batch.
+//
+// LCA requests in the same batch are additionally coalesced: their
+// query slices are concatenated into one batched run (whose fixed cost
+// — two treefix sums and the cover sweep — is independent of the query
+// count) and the answers are demultiplexed back to the individual
+// futures.
 //
 // # Blocking
 //
@@ -74,14 +89,15 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"spatialtree/internal/exec"
 	"spatialtree/internal/exprtree"
 	"spatialtree/internal/layout"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/machine"
 	"spatialtree/internal/mincut"
-	"spatialtree/internal/rng"
 	"spatialtree/internal/sfc"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
@@ -108,6 +124,19 @@ type Options struct {
 	// request has waited FlushDelay, even if nothing fills the window.
 	// Zero leaves the scheduler off (explicit Flush/Wait semantics).
 	FlushDelay time.Duration
+	// Backend names the execution backend batches run on: exec.Sim
+	// ("sim", exact model-cost metering — the default here) or
+	// exec.Native ("native", goroutine-parallel kernels, no simulator
+	// bookkeeping — the serving layer's default). See the package
+	// documentation's "Execution backends" section.
+	Backend string
+	// ShadowMeter, when positive on a non-sim engine, shadow-runs every
+	// ShadowMeter-th batch through a sim backend as well: served results
+	// are validated against it (Stats.ShadowMismatches) and the shadow
+	// run's model cost accumulates into Stats.Cost. Sampled batches pay
+	// the simulator's wall-clock price — that is the sampling trade-off.
+	// Ignored on sim engines, where every batch is already metered.
+	ShadowMeter int
 }
 
 // DefaultWindow is the automatic-flush threshold used when
@@ -137,8 +166,18 @@ type Stats struct {
 	// number of explicit flushes (Flush, Wait, StopAutoFlush) that had
 	// work.
 	DeadlineFlushes uint64
-	// Cost accumulates the exact spatial-model cost over all batches
-	// (depths add as if batches ran back to back).
+	// ShadowBatches counts batches a non-sim engine additionally ran
+	// through the shadow sim backend (Options.ShadowMeter sampling).
+	ShadowBatches uint64
+	// ShadowMismatches counts requests whose shadow-run result differed
+	// from the served one. Always zero unless a backend is wrong: the
+	// backends compute the same functions.
+	ShadowMismatches uint64
+	// Cost accumulates the exact spatial-model cost over batches that
+	// ran on (or were shadow-sampled through) the simulator: every batch
+	// for a sim engine, the ShadowBatches for a shadow-metered native
+	// one, nothing for an unmetered native engine. Depths add as if the
+	// metered batches ran back to back.
 	Cost machine.Cost
 	// Cache is the layout cache's traffic (shared counters if the cache
 	// is shared).
@@ -155,6 +194,8 @@ func (s *Stats) Add(o Stats) {
 	s.LCARuns += o.LCARuns
 	s.SizeFlushes += o.SizeFlushes
 	s.DeadlineFlushes += o.DeadlineFlushes
+	s.ShadowBatches += o.ShadowBatches
+	s.ShadowMismatches += o.ShadowMismatches
 	s.Cost = s.Cost.Plus(o.Cost)
 }
 
@@ -170,8 +211,12 @@ type Result struct {
 	// Value holds the expression value.
 	Value int64
 	// Cost is the spatial-model cost attributed to this request: its
-	// incremental share of the batch simulator run. Coalesced LCA
-	// requests all report the cost of their shared run.
+	// incremental share of the batch's metered run (identically zero on
+	// an unmetered native engine). Coalesced LCA requests report a
+	// per-query-proportional share of their shared run's Energy and
+	// Messages — shares sum exactly to the run's totals, so summing
+	// per-request costs never over-counts — and the full run Depth (the
+	// critical path is genuinely shared, not divisible).
 	Cost machine.Cost
 	// Err reports validation or execution failure.
 	Err error
@@ -246,6 +291,18 @@ type Engine struct {
 	seed   uint64
 	cache  *LayoutCache
 
+	// backend executes batches; shadow (nil unless shadow metering is
+	// armed) is the sim backend that samples every shadowN-th batch of a
+	// non-sim engine for model cost and result validation.
+	backendName string
+	backend     exec.Backend
+	shadow      exec.Backend
+	shadowN     int
+	// shadowTick counts dispatched non-empty batches; every shadowN-th
+	// one is shadow-sampled. A dedicated counter, not batchSeq: empty
+	// flushes burn sequence numbers, which would skew the sampling rate.
+	shadowTick atomic.Uint64
+
 	// Order-dependent kernels (batched LCA and min-cut) require a dense
 	// light-first rank — their correctness depends on subtrees being
 	// contiguous ranges, which a dynamic layout's parked placement does
@@ -307,8 +364,36 @@ func New(t *tree.Tree, opts Options) (*Engine, error) {
 		e.afDelay = opts.FlushDelay
 	}
 	e.idle.L = &e.mu
+	if err := e.initBackend(opts); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
+
+// initBackend resolves Options.Backend, builds the execution backend on
+// the engine's placement, and arms shadow metering when requested. It
+// must run after the placement and orderRank machinery are in place.
+func (e *Engine) initBackend(opts Options) error {
+	e.backendName = exec.Normalize(opts.Backend)
+	cfg := exec.Config{Tree: e.t, Placement: e.p, OrderRank: e.orderRank}
+	be, err := exec.New(e.backendName, cfg)
+	if err != nil {
+		return err
+	}
+	e.backend = be
+	if opts.ShadowMeter > 0 && e.backendName != exec.Sim {
+		sh, err := exec.New(exec.Sim, cfg)
+		if err != nil {
+			return err
+		}
+		e.shadow = sh
+		e.shadowN = opts.ShadowMeter
+	}
+	return nil
+}
+
+// Backend returns the engine's resolved execution-backend name.
+func (e *Engine) Backend() string { return e.backendName }
 
 // newWithPlacement builds an engine serving t on an explicit placement
 // (p.Tree must be t) instead of a cached light-first one. This is the
@@ -342,6 +427,9 @@ func newWithPlacement(t *tree.Tree, p *layout.Placement, opts Options) (*Engine,
 		e.afDelay = opts.FlushDelay
 	}
 	e.idle.L = &e.mu
+	if err := e.initBackend(opts); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -597,35 +685,37 @@ func (e *Engine) Quiesce() {
 	e.mu.Unlock()
 }
 
-// runBatch executes one detached batch on a fresh simulator. It is
+// batchSeed derives the per-batch Las Vegas seed: deterministic per
+// (engine seed, batch index), shared by the serving run and any shadow
+// run of the same batch.
+func (e *Engine) batchSeed(seq uint64) uint64 {
+	return e.seed ^ (seq+1)*0x9e3779b97f4a7c15
+}
+
+// runBatch executes one detached batch on a fresh backend run. It is
 // called without e.mu held; distinct batches may run concurrently on
-// independent simulators.
+// independent runs.
 func (e *Engine) runBatch(batch []*request, seq uint64) {
-	// Size the simulator by the placement's grid, not the vertex count:
-	// for standard placements these coincide (Side == Curve.Side(n)),
-	// but a dynamic layout's spread positions occupy ranks up to Side².
-	s := machine.New(e.p.Side*e.p.Side, e.p.Curve)
-	r := rng.New(e.seed ^ (seq+1)*0x9e3779b97f4a7c15)
-	rank := e.p.Order.Rank
+	run := e.backend.Run(e.batchSeed(seq))
 
 	var lcaReqs []*request
 	var lcaRuns uint64
 	var lcaQueries uint64
 	for _, req := range batch {
-		mark := s.Cost()
+		mark := run.Cost()
 		switch req.kind {
 		case kindBottomUp:
-			sums, _ := treefix.BottomUp(s, e.t, rank, req.vals, req.op, r)
-			req.fut.resolve(Result{Sums: sums, Cost: s.Since(mark)})
+			sums, err := run.BottomUp(req.vals, req.op)
+			req.fut.resolve(Result{Sums: sums, Cost: run.Cost().Minus(mark), Err: err})
 		case kindTopDown:
-			sums, _ := treefix.TopDown(s, e.t, rank, req.vals, req.op, r)
-			req.fut.resolve(Result{Sums: sums, Cost: s.Since(mark)})
+			sums, err := run.TopDown(req.vals, req.op)
+			req.fut.resolve(Result{Sums: sums, Cost: run.Cost().Minus(mark), Err: err})
 		case kindMinCut:
-			res, err := mincut.OneRespecting(s, e.t, e.orderRank(), req.edges, r)
-			req.fut.resolve(Result{MinCut: res, Cost: s.Since(mark), Err: err})
+			res, err := run.MinCut(req.edges)
+			req.fut.resolve(Result{MinCut: res, Cost: run.Cost().Minus(mark), Err: err})
 		case kindExpr:
-			v, _ := exprtree.EvalSpatial(s, req.expr, rank)
-			req.fut.resolve(Result{Value: v, Cost: s.Since(mark)})
+			v, err := run.Expr(req.expr)
+			req.fut.resolve(Result{Value: v, Cost: run.Cost().Minus(mark), Err: err})
 		case kindLCA:
 			lcaReqs = append(lcaReqs, req) // coalesced below
 		}
@@ -636,30 +726,125 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		for _, req := range lcaReqs {
 			all = append(all, req.queries...)
 		}
-		mark := s.Cost()
-		answers, _ := lca.Batched(s, e.t, e.orderRank(), all, r)
-		cost := s.Since(mark)
-		off := 0
-		for _, req := range lcaReqs {
-			m := len(req.queries)
-			req.fut.resolve(Result{Answers: answers[off : off+m : off+m], Cost: cost})
-			off += m
-		}
+		mark := run.Cost()
+		answers, err := run.LCA(all)
+		cost := run.Cost().Minus(mark)
+		resolveLCA(lcaReqs, answers, cost, err)
 		lcaRuns = 1
 		lcaQueries = uint64(len(all))
 	}
 
-	e.mu.Lock()
-	e.stats.Add(Stats{
+	st := Stats{
 		Batches:    1,
 		Requests:   uint64(len(batch)),
 		LCAQueries: lcaQueries,
 		LCARuns:    lcaRuns,
-		Cost:       s.Cost(),
-	})
+		Cost:       run.Cost(),
+	}
+	if e.shadow != nil && (e.shadowTick.Add(1)-1)%uint64(e.shadowN) == 0 {
+		sb, mismatches, cost := e.runShadow(batch, seq)
+		st.ShadowBatches = sb
+		st.ShadowMismatches = mismatches
+		st.Cost = st.Cost.Plus(cost)
+	}
+
+	e.mu.Lock()
+	e.stats.Add(st)
 	e.running--
 	if e.running == 0 {
 		e.idle.Broadcast()
 	}
 	e.mu.Unlock()
+}
+
+// resolveLCA demultiplexes a coalesced LCA run back to its futures,
+// apportioning the run's Energy and Messages by each request's query
+// share (cumulative rounding, so the shares sum exactly to the run's
+// totals) while every request reports the full, genuinely shared Depth.
+func resolveLCA(lcaReqs []*request, answers []int, cost machine.Cost, err error) {
+	total := 0
+	for _, req := range lcaReqs {
+		total += len(req.queries)
+	}
+	off := 0
+	var doneQ int
+	var doneE, doneM int64
+	for _, req := range lcaReqs {
+		m := len(req.queries)
+		share := machine.Cost{Depth: cost.Depth}
+		if total > 0 {
+			doneQ += m
+			cumE := cost.Energy * int64(doneQ) / int64(total)
+			cumM := cost.Messages * int64(doneQ) / int64(total)
+			share.Energy, share.Messages = cumE-doneE, cumM-doneM
+			doneE, doneM = cumE, cumM
+		}
+		res := Result{Cost: share, Err: err}
+		if err == nil {
+			res.Answers = answers[off : off+m : off+m]
+		}
+		req.fut.resolve(res)
+		off += m
+	}
+}
+
+// runShadow re-executes a served batch through the shadow sim backend
+// with the batch's own seed: the model cost the sim backend would have
+// recorded, plus validation of every served result against the
+// simulator's. Futures are already resolved, so their results are
+// stable reads here.
+func (e *Engine) runShadow(batch []*request, seq uint64) (batches, mismatches uint64, cost machine.Cost) {
+	run := e.shadow.Run(e.batchSeed(seq))
+	var lcaReqs []*request
+	for _, req := range batch {
+		served := req.fut.res
+		switch req.kind {
+		case kindBottomUp:
+			sums, err := run.BottomUp(req.vals, req.op)
+			if bothOK(err, served.Err) && !slices.Equal(sums, served.Sums) {
+				mismatches++
+			}
+		case kindTopDown:
+			sums, err := run.TopDown(req.vals, req.op)
+			if bothOK(err, served.Err) && !slices.Equal(sums, served.Sums) {
+				mismatches++
+			}
+		case kindMinCut:
+			res, err := run.MinCut(req.edges)
+			if bothOK(err, served.Err) &&
+				(res.MinWeight != served.MinCut.MinWeight || !slices.Equal(res.Cuts, served.MinCut.Cuts)) {
+				mismatches++
+			}
+		case kindExpr:
+			v, err := run.Expr(req.expr)
+			if bothOK(err, served.Err) && v != served.Value {
+				mismatches++
+			}
+		case kindLCA:
+			lcaReqs = append(lcaReqs, req)
+		}
+	}
+	if len(lcaReqs) > 0 {
+		all := make([]lca.Query, 0)
+		for _, req := range lcaReqs {
+			all = append(all, req.queries...)
+		}
+		answers, err := run.LCA(all)
+		off := 0
+		for _, req := range lcaReqs {
+			m := len(req.queries)
+			served := req.fut.res
+			if bothOK(err, served.Err) && !slices.Equal(answers[off:off+m], served.Answers) {
+				mismatches++
+			}
+			off += m
+		}
+	}
+	return 1, mismatches, run.Cost()
+}
+
+// bothOK reports that neither the shadow run nor the served request
+// failed, so their payloads are comparable.
+func bothOK(shadowErr, servedErr error) bool {
+	return shadowErr == nil && servedErr == nil
 }

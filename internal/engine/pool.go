@@ -4,16 +4,21 @@ import (
 	"fmt"
 	"sync"
 
+	"spatialtree/internal/exec"
 	"spatialtree/internal/par"
 	"spatialtree/internal/tree"
 )
 
-// Pool shards engines by tree: it keeps one Engine per distinct tree
-// fingerprint, all backed by one shared LayoutCache, and flushes the
-// shards' independent batches in parallel on a worker pool. Use it when
-// traffic spans many trees (e.g. a forest of per-tenant indexes): same
-// tree → same engine → coalesced batches; different trees → different
-// shards → concurrent simulator runs.
+// Pool shards engines by tree: it keeps one Engine per distinct
+// (tree fingerprint, execution backend) pair, all backed by one shared
+// LayoutCache, and flushes the shards' independent batches in parallel
+// on a worker pool. Use it when traffic spans many trees (e.g. a forest
+// of per-tenant indexes): same tree and backend → same engine →
+// coalesced batches; different trees → different shards → concurrent
+// runs. Folding the backend into the key lets one pool serve the same
+// structure natively and under the metering simulator side by side
+// (registration APIs pick per tree); the placement behind both shards
+// still comes from the one shared cache.
 //
 // Mutable trees cannot be routed structurally — every mutation changes
 // the fingerprint — so the pool routes them by engine identity instead:
@@ -24,10 +29,17 @@ type Pool struct {
 	workers int
 
 	mu       sync.Mutex
-	engines  map[uint64]*Engine
-	building map[uint64]*poolBuild
+	engines  map[poolKey]*Engine
+	building map[poolKey]*poolBuild
 	shards   []*Engine    // stable insertion order for FlushAll and Stats
 	dyns     []*DynEngine // mutable shards, routed by identity
+}
+
+// poolKey addresses an immutable shard: structural fingerprint plus the
+// normalized execution backend serving it.
+type poolKey struct {
+	fp      uint64
+	backend string
 }
 
 // poolBuild coalesces concurrent Engine calls for one unseen
@@ -52,29 +64,40 @@ func NewPool(workers int, opts Options) *Pool {
 	return &Pool{
 		opts:     opts,
 		workers:  workers,
-		engines:  make(map[uint64]*Engine),
-		building: make(map[uint64]*poolBuild),
+		engines:  make(map[poolKey]*Engine),
+		building: make(map[poolKey]*poolBuild),
 	}
 }
 
-// Engine returns the pool's engine for t, creating it on first sight of
-// the tree's fingerprint. Structurally identical trees share a shard.
-// Concurrent first sights of the same fingerprint coalesce onto one
+// Engine returns the pool's engine for t on the pool's default backend,
+// creating it on first sight. Structurally identical trees share a
+// shard. Concurrent first sights of the same key coalesce onto one
 // construction (and, through the shared cache, one layout build).
 func (p *Pool) Engine(t *tree.Tree) (*Engine, error) {
-	fp := Fingerprint(t)
+	return p.EngineBackend(t, "")
+}
+
+// EngineBackend is Engine with an explicit execution backend; "" means
+// the pool's default (Options.Backend). The same tree on different
+// backends occupies distinct shards.
+func (p *Pool) EngineBackend(t *tree.Tree, backend string) (*Engine, error) {
+	if backend == "" {
+		backend = p.opts.Backend
+	}
+	backend = exec.Normalize(backend)
+	key := poolKey{fp: Fingerprint(t), backend: backend}
 	p.mu.Lock()
-	if e, ok := p.engines[fp]; ok {
+	if e, ok := p.engines[key]; ok {
 		p.mu.Unlock()
 		return e, nil
 	}
-	if b, ok := p.building[fp]; ok {
+	if b, ok := p.building[key]; ok {
 		p.mu.Unlock()
 		<-b.done
 		return b.e, b.err
 	}
 	b := &poolBuild{done: make(chan struct{})}
-	p.building[fp] = b
+	p.building[key] = b
 	p.mu.Unlock()
 
 	// Build outside the lock: layout construction is the expensive part
@@ -85,28 +108,41 @@ func (p *Pool) Engine(t *tree.Tree) (*Engine, error) {
 	var err error
 	defer func() {
 		if e == nil && err == nil {
-			err = fmt.Errorf("engine: pool build for fingerprint %x did not complete", fp)
+			err = fmt.Errorf("engine: pool build for fingerprint %x did not complete", key.fp)
 		}
 		p.mu.Lock()
-		delete(p.building, fp)
+		delete(p.building, key)
 		if err == nil {
-			p.engines[fp] = e
+			p.engines[key] = e
 			p.shards = append(p.shards, e)
 		}
 		b.e, b.err = e, err
 		p.mu.Unlock()
 		close(b.done)
 	}()
-	e, err = New(t, p.opts)
+	opts := p.opts
+	opts.Backend = backend
+	e, err = New(t, opts)
 	return e, err
 }
 
-// NewDynShard creates a mutable shard for t, backed by the pool's
-// options and shared cache, and registers it for FlushAll and Stats.
-// The returned handle is the shard's address — the pool never routes
-// mutable trees by fingerprint, because mutations change it.
+// NewDynShard creates a mutable shard for t on the pool's default
+// backend, backed by the pool's options and shared cache, and registers
+// it for FlushAll and Stats. The returned handle is the shard's address
+// — the pool never routes mutable trees by fingerprint, because
+// mutations change it.
 func (p *Pool) NewDynShard(t *tree.Tree, epsilon float64) (*DynEngine, error) {
-	de, err := NewDyn(t, DynOptions{Options: p.opts, Epsilon: epsilon})
+	return p.NewDynShardBackend(t, epsilon, "")
+}
+
+// NewDynShardBackend is NewDynShard with an explicit execution backend
+// ("" means the pool's default).
+func (p *Pool) NewDynShardBackend(t *tree.Tree, epsilon float64, backend string) (*DynEngine, error) {
+	opts := p.opts
+	if backend != "" {
+		opts.Backend = backend
+	}
+	de, err := NewDyn(t, DynOptions{Options: opts, Epsilon: epsilon})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,132 @@
+// Package exec is the execution-backend layer between the batch engine
+// and the kernels: one batch-serving abstraction, many pluggable
+// executors — the shape of Curtin et al.'s tree-independent dual-tree
+// framework (one traversal, many kernels), applied to the serving path.
+//
+// A Backend serves one tree and hands out per-batch Runs. Two
+// implementations ship:
+//
+//   - Sim ("sim"): the spatial-computer simulator. Every kernel runs
+//     through machine.Sim with exact Energy/Messages/Depth accounting
+//     and per-processor dependency clocks — the paper's cost model,
+//     byte-for-byte the engine's historical serving path. This is the
+//     metering and validation backend: use it when the model costs ARE
+//     the product (experiments, /metrics energy accounting, shadow
+//     validation), not for wall-clock throughput.
+//
+//   - Native ("native"): goroutine-parallel kernels with zero simulator
+//     bookkeeping — treefix via Euler-tour scans (internal/treefix
+//     Engine, any registered operator), LCA via the sparse-table engine,
+//     min-cut via the parallel D−2I decomposition, expression evaluation
+//     via parallel Miller-Reif rakes. Per-tree preprocessing is built
+//     once per backend and amortized across batches, the way the paper
+//     amortizes layout construction (Section I-D). This is the serving
+//     default: as fast as the hardware allows.
+//
+// Both backends compute identical results on identical inputs (the
+// backend-differential suite pins this); they differ only in cost —
+// wall-clock versus model. Run.Cost reports the model counters consumed
+// so far in the batch: exact for sim, zero for native (the engine's
+// shadow-metering mode samples batches through a sim run when model
+// costs are still wanted on a native engine).
+package exec
+
+import (
+	"fmt"
+
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/layout"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/machine"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// Backend names.
+const (
+	// Sim is the spatial-computer simulator backend: exact model-cost
+	// metering, validation oracle.
+	Sim = "sim"
+	// Native is the goroutine-parallel backend: no simulator
+	// bookkeeping, wall-clock serving speed.
+	Native = "native"
+)
+
+// Names lists the registered backends, serving default first.
+func Names() []string { return []string{Native, Sim} }
+
+// Normalize resolves the empty backend name to Sim (the conservative,
+// fully-metered default for direct engine users; the serving layer
+// passes Native explicitly).
+func Normalize(name string) string {
+	if name == "" {
+		return Sim
+	}
+	return name
+}
+
+// Valid reports whether name (after Normalize) is a registered backend.
+func Valid(name string) bool {
+	switch Normalize(name) {
+	case Sim, Native:
+		return true
+	}
+	return false
+}
+
+// Config carries what a backend needs to serve one tree.
+type Config struct {
+	// Tree is the served tree (required).
+	Tree *tree.Tree
+	// Placement is the tree's grid placement. Required by the sim
+	// backend (simulator sizing, message endpoints); ignored by native.
+	Placement *layout.Placement
+	// OrderRank supplies the dense light-first rank the sim backend's
+	// order-dependent kernels (LCA, min-cut) run on; nil means the
+	// placement's own order. Called lazily, on first need. Ignored by
+	// native, whose LCA/min-cut kernels are order-free.
+	OrderRank func() []int
+	// Workers bounds the native backend's goroutine parallelism
+	// (<= 0 means GOMAXPROCS). Ignored by sim.
+	Workers int
+}
+
+// Backend serves one tree through per-batch Runs. Implementations are
+// safe for concurrent use; distinct Runs may execute concurrently.
+type Backend interface {
+	// Name returns the backend's registered name.
+	Name() string
+	// Run opens an execution context for one batch. seed drives any Las
+	// Vegas coins (the sim contraction's random mates); native kernels
+	// are deterministic and ignore it.
+	Run(seed uint64) Run
+}
+
+// Run executes one batch's requests. Methods are called sequentially by
+// one goroutine (the engine's batch runner); Cost reports the model
+// counters the run has consumed so far, so callers can attribute
+// per-request shares by differencing snapshots (zero throughout for
+// native runs).
+type Run interface {
+	BottomUp(vals []int64, op treefix.Op) ([]int64, error)
+	TopDown(vals []int64, op treefix.Op) ([]int64, error)
+	LCA(queries []lca.Query) ([]int, error)
+	MinCut(edges []mincut.Edge) (mincut.Result, error)
+	Expr(x *exprtree.Expr) (int64, error)
+	Cost() machine.Cost
+}
+
+// New builds the named backend ("" means Sim, see Normalize).
+func New(name string, cfg Config) (Backend, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("exec: nil tree")
+	}
+	switch Normalize(name) {
+	case Sim:
+		return newSim(cfg)
+	case Native:
+		return newNative(cfg), nil
+	}
+	return nil, fmt.Errorf("exec: unknown backend %q (want %q or %q)", name, Native, Sim)
+}

@@ -1,0 +1,163 @@
+package exprtree
+
+import (
+	"spatialtree/internal/par"
+)
+
+// EvalParallel evaluates the expression's root on the host with
+// goroutine parallelism: the same Miller-Reif rake schedule as
+// EvalSpatial (leaves numbered left to right; each round rakes the
+// odd-numbered left-child leaves, then the odd-numbered right-child
+// leaves), carrying partial results as affine functions a·x + b. It is
+// the native serving backend's expression kernel.
+//
+// Each wave's rakes are mutually independent by the parity argument
+// (sibling leaves are consecutive in leaf order, so no two raked leaves
+// share a parent, and a raked leaf's parent is never another rake's
+// surviving sibling). The wave still runs in two parallel passes — a
+// read-only planning pass, then a disjoint-write commit pass — because
+// two rakes under one grandparent would otherwise race a child-slot
+// read against the other's write.
+//
+// e must satisfy Validate; the result equals EvalSequential's root
+// value. workers <= 0 means par.Workers().
+func EvalParallel(e *Expr, workers int) (int64, Stats) {
+	t := e.Tree
+	n := t.N()
+	var st Stats
+	if n == 0 {
+		return 0, st
+	}
+	root := t.Root()
+	if n == 1 {
+		return e.Val[root] % Mod, st
+	}
+
+	// Live binary-tree state, as in EvalSpatial.
+	parent := append([]int(nil), t.Parents()...)
+	left := make([]int, n)
+	right := make([]int, n)
+	fn := make([]affine, n)
+	val := make([]int64, n)
+	kind := e.Kind
+	for v := 0; v < n; v++ {
+		fn[v] = identityFn()
+		val[v] = e.Val[v] % Mod
+		left[v], right[v] = -1, -1
+		if kind[v] != Leaf {
+			ch := t.Children(v)
+			left[v], right[v] = ch[0], ch[1]
+		}
+	}
+
+	leaves := make([]int, 0, (n+1)/2)
+	for _, v := range t.PreOrder() {
+		if kind[v] == Leaf {
+			leaves = append(leaves, v)
+		}
+	}
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+
+	// rakePlan is one rake's commit set, computed read-only in pass 1:
+	// the raked leaf u, its parent p, the surviving sibling, the
+	// grandparent slot (gp, isLeft) the sibling moves into, and the
+	// sibling's composed function.
+	type rakePlan struct {
+		u, p, sib, gp int
+		isLeft        bool
+		newFn         affine
+	}
+	plans := make([]rakePlan, 0, len(leaves))
+	rakeWave := func(wave []int) {
+		if len(wave) == 0 {
+			return
+		}
+		plans = plans[:0]
+		for range wave {
+			plans = append(plans, rakePlan{})
+		}
+		par.For(len(wave), workers, func(lo, hi int) { // pass 1: plan (reads only)
+			for i := lo; i < hi; i++ {
+				u := wave[i]
+				p := parent[u]
+				var sib int
+				if left[p] == u {
+					sib = right[p]
+				} else {
+					sib = left[p]
+				}
+				k := fn[u].apply(val[u])
+				var withSibling affine
+				switch kind[p] {
+				case Add:
+					withSibling = fn[sib].thenAddConst(k)
+				case Mul:
+					withSibling = fn[sib].thenMulConst(k)
+				default:
+					panic("exprtree: rake under a leaf")
+				}
+				gp := parent[p]
+				plans[i] = rakePlan{
+					u: u, p: p, sib: sib, gp: gp,
+					isLeft: gp != -1 && left[gp] == p,
+					newFn:  fn[p].composeAfter(withSibling),
+				}
+			}
+		})
+		par.For(len(plans), workers, func(lo, hi int) { // pass 2: commit (disjoint writes)
+			for i := lo; i < hi; i++ {
+				pl := plans[i]
+				fn[pl.sib] = pl.newFn
+				parent[pl.sib] = pl.gp
+				if pl.gp != -1 {
+					if pl.isLeft {
+						left[pl.gp] = pl.sib
+					} else {
+						right[pl.gp] = pl.sib
+					}
+				}
+				alive[pl.u] = false
+				alive[pl.p] = false
+			}
+		})
+		st.Rakes += len(wave)
+	}
+
+	pSnap := make([]int, n)
+	for len(leaves) > 1 {
+		st.Rounds++
+		var lefts, rights []int
+		for i, u := range leaves {
+			if i%2 == 0 && parent[u] != -1 { // odd in 1-based counting
+				pSnap[u] = parent[u]
+				if left[parent[u]] == u {
+					lefts = append(lefts, u)
+				} else {
+					rights = append(rights, u)
+				}
+			}
+		}
+		rakeWave(lefts)
+		// Same guard as EvalSpatial: a right leaf whose parent edge
+		// changed this round waits for the next one.
+		pending := rights[:0]
+		for _, u := range rights {
+			if alive[parent[u]] && parent[u] == pSnap[u] {
+				pending = append(pending, u)
+			}
+		}
+		rakeWave(pending)
+		next := leaves[:0]
+		for _, u := range leaves {
+			if alive[u] {
+				next = append(next, u)
+			}
+		}
+		leaves = next
+	}
+	r := leaves[0]
+	return fn[r].apply(val[r]), st
+}

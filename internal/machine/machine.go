@@ -234,6 +234,17 @@ func (c Cost) Plus(d Cost) Cost {
 	}
 }
 
+// Minus returns the component-wise difference c - d: the growth from an
+// earlier snapshot d to c (the snapshot-to-snapshot form of Sim.Since,
+// usable without the simulator in hand).
+func (c Cost) Minus(d Cost) Cost {
+	return Cost{
+		Energy:   c.Energy - d.Energy,
+		Messages: c.Messages - d.Messages,
+		Depth:    c.Depth - d.Depth,
+	}
+}
+
 // Cost returns the current counters.
 func (s *Sim) Cost() Cost {
 	return Cost{Energy: s.energy, Messages: s.messages, Depth: s.maxClock}

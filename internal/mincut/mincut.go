@@ -53,18 +53,10 @@ type Result struct {
 // light-first placement of t (the LCA precondition). All edge weights
 // must be non-negative.
 func OneRespecting(s *machine.Sim, t *tree.Tree, rank []int, edges []Edge, r *rng.RNG) (Result, error) {
+	if err := validate(t, edges); err != nil {
+		return Result{}, err
+	}
 	n := t.N()
-	if n < 2 {
-		return Result{}, fmt.Errorf("mincut: tree with %d vertices has no cuts", n)
-	}
-	for _, e := range edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return Result{}, fmt.Errorf("mincut: edge %v out of range", e)
-		}
-		if e.W < 0 {
-			return Result{}, fmt.Errorf("mincut: negative weight on %v", e)
-		}
-	}
 
 	// Weighted degrees, then D(v) by treefix.
 	wdeg := make([]int64, n)
@@ -144,6 +136,25 @@ func OneRespecting(s *machine.Sim, t *tree.Tree, rank []int, edges []Edge, r *rn
 	}
 	res.LCAStats = lcaStats
 	return res, nil
+}
+
+// validate checks the shared preconditions of every executor, so the
+// spatial and parallel paths reject exactly the same inputs with
+// identical messages.
+func validate(t *tree.Tree, edges []Edge) error {
+	n := t.N()
+	if n < 2 {
+		return fmt.Errorf("mincut: tree with %d vertices has no cuts", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("mincut: edge %v out of range", e)
+		}
+		if e.W < 0 {
+			return fmt.Errorf("mincut: negative weight on %v", e)
+		}
+	}
+	return nil
 }
 
 // OneRespectingSequential is the host oracle: O(n·m) brute force.

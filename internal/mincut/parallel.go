@@ -1,0 +1,131 @@
+package mincut
+
+import (
+	"sync"
+
+	"spatialtree/internal/lca"
+	"spatialtree/internal/par"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+)
+
+// Parallel is the goroutine-parallel executor of the 1-respecting
+// minimum cut: the same D(v) − 2·I(v) decomposition as OneRespecting,
+// with the two treefix sums on the Euler-tour engine and the edge LCAs
+// on the sparse-table engine — no simulator, no model accounting. It is
+// the native serving backend's min-cut kernel.
+//
+// The preprocessing (tour positions, sparse table) is built once per
+// tree and amortized across calls, mirroring how OneRespecting amortizes
+// the light-first layout; OneRespecting answers the same queries with
+// exact spatial-model costs, and OneRespectingSequential remains the
+// brute-force oracle both are tested against.
+type Parallel struct {
+	t       *tree.Tree
+	tf      *treefix.Engine
+	le      *lca.Engine
+	workers int
+}
+
+// NewParallel builds the executor for t. tf and le may be shared,
+// already-built engines for the same tree (the exec backend passes its
+// own); nil builds private ones. workers <= 0 means par.Workers().
+func NewParallel(t *tree.Tree, tf *treefix.Engine, le *lca.Engine, workers int) *Parallel {
+	if tf == nil {
+		tf = treefix.NewEngine(t, workers)
+	}
+	if le == nil {
+		le = lca.NewEngine(t, workers)
+	}
+	return &Parallel{t: t, tf: tf, le: le, workers: workers}
+}
+
+// OneRespecting computes all 1-respecting cut weights of edges against
+// the executor's tree. Identical semantics and validation to the
+// spatial OneRespecting (Result.LCAStats is zero: there is no spatial
+// run to report).
+func (p *Parallel) OneRespecting(edges []Edge) (Result, error) {
+	if err := validate(p.t, edges); err != nil {
+		return Result{}, err
+	}
+	n := p.t.N()
+
+	// Weighted degrees, then D(v) by treefix. The per-edge accumulation
+	// stays sequential: both endpoints of every edge are write targets,
+	// and O(m) additions are noise next to the folds they feed.
+	wdeg := make([]int64, n)
+	queries := make([]lca.Query, 0, len(edges))
+	idx := make([]int, 0, len(edges))
+	for i, e := range edges {
+		if e.U == e.V {
+			continue // self-loops never cross a cut
+		}
+		wdeg[e.U] += e.W
+		wdeg[e.V] += e.W
+		queries = append(queries, lca.Query{U: e.U, V: e.V})
+		idx = append(idx, i)
+	}
+	dSums := p.tf.BottomUpSum(wdeg)
+
+	// LCA of every edge, batched over the query list in parallel.
+	answers := p.le.BatchLCA(queries)
+
+	// Per-vertex internal-edge weight val(u) = Σ w(e) over edges with
+	// lca(e) = u, then I(v) by treefix.
+	val := make([]int64, n)
+	for qi, a := range answers {
+		val[a] += edges[idx[qi]].W
+	}
+	iSums := p.tf.BottomUpSum(val)
+
+	// cut(v) = D(v) − 2·I(v); the arg-min matches the sequential scan's
+	// tie-break (the smallest vertex achieving the minimum) by combining
+	// per-chunk minima left to right with a strict comparison.
+	res := Result{Cuts: make([]int64, n), ArgVertex: -1}
+	workers := p.workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	type chunkMin struct {
+		weight int64
+		arg    int
+	}
+	var mu chunkBox
+	root := p.t.Root()
+	par.For(n, workers, func(lo, hi int) {
+		best := chunkMin{arg: -1}
+		for v := lo; v < hi; v++ {
+			if v == root {
+				continue
+			}
+			cut := dSums[v] - 2*iSums[v]
+			res.Cuts[v] = cut
+			if best.arg == -1 || cut < best.weight {
+				best = chunkMin{weight: cut, arg: v}
+			}
+		}
+		if best.arg != -1 {
+			mu.add(best.weight, best.arg)
+		}
+	})
+	res.MinWeight, res.ArgVertex = mu.weight, mu.arg
+	return res, nil
+}
+
+// chunkBox folds per-chunk minima under a mutex, preferring the smaller
+// weight and, on ties, the smaller vertex id — the order a sequential
+// ascending scan with strict < would produce.
+type chunkBox struct {
+	mu     sync.Mutex
+	arg    int
+	weight int64
+	seen   bool
+}
+
+func (b *chunkBox) add(weight int64, arg int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.seen || weight < b.weight || (weight == b.weight && arg < b.arg) {
+		b.weight, b.arg, b.seen = weight, arg, true
+	}
+}

@@ -1,0 +1,87 @@
+package mincut
+
+import (
+	"testing"
+
+	"spatialtree/internal/rng"
+	"spatialtree/internal/tree"
+)
+
+// TestParallelAgainstOracle pins the goroutine executor to the
+// brute-force oracle, including tie-breaking on the arg vertex.
+func TestParallelAgainstOracle(t *testing.T) {
+	for _, n := range []int{2, 7, 64, 257, 1024} {
+		for _, seed := range []uint64{1, 2, 3} {
+			tr := tree.RandomAttachment(n, rng.New(seed))
+			edges := RandomGraph(tr, n/2, 12, rng.New(seed+3))
+			want := OneRespectingSequential(tr, edges)
+			for _, workers := range []int{1, 4} {
+				p := NewParallel(tr, nil, nil, workers)
+				got, err := p.OneRespecting(edges)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.MinWeight != want.MinWeight || got.ArgVertex != want.ArgVertex {
+					t.Fatalf("n=%d seed=%d w=%d: got (%d, v%d), want (%d, v%d)",
+						n, seed, workers, got.MinWeight, got.ArgVertex, want.MinWeight, want.ArgVertex)
+				}
+				for v := range want.Cuts {
+					if got.Cuts[v] != want.Cuts[v] {
+						t.Fatalf("n=%d seed=%d w=%d: cut[%d] = %d, want %d",
+							n, seed, workers, v, got.Cuts[v], want.Cuts[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelTieBreak forces equal-weight cuts and asserts the
+// sequential scan's arg choice (smallest vertex id) survives chunked
+// parallel reduction.
+func TestParallelTieBreak(t *testing.T) {
+	// A star: every leaf's parent edge cuts exactly its own edge weight;
+	// uniform weights make every cut tie.
+	parents := make([]int, 9)
+	parents[0] = -1
+	tr := tree.MustFromParents(parents)
+	var edges []Edge
+	for v := 1; v < tr.N(); v++ {
+		edges = append(edges, Edge{U: 0, V: v, W: 5})
+	}
+	want := OneRespectingSequential(tr, edges)
+	for _, workers := range []int{1, 3, 8} {
+		got, err := NewParallel(tr, nil, nil, workers).OneRespecting(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ArgVertex != want.ArgVertex || got.MinWeight != want.MinWeight {
+			t.Fatalf("w=%d: got (%d, v%d), want (%d, v%d)",
+				workers, got.MinWeight, got.ArgVertex, want.MinWeight, want.ArgVertex)
+		}
+	}
+}
+
+// TestParallelValidation pins the shared validation: the parallel
+// executor rejects exactly what the spatial one rejects.
+func TestParallelValidation(t *testing.T) {
+	single := tree.MustFromParents([]int{-1})
+	if _, err := NewParallel(single, nil, nil, 2).OneRespecting(nil); err == nil {
+		t.Fatal("1-vertex tree accepted")
+	}
+	tr := tree.MustFromParents([]int{-1, 0, 0})
+	if _, err := NewParallel(tr, nil, nil, 2).OneRespecting([]Edge{{U: 0, V: 9, W: 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewParallel(tr, nil, nil, 2).OneRespecting([]Edge{{U: 0, V: 1, W: -2}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Self-loops are ignored, as in the spatial executor.
+	got, err := NewParallel(tr, nil, nil, 2).OneRespecting([]Edge{{U: 1, V: 1, W: 7}, {U: 0, V: 1, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cuts[1] != 2 {
+		t.Fatalf("self-loop contributed to cut: %d", got.Cuts[1])
+	}
+}

@@ -102,6 +102,73 @@ func ReduceInt64(vals []int64, id int64, op func(a, b int64) int64, workers int)
 	return acc
 }
 
+// ScanInt64 replaces vals with its inclusive prefix folds under an
+// arbitrary associative combine with identity id, using the same
+// two-pass block algorithm as PrefixSumInt64: per-block folds, a
+// sequential fold of the block aggregates, then per-block fixups that
+// prepend each block's left context (so non-commutative associative
+// operators fold in index order). Span O(n/P + P).
+func ScanInt64(vals []int64, id int64, combine func(a, b int64) int64, workers int) {
+	n := len(vals)
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		run := id
+		for i := range vals {
+			run = combine(run, vals[i])
+			vals[i] = run
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	nblocks := (n + chunk - 1) / chunk
+	blockAgg := make([]int64, nblocks)
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			lo, hi := b*chunk, (b+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			run := id
+			for i := lo; i < hi; i++ {
+				run = combine(run, vals[i])
+				vals[i] = run
+			}
+			blockAgg[b] = run
+		}(b)
+	}
+	wg.Wait()
+	carry := id
+	for b := 0; b < nblocks; b++ {
+		blockAgg[b], carry = carry, combine(carry, blockAgg[b])
+	}
+	for b := 1; b < nblocks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			lo, hi := b*chunk, (b+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			off := blockAgg[b]
+			for i := lo; i < hi; i++ {
+				vals[i] = combine(off, vals[i])
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
 // PrefixSumInt64 replaces vals with its inclusive prefix sums under +,
 // using the two-pass block algorithm: per-block sums, a sequential scan
 // of the block sums, then per-block fixups. Span O(n/P + P).

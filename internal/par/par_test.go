@@ -91,6 +91,110 @@ func TestPrefixSumInt64(t *testing.T) {
 	}
 }
 
+// TestForEdgeGrains pins the chunking contract at the boundaries the
+// native kernels rely on: n smaller than the worker count must still
+// produce disjoint single-index chunks, n == 0 must not invoke fn at
+// all, and the single-worker fast path must run inline over the full
+// range (no goroutine: callers may rely on stack locality).
+func TestForEdgeGrains(t *testing.T) {
+	// n < workers: every index covered exactly once, each chunk non-empty.
+	var chunks atomic.Int32
+	mark := make([]int32, 3)
+	For(3, 64, func(lo, hi int) {
+		chunks.Add(1)
+		if lo >= hi {
+			t.Error("empty chunk dispatched")
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&mark[i], 1)
+		}
+	})
+	if chunks.Load() != 3 {
+		t.Fatalf("n=3 w=64: %d chunks, want 3 single-index chunks", chunks.Load())
+	}
+	for i, m := range mark {
+		if m != 1 {
+			t.Fatalf("index %d touched %d times", i, m)
+		}
+	}
+
+	// n == 0: fn must never run (a zero-length kernel pass is free).
+	called := false
+	For(0, 8, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For(0, ...) invoked fn")
+	}
+
+	// workers == 1 (and n == 1 forcing it): one inline call spanning the
+	// whole range.
+	for _, tc := range []struct{ n, w int }{{100, 1}, {1, 16}} {
+		calls := 0
+		For(tc.n, tc.w, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != tc.n {
+				t.Fatalf("n=%d w=%d: chunk [%d,%d), want [0,%d)", tc.n, tc.w, lo, hi, tc.n)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("n=%d w=%d: %d calls, want 1", tc.n, tc.w, calls)
+		}
+	}
+}
+
+func TestScanInt64(t *testing.T) {
+	r := rng.New(3)
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	// Affine-map composition mod 251, packed as a*256+b: associative but
+	// NOT commutative, so the scan's fixup order (prepend left context)
+	// is load-bearing. combine(F, G) applies F first, then G.
+	const p = 251
+	affine := func(f, g int64) int64 {
+		af, bf := f/256, f%256
+		ag, bg := g/256, g%256
+		return (ag * af % p * 256) + (ag*bf+bg)%p
+	}
+	ops := []struct {
+		name    string
+		id      int64
+		combine func(a, b int64) int64
+	}{
+		{"add", 0, func(a, b int64) int64 { return a + b }},
+		{"max", -1 << 62, maxOp},
+		{"xor", 0, func(a, b int64) int64 { return a ^ b }},
+		{"affine", 1 * 256, affine},
+	}
+	for _, op := range ops {
+		for _, n := range []int{0, 1, 2, 3, 100, 4096, 10007} {
+			vals := make([]int64, n)
+			want := make([]int64, n)
+			run := op.id
+			for i := range vals {
+				if op.name == "affine" {
+					vals[i] = int64(r.Intn(p))*256 + int64(r.Intn(p))
+				} else {
+					vals[i] = int64(r.Intn(200)) - 100
+				}
+				run = op.combine(run, vals[i])
+				want[i] = run
+			}
+			for _, w := range []int{0, 1, 4, 32} {
+				got := append([]int64(nil), vals...)
+				ScanInt64(got, op.id, op.combine, w)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("op=%s n=%d w=%d: scan[%d] = %d, want %d", op.name, n, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatal("Workers() < 1")

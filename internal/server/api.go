@@ -6,16 +6,23 @@ package server
 
 // RegisterRequest registers an immutable tree with the server
 // (POST /v1/trees). Parents is the parent array with parents[root] = -1.
+// Backend optionally picks the shard's execution backend: "native"
+// (goroutine-parallel serving, the default) or "sim" (every batch runs
+// on the spatial-computer simulator with exact model-cost metering).
+// Re-registering a tree with a different backend re-points its queries.
 type RegisterRequest struct {
-	Parents []int `json:"parents"`
+	Parents []int  `json:"parents"`
+	Backend string `json:"backend,omitempty"`
 }
 
 // RegisterResponse identifies the registered tree. ID is derived from
 // the structural fingerprint: registering an identical tree returns the
-// same id and routes to the same shard.
+// same id and routes to the same shard. Backend echoes the shard's
+// resolved execution backend.
 type RegisterResponse struct {
-	ID string `json:"tree_id"`
-	N  int    `json:"n"`
+	ID      string `json:"tree_id"`
+	N       int    `json:"n"`
+	Backend string `json:"backend"`
 }
 
 // LCAQuery asks for the lowest common ancestor of U and V.
@@ -69,18 +76,22 @@ type QueryResponse struct {
 }
 
 // DynCreateRequest creates a mutable shard (POST /v1/dyn). Epsilon <= 0
-// uses the server's configured default.
+// uses the server's configured default; Backend "" uses the server's
+// default execution backend (see RegisterRequest.Backend).
 type DynCreateRequest struct {
 	Parents []int   `json:"parents"`
 	Epsilon float64 `json:"epsilon,omitempty"`
+	Backend string  `json:"backend,omitempty"`
 }
 
 // DynCreateResponse identifies the new mutable shard. IDs are
 // per-server handles (mutations change the tree's fingerprint, so
-// mutable shards are routed by id, never structurally).
+// mutable shards are routed by id, never structurally). Backend is the
+// shard's resolved execution backend.
 type DynCreateResponse struct {
-	ID string `json:"shard_id"`
-	N  int    `json:"n"`
+	ID      string `json:"shard_id"`
+	N       int    `json:"n"`
+	Backend string `json:"backend"`
 }
 
 // MutateRequest applies one mutation to a dyn shard
@@ -157,6 +168,20 @@ type CacheMetrics struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// BackendMetrics reports the execution-backend layer: the serving
+// default, retained shards per backend (registered trees + dyn shards +
+// ad-hoc pool shards), and — when shadow metering is armed — how many
+// batches were sampled through the sim backend and whether any served
+// result disagreed with the simulator (mismatches should always read
+// zero; a non-zero value means a backend bug).
+type BackendMetrics struct {
+	Default          string         `json:"default"`
+	ShadowMeter      int            `json:"shadow_meter,omitempty"`
+	Shards           map[string]int `json:"shards"`
+	ShadowBatches    uint64         `json:"shadow_batches"`
+	ShadowMismatches uint64         `json:"shadow_mismatches"`
+}
+
 // DynMetrics aggregates the mutable shards.
 type DynMetrics struct {
 	Shards    int    `json:"shards"`
@@ -191,6 +216,7 @@ type MetricsResponse struct {
 	Scheduler SchedulerMetrics `json:"scheduler"`
 	Engine    EngineMetrics    `json:"engine"`
 	Cache     CacheMetrics     `json:"cache"`
+	Backends  BackendMetrics   `json:"backends"`
 	Dyn       DynMetrics       `json:"dyn"`
 	Persist   *PersistMetrics  `json:"persist,omitempty"`
 }

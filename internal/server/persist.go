@@ -104,7 +104,9 @@ func (s *Server) recoverTree(st persist.SavedTree) error {
 		return err
 	}
 	s.pool.Cache().Put(engine.CacheKey{Fingerprint: fp, Curve: st.Snap.Curve, Order: st.Snap.Order}, p)
-	_, err = s.registerTree(t, false)
+	// Recovered trees come back on the server's default backend: the
+	// backend is a serving-time knob, not durable state.
+	_, err = s.registerTree(t, false, "")
 	return err
 }
 
@@ -130,6 +132,7 @@ func (s *Server) recoverDynShard(id string) (replayed int, err error) {
 	s.mu.Lock()
 	s.dyns[id] = de
 	s.logs[id] = log
+	s.backends[id] = de.Backend()
 	if k, ok := dynSeq(id); ok && k > s.nextDyn {
 		s.nextDyn = k
 	}

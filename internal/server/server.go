@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"spatialtree/internal/engine"
+	"spatialtree/internal/exec"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/mincut"
 	"spatialtree/internal/persist"
@@ -98,6 +99,20 @@ type Config struct {
 	// snapshot plus a mutation WAL, and Recover replays all of it on
 	// boot. Nil serves everything from memory, as before.
 	Store *persist.Store
+	// Backend names the default execution backend shards serve on
+	// ("" means "native": goroutine-parallel kernels, no simulator
+	// bookkeeping on the hot path). "sim" serves every batch through the
+	// spatial-computer simulator with exact model-cost metering — the
+	// validation/metering deployment, an order of magnitude slower.
+	// Register/create requests may override per shard; recovered shards
+	// come back on this default (the backend is a serving-time knob, not
+	// part of the durable state — re-register to override after boot).
+	Backend string
+	// ShadowMeter, when > 0 with a native default backend, samples every
+	// N-th batch of each shard through a shadow sim run: /metrics keeps
+	// reporting (sampled) model Energy/Depth and counts any
+	// native-vs-sim result mismatches, at 1/N of the simulator's cost.
+	ShadowMeter int
 }
 
 // Server serves the engines over HTTP. Construct with New; the zero
@@ -134,6 +149,7 @@ type Server struct {
 	dyns      map[string]*engine.DynEngine
 	logs      map[string]*persist.ShardLog // per-dyn-shard WALs (nil Store: empty)
 	adhoc     map[uint64]struct{}          // fingerprints of pool shards auto-created for ad-hoc query trees
+	backends  map[string]string            // tree id / dyn shard id -> serving backend
 	nextDyn   int
 	recovered RecoveryStats
 }
@@ -162,22 +178,28 @@ func New(cfg Config) *Server {
 	if cfg.MaxShards <= 0 {
 		cfg.MaxShards = DefaultMaxShards
 	}
+	if cfg.Backend == "" {
+		cfg.Backend = exec.Native
+	}
 	opts := engine.Options{
-		Curve:      cfg.Curve,
-		Window:     cfg.MaxBatch,
-		Seed:       cfg.Seed,
-		Cache:      engine.NewLayoutCache(cfg.CacheCapacity),
-		FlushDelay: cfg.MaxDelay,
+		Curve:       cfg.Curve,
+		Window:      cfg.MaxBatch,
+		Seed:        cfg.Seed,
+		Cache:       engine.NewLayoutCache(cfg.CacheCapacity),
+		FlushDelay:  cfg.MaxDelay,
+		Backend:     cfg.Backend,
+		ShadowMeter: cfg.ShadowMeter,
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    engine.NewPool(cfg.Workers, opts),
-		engOpts: opts,
-		sem:     make(chan struct{}, cfg.QueueLimit),
-		trees:   make(map[string]*tree.Tree),
-		dyns:    make(map[string]*engine.DynEngine),
-		logs:    make(map[string]*persist.ShardLog),
-		adhoc:   make(map[uint64]struct{}),
+		cfg:      cfg,
+		pool:     engine.NewPool(cfg.Workers, opts),
+		engOpts:  opts,
+		sem:      make(chan struct{}, cfg.QueueLimit),
+		trees:    make(map[string]*tree.Tree),
+		dyns:     make(map[string]*engine.DynEngine),
+		logs:     make(map[string]*persist.ShardLog),
+		adhoc:    make(map[uint64]struct{}),
+		backends: make(map[string]string),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/trees", s.admitted(s.handleRegister))
@@ -277,38 +299,59 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 // is already retained.
 var errShardLimit = errors.New("shard limit reached (MaxShards): delete load or raise the limit")
 
-// RegisterTree registers t and returns its id, warming the shard (and
-// through it the layout cache). The id is stable across servers: it is
-// derived from the structural fingerprint. Registration beyond the
-// MaxShards budget fails with errShardLimit — unless the tree is
-// already registered, which retains nothing new. (The budget check and
-// the shard creation are not atomic; concurrent registrations can
-// overshoot by their own count, which is why this is a memory
-// admission bound, not an exact quota.)
+// RegisterTree registers t on the server's default backend and returns
+// its id, warming the shard (and through it the layout cache). The id
+// is stable across servers: it is derived from the structural
+// fingerprint. Registration beyond the MaxShards budget fails with
+// errShardLimit — unless the tree is already registered, which retains
+// nothing new. (The budget check and the shard creation are not atomic;
+// concurrent registrations can overshoot by their own count, which is
+// why this is a memory admission bound, not an exact quota.)
 func (s *Server) RegisterTree(t *tree.Tree) (string, error) {
-	return s.registerTree(t, true)
+	return s.registerTree(t, true, "")
+}
+
+// RegisterTreeBackend is RegisterTree with an explicit execution
+// backend ("" means the server default). Re-registering an existing
+// tree with a different backend re-points its queries at a shard on
+// that backend (both shards share one cached placement).
+func (s *Server) RegisterTreeBackend(t *tree.Tree, backend string) (string, error) {
+	return s.registerTree(t, true, backend)
 }
 
 // registerTree is RegisterTree with the persistence side controllable:
 // Recover re-registers trees that are already on disk (and were
 // admitted when first registered, so the budget does not re-apply).
-func (s *Server) registerTree(t *tree.Tree, save bool) (string, error) {
+func (s *Server) registerTree(t *tree.Tree, save bool, backend string) (string, error) {
+	if backend == "" {
+		backend = s.cfg.Backend
+	}
+	if !exec.Valid(backend) {
+		return "", fmt.Errorf("unknown backend %q (want %q or %q)", backend, exec.Native, exec.Sim)
+	}
+	backend = exec.Normalize(backend)
 	fp := engine.Fingerprint(t)
 	id := treeID(fp)
 	s.mu.Lock()
 	_, registered := s.trees[id]
-	known := registered
-	if !known {
+	// known means this registration retains nothing new: a pool shard
+	// for (fingerprint, backend) already exists. A re-registration that
+	// switches backends creates a fresh shard (the pool keys on the
+	// pair), so it must pass the budget check like any first sight —
+	// otherwise backend switching would be a MaxShards bypass.
+	known := registered && s.backends[id] == backend
+	if !registered {
 		// A shard auto-created for this structure's ad-hoc traffic
-		// already exists; promoting it to a registration retains only
-		// the id mapping.
-		_, known = s.adhoc[fp]
+		// already exists (on the default backend); promoting it to a
+		// same-backend registration retains only the id mapping.
+		_, adhoc := s.adhoc[fp]
+		known = adhoc && backend == s.cfg.Backend
 	}
 	s.mu.Unlock()
 	if save && !known && s.pool.Size() >= s.cfg.MaxShards {
 		return "", errShardLimit
 	}
-	eng, err := s.pool.Engine(t)
+	eng, err := s.pool.EngineBackend(t, backend)
 	if err != nil {
 		return "", err
 	}
@@ -321,6 +364,7 @@ func (s *Server) registerTree(t *tree.Tree, save bool) (string, error) {
 	}
 	s.mu.Lock()
 	s.trees[id] = t
+	s.backends[id] = backend
 	// A promoted ad-hoc shard is now accounted as registered; free its
 	// slot in the ad-hoc half of the budget.
 	delete(s.adhoc, fp)
@@ -342,7 +386,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	id, err := s.RegisterTree(t)
+	if req.Backend != "" && !exec.Valid(req.Backend) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want %q or %q)", req.Backend, exec.Native, exec.Sim))
+		return
+	}
+	id, err := s.registerTree(t, true, req.Backend)
 	if errors.Is(err, errShardLimit) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
@@ -351,7 +399,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, RegisterResponse{ID: id, N: t.N()})
+	s.mu.Lock()
+	be := s.backends[id]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, RegisterResponse{ID: id, N: t.N(), Backend: be})
 }
 
 // submitter is the Submit surface Engine and DynEngine share; the
@@ -483,20 +534,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // engineFor resolves the shard serving an ad-hoc query tree. Known
 // trees (registered, or ad-hoc structures already given a shard) join
 // their pooled shard — equal fingerprints coalesce into one batch
-// window. New ad-hoc structures get a pooled shard only while the
-// ad-hoc half of the MaxShards budget lasts; the other half stays
-// reserved for explicit registration, so unauthenticated one-off
-// traffic can bound neither memory nor the registration API. Beyond
-// the budget the tree is served from an ephemeral engine (the shared
-// layout cache still catches repeated structures). retire must run
-// after the request's future resolves — for an ephemeral engine it
-// folds the counters into /metrics.
+// window, and a registered tree's traffic runs on whatever backend it
+// was registered with (ad-hoc structures use the server default). New
+// ad-hoc structures get a pooled shard only while the ad-hoc half of
+// the MaxShards budget lasts; the other half stays reserved for
+// explicit registration, so unauthenticated one-off traffic can bound
+// neither memory nor the registration API. Beyond the budget the tree
+// is served from an ephemeral engine (the shared layout cache still
+// catches repeated structures). retire must run after the request's
+// future resolves — for an ephemeral engine it folds the counters into
+// /metrics.
 func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
 	fp := engine.Fingerprint(t)
 	id := treeID(fp)
 	s.mu.Lock()
+	backend := s.cfg.Backend
 	_, known := s.trees[id]
-	if !known {
+	if known {
+		if be, ok := s.backends[id]; ok {
+			backend = be
+		}
+	} else {
 		_, known = s.adhoc[fp]
 		if !known && len(s.adhoc) < s.cfg.MaxShards/2 && s.pool.Size() < s.cfg.MaxShards {
 			s.adhoc[fp] = struct{}{}
@@ -505,14 +563,18 @@ func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
 	}
 	s.mu.Unlock()
 	if known {
-		eng, err := s.pool.Engine(t)
+		eng, err := s.pool.EngineBackend(t, backend)
 		return eng, func() {}, err
 	}
 	opts := s.engOpts
 	// No scheduler on a single-request engine: nothing can ever join
 	// its batch, so Wait should flush at once instead of sleeping out
-	// the MaxDelay deadline.
+	// the MaxDelay deadline. No shadow metering either — a fresh
+	// engine's first batch is always sampled, which would shadow-run
+	// the simulator on every over-budget request; pool shards carry the
+	// sampling instead.
 	opts.FlushDelay = 0
+	opts.ShadowMeter = 0
 	eng, err := engine.New(t, opts)
 	if err != nil {
 		return nil, nil, err
@@ -536,6 +598,10 @@ func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Backend != "" && !exec.Valid(req.Backend) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want %q or %q)", req.Backend, exec.Native, exec.Sim))
+		return
+	}
 	if s.pool.Size() >= s.cfg.MaxShards {
 		writeError(w, http.StatusTooManyRequests, errShardLimit.Error())
 		return
@@ -544,7 +610,11 @@ func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
 	if eps <= 0 {
 		eps = s.cfg.Epsilon
 	}
-	de, err := s.pool.NewDynShard(t, eps)
+	backend := req.Backend
+	if backend == "" {
+		backend = s.cfg.Backend
+	}
+	de, err := s.pool.NewDynShardBackend(t, eps, backend)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -564,8 +634,9 @@ func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.dyns[id] = de
+	s.backends[id] = de.Backend()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, DynCreateResponse{ID: id, N: t.N()})
+	writeJSON(w, http.StatusOK, DynCreateResponse{ID: id, N: t.N(), Backend: de.Backend()})
 }
 
 func (s *Server) dynShard(w http.ResponseWriter, r *http.Request) *engine.DynEngine {
@@ -664,6 +735,12 @@ func (s *Server) Metrics() MetricsResponse {
 		logList = append(logList, l)
 	}
 	recovered := s.recovered
+	backendShards := map[string]int{}
+	for _, be := range s.backends {
+		backendShards[be]++
+	}
+	// Ad-hoc pool shards were created on the default backend.
+	backendShards[s.cfg.Backend] += len(s.adhoc)
 	s.mu.Unlock()
 	var pm *PersistMetrics
 	if s.cfg.Store != nil {
@@ -726,6 +803,13 @@ func (s *Server) Metrics() MetricsResponse {
 			Size:      st.Cache.Size,
 			Capacity:  st.Cache.Capacity,
 			HitRate:   st.Cache.HitRate(),
+		},
+		Backends: BackendMetrics{
+			Default:          s.cfg.Backend,
+			ShadowMeter:      s.cfg.ShadowMeter,
+			Shards:           backendShards,
+			ShadowBatches:    st.ShadowBatches,
+			ShadowMismatches: st.ShadowMismatches,
 		},
 		Dyn:     dyn,
 		Persist: pm,

@@ -478,9 +478,11 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
-// TestMinCutAndTopDown covers the remaining kinds end to end.
+// TestMinCutAndTopDown covers the remaining kinds end to end. The
+// server runs on the sim backend: the closing assertion pins the model
+// cost attribution only the simulator produces.
 func TestMinCutAndTopDown(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond})
+	_, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond, Backend: "sim"})
 	// Path 0-1-2 with a heavy shortcut: the 1-respecting min cut is 6
 	// on either tree edge (see internal/mincut's known-graph test).
 	parents := []int{-1, 0, 1}

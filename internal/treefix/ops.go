@@ -12,8 +12,11 @@
 //     O(1) algorithm state per processor and every message charged
 //     (Lemmas 10-12: O(n log n) energy; O(log n) depth for bounded
 //     degree, O(log² n) otherwise, with high probability).
-//   - Engine.BottomUpSum / TopDownSum: goroutine-parallel executors for
-//     wall-clock benchmarks (Euler-tour + parallel prefix sums).
+//   - Engine.BottomUp / TopDown: goroutine-parallel executors under any
+//     registered operator (Euler-tour scans, range tables and pointer
+//     doubling chosen by the operator's capabilities) — the native
+//     serving backend's treefix kernel. BottomUpSum / TopDownSum remain
+//     the specialized + fast paths.
 package treefix
 
 import "fmt"
@@ -22,17 +25,34 @@ import "fmt"
 // folds children in unspecified order, so Combine must be commutative
 // (the paper's examples: sum, maximum). Identity must satisfy
 // Combine(Identity, x) == x.
+//
+// The optional capability fields drive the goroutine-parallel Engine's
+// dispatch: an invertible operator (a group, like add or xor) is
+// executed as a prefix-scan difference over the Euler tour, an
+// idempotent one (max, min) as a sparse range table; operators with
+// neither capability still execute through slower generic paths. The
+// spatial-simulator executors ignore both fields — contraction only
+// needs Combine.
 type Op struct {
 	Name     string
 	Identity int64
 	Combine  func(a, b int64) int64
+	// Invert, when non-nil, returns the group inverse of x under
+	// Combine: Combine(x, Invert(x)) == Identity. Only meaningful for
+	// commutative operators.
+	Invert func(x int64) int64
+	// Idempotent reports Combine(x, x) == x.
+	Idempotent bool
 }
 
 // Add is the + operator (the paper's subtree-size and prefix use cases).
-var Add = Op{Name: "add", Identity: 0, Combine: func(a, b int64) int64 { return a + b }}
+var Add = Op{Name: "add", Identity: 0,
+	Combine: func(a, b int64) int64 { return a + b },
+	Invert:  func(x int64) int64 { return -x },
+}
 
 // Max folds to the maximum value.
-var Max = Op{Name: "max", Identity: -1 << 62, Combine: func(a, b int64) int64 {
+var Max = Op{Name: "max", Identity: -1 << 62, Idempotent: true, Combine: func(a, b int64) int64 {
 	if a > b {
 		return a
 	}
@@ -40,7 +60,7 @@ var Max = Op{Name: "max", Identity: -1 << 62, Combine: func(a, b int64) int64 {
 }}
 
 // Min folds to the minimum value.
-var Min = Op{Name: "min", Identity: 1 << 62, Combine: func(a, b int64) int64 {
+var Min = Op{Name: "min", Identity: 1 << 62, Idempotent: true, Combine: func(a, b int64) int64 {
 	if a < b {
 		return a
 	}
@@ -49,7 +69,10 @@ var Min = Op{Name: "min", Identity: 1 << 62, Combine: func(a, b int64) int64 {
 
 // Xor folds with exclusive-or; useful in tests because it is its own
 // inverse.
-var Xor = Op{Name: "xor", Identity: 0, Combine: func(a, b int64) int64 { return a ^ b }}
+var Xor = Op{Name: "xor", Identity: 0,
+	Combine: func(a, b int64) int64 { return a ^ b },
+	Invert:  func(x int64) int64 { return x },
+}
 
 // OpByName returns a registered operator.
 func OpByName(name string) (Op, error) {

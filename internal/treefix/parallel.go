@@ -1,25 +1,43 @@
 package treefix
 
 import (
+	"errors"
+	"fmt"
+
 	"spatialtree/internal/par"
 	"spatialtree/internal/tree"
 )
 
-// Engine is the goroutine-parallel treefix executor used for wall-clock
-// benchmarks (experiment E12). It precomputes the Euler tour positions of
-// the tree once (the paper amortizes layout/preprocessing across
-// iterations, Section I-D) and then answers bottom-up and top-down
-// treefix sums under + with two parallel passes: a scatter of per-vertex
-// contributions into tour positions and a parallel prefix sum.
+// ErrUnsupportedOp reports an operator the goroutine-parallel Engine
+// cannot execute (no Combine function). Before the op generalization the
+// engine silently computed + whatever the caller asked for; now a
+// malformed operator is a typed error instead of wrong sums.
+var ErrUnsupportedOp = errors.New("treefix: operator not executable by the parallel engine")
+
+// Engine is the goroutine-parallel treefix executor: the native serving
+// backend's treefix kernel (and the wall-clock arm of experiment E12).
+// It precomputes the Euler tour positions of the tree once (the paper
+// amortizes layout/preprocessing across iterations, Section I-D) and
+// then answers bottom-up and top-down treefix sums with parallel passes
+// over the edge tour.
 //
-// The + operator covers the paper's headline uses (subtree sizes, path
-// counters); the contraction-based executors handle general operators.
+// BottomUp and TopDown accept any registered operator and dispatch on
+// its capabilities: invertible operators (add, xor) run as prefix-scan
+// differences over the tour; idempotent operators (max, min) answer
+// subtree folds from a sparse range table and root-path folds by
+// parent-pointer doubling; any other commutative operator falls back to
+// the host rake/compress contraction (the sequential oracle). The
+// *Sum methods remain the specialized + fast paths.
 type Engine struct {
 	t *tree.Tree
 	// downPos[v], upPos[v]: positions of v's down/up edge in the Euler
 	// edge tour (root: virtual positions -1 and 2(n-1)).
 	downPos, upPos []int32
-	workers        int
+	// maxDepth is the deepest vertex's depth, recorded during the tour
+	// DFS so topDownDoubling knows its round count without re-walking
+	// the tree per request.
+	maxDepth int
+	workers  int
 }
 
 // NewEngine builds the tour positions with a host DFS.
@@ -52,6 +70,9 @@ func NewEngine(t *tree.Tree, workers int) *Engine {
 			e.downPos[c] = pos
 			pos++
 			stack = append(stack, frame{c, 0})
+			if d := len(stack) - 1; d > e.maxDepth {
+				e.maxDepth = d
+			}
 			continue
 		}
 		if f.v != root {
@@ -97,6 +118,262 @@ func (e *Engine) BottomUpSum(vals []int64) []int64 {
 			out[v] = vals[v] + contrib[e.upPos[v]] - contrib[e.downPos[v]+1]
 		}
 	})
+	return out
+}
+
+// BottomUp returns the subtree folds of vals under op. op must be
+// commutative (as everywhere in this package); a nil Combine or a vals
+// slice of the wrong length returns an error (wrapping ErrUnsupportedOp
+// for the former) instead of wrong sums.
+func (e *Engine) BottomUp(vals []int64, op Op) ([]int64, error) {
+	n := e.t.N()
+	if len(vals) != n {
+		return nil, fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n)
+	}
+	switch {
+	case op.Combine == nil:
+		return nil, fmt.Errorf("%w: op %q has no Combine", ErrUnsupportedOp, op.Name)
+	case op.Name == Add.Name:
+		return e.BottomUpSum(vals), nil
+	case op.Invert != nil:
+		return e.bottomUpInvertible(vals, op), nil
+	case op.Idempotent:
+		return e.bottomUpIdempotent(vals, op), nil
+	default:
+		// Host rake/compress fallback: the sequential contraction
+		// handles any commutative operator, and for a single core it is
+		// also the fastest executor the repository ships.
+		return SequentialBottomUp(e.t, vals, op), nil
+	}
+}
+
+// TopDown returns the root-path folds of vals under op (associative;
+// folded in root-to-vertex order). Same error contract as BottomUp.
+func (e *Engine) TopDown(vals []int64, op Op) ([]int64, error) {
+	n := e.t.N()
+	if len(vals) != n {
+		return nil, fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n)
+	}
+	switch {
+	case op.Combine == nil:
+		return nil, fmt.Errorf("%w: op %q has no Combine", ErrUnsupportedOp, op.Name)
+	case op.Name == Add.Name:
+		return e.TopDownSum(vals), nil
+	case op.Invert != nil:
+		return e.topDownInvertible(vals, op), nil
+	default:
+		// Parent-pointer doubling computes root-path prefixes for any
+		// associative operator in O(log depth) rounds of O(n) work.
+		return e.topDownDoubling(vals, op), nil
+	}
+}
+
+// bottomUpInvertible generalizes BottomUpSum to any group operator: the
+// down edges of v's subtree occupy a contiguous tour range, so the
+// subtree fold is prefix(upPos[v]) ⊕ Invert(prefix(downPos[v]+1]) —
+// exactly the prefix-sum difference, spelled with Combine/Invert.
+func (e *Engine) bottomUpInvertible(vals []int64, op Op) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = vals[0]
+		return out
+	}
+	L := 2 * (n - 1)
+	contrib := make([]int64, L+1) // shifted by one: prefix[0] = Identity
+	root := e.t.Root()
+	par.For(L+1, e.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			contrib[i] = op.Identity
+		}
+	})
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v != root {
+				contrib[e.downPos[v]+1] = vals[v]
+			}
+		}
+	})
+	par.ScanInt64(contrib, op.Identity, op.Combine, e.workers)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			below := op.Combine(contrib[e.upPos[v]], op.Invert(contrib[e.downPos[v]+1]))
+			out[v] = op.Combine(vals[v], below)
+		}
+	})
+	return out
+}
+
+// bottomUpIdempotent answers subtree folds of a non-invertible
+// idempotent operator (max, min) from a sparse table over the edge
+// tour: overlapping power-of-two windows are harmless exactly because
+// the operator is idempotent. O(n log n) build (parallel over rows),
+// O(1) per vertex.
+func (e *Engine) bottomUpIdempotent(vals []int64, op Op) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = vals[0]
+		return out
+	}
+	L := 2 * (n - 1)
+	contrib := make([]int64, L)
+	root := e.t.Root()
+	par.For(L, e.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			contrib[i] = op.Identity
+		}
+	})
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v != root {
+				contrib[e.downPos[v]] = vals[v]
+			}
+		}
+	})
+	fold := newRangeTable(contrib, op, e.workers)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			// Down edges strictly inside v's subtree span tour positions
+			// [downPos[v]+1, upPos[v]-1] (empty for leaves).
+			out[v] = op.Combine(vals[v], fold(int(e.downPos[v])+1, int(e.upPos[v])-1))
+		}
+	})
+	return out
+}
+
+// newRangeTable builds a sparse table over contrib and returns an
+// inclusive range-fold function; ranges outside or empty fold to the
+// identity. Requires an idempotent op.
+func newRangeTable(contrib []int64, op Op, workers int) func(lo, hi int) int64 {
+	m := len(contrib)
+	levels := 1
+	for 1<<levels <= m {
+		levels++
+	}
+	table := make([][]int64, 0, levels)
+	table = append(table, contrib)
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		rows := m - width + 1
+		if rows <= 0 {
+			break
+		}
+		row := make([]int64, rows)
+		prev := table[k-1]
+		half := width / 2
+		par.For(rows, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row[i] = op.Combine(prev[i], prev[i+half])
+			}
+		})
+		table = append(table, row)
+	}
+	logs := make([]uint8, m+1)
+	for i := 2; i <= m; i++ {
+		logs[i] = logs[i/2] + 1
+	}
+	return func(lo, hi int) int64 {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= m {
+			hi = m - 1
+		}
+		if lo > hi {
+			return op.Identity
+		}
+		k := logs[hi-lo+1]
+		return op.Combine(table[k][lo], table[k][hi-(1<<k)+1])
+	}
+}
+
+// topDownInvertible generalizes TopDownSum: each vertex deposits its
+// value at its down edge and the inverse at its up edge, so the scan
+// prefix at downPos[v] is exactly the fold over v's root path below the
+// root (entering a subtree adds the value, leaving cancels it).
+func (e *Engine) topDownInvertible(vals []int64, op Op) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	root := e.t.Root()
+	if n == 1 {
+		out[root] = vals[root]
+		return out
+	}
+	L := 2 * (n - 1)
+	contrib := make([]int64, L)
+	par.For(L, e.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			contrib[i] = op.Identity
+		}
+	})
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v != root {
+				contrib[e.downPos[v]] = vals[v]
+				contrib[e.upPos[v]] = op.Invert(vals[v])
+			}
+		}
+	})
+	par.ScanInt64(contrib, op.Identity, op.Combine, e.workers)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if v == root {
+				out[v] = vals[root]
+			} else {
+				out[v] = op.Combine(vals[root], contrib[e.downPos[v]])
+			}
+		}
+	})
+	return out
+}
+
+// topDownDoubling computes root-path folds for any associative operator
+// by parent-pointer doubling: after round k, out[v] folds vals over the
+// path segment of length min(2^k, depth(v)+1) ending at v, and jump[v]
+// points 2^k ancestors up (or -1 past the root). O(log depth) rounds,
+// double-buffered so each round is a race-free parallel map.
+func (e *Engine) topDownDoubling(vals []int64, op Op) []int64 {
+	n := e.t.N()
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	maxDepth := e.maxDepth
+	jump := make([]int32, n)
+	par.For(n, e.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			out[v] = vals[v]
+			jump[v] = int32(e.t.Parent(v))
+		}
+	})
+	nout := make([]int64, n)
+	njump := make([]int32, n)
+	for span := 1; span <= maxDepth; span *= 2 {
+		par.For(n, e.workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if j := jump[v]; j >= 0 {
+					// out[j]'s segment ends just above out[v]'s: prepend.
+					nout[v] = op.Combine(out[j], out[v])
+					njump[v] = jump[j]
+				} else {
+					nout[v] = out[v]
+					njump[v] = -1
+				}
+			}
+		})
+		out, nout = nout, out
+		jump, njump = njump, jump
+	}
 	return out
 }
 

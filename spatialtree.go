@@ -23,10 +23,17 @@
 //     use, and PRAM baselines for comparison;
 //   - a batched query engine (Engine, EnginePool) that amortizes one
 //     cached layout across many request batches and coalesces
-//     concurrently submitted work into shared simulator runs, with an
-//     optional background autoflush scheduler (StartAutoFlush /
+//     concurrently submitted work into shared runs, with an optional
+//     background autoflush scheduler (StartAutoFlush /
 //     EngineOptions.FlushDelay) dispatching batches on a size or
 //     deadline trigger;
+//   - pluggable execution backends (EngineOptions.Backend): "sim" runs
+//     every batch on the spatial-computer simulator with exact model
+//     costs (the default for direct engine users), "native" serves the
+//     same kernels with goroutine parallelism and no simulator
+//     bookkeeping (the serving daemon's default; >10x on wall clock),
+//     optionally shadow-metered (EngineOptions.ShadowMeter) so sampled
+//     model costs stay observable;
 //   - a mutable serving path (DynEngine) wiring the §VII dynamic layout
 //     into the engine: leaf inserts/deletes between batches, with
 //     epoch-versioned placements instead of rebuild-per-mutation;
