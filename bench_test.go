@@ -11,7 +11,16 @@ package spatialtree
 // One experiment:  go test -bench=BenchmarkE9 -benchmem
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"spatialtree/internal/dynlayout"
 	"spatialtree/internal/engine"
@@ -32,6 +41,7 @@ import (
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
 	"spatialtree/internal/vtree"
+	"spatialtree/internal/wire"
 )
 
 const benchN = 1 << 14
@@ -500,6 +510,140 @@ func BenchmarkE16NativeBackend(b *testing.B) {
 			b.ReportMetric(float64(reqs*b.N)/b.Elapsed().Seconds(), "treefix/s")
 		})
 	}
+}
+
+// BenchmarkE17WireThroughput measures the serving protocols end to end
+// over loopback: identical treefix traffic — concurrent clients, each
+// issuing sequential queries against the same registered shard — once
+// through the HTTP/JSON API and once through the length-prefixed
+// binary protocol (internal/wire, docs/protocol.md). The arms share
+// the server configuration and differ only in transport and encoding,
+// so the queries/s gap is pure protocol overhead; with -benchmem the
+// allocs/op gap shows the zero-alloc discipline of the binary hot
+// path (pooled frame buffers, connection-local decode state) against
+// per-request JSON marshalling. Acceptance: binary ≥ 2× JSON on
+// queries/s and ≤ half its allocs/op.
+func BenchmarkE17WireThroughput(b *testing.B) {
+	const (
+		wireN   = 1 << 10
+		clients = 16
+		perIter = 48 // sequential queries per client per op (big enough to average out scheduler jitter)
+	)
+	t := tree.RandomAttachment(wireN, rng.New(90))
+	vals := make([]int64, t.N())
+	for i := range vals {
+		vals[i] = int64(i%1013) - 500
+	}
+	// MaxBatch 1 dispatches every query the moment it arrives: the
+	// protocols' queries/s then measure transport + encoding + kernel
+	// with no batch-deadline stalls in the loop. (Coalescing throughput
+	// is E13's experiment; here it would only add scheduler jitter to a
+	// transport comparison.)
+	newServer := func(b *testing.B) (*server.Server, string) {
+		b.Helper()
+		s := server.New(server.Config{
+			MaxBatch:   1,
+			MaxDelay:   time.Millisecond,
+			QueueLimit: 4096,
+		})
+		id, err := s.RegisterTree(t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, id
+	}
+	reportQPS := func(b *testing.B) {
+		b.ReportMetric(float64(clients*perIter*b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+
+	b.Run("json-http", func(b *testing.B) {
+		s, id := newServer(b)
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+		body, err := json.Marshal(server.QueryRequest{TreeID: id, Kind: "treefix", Vals: vals})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var failed atomic.Value
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < perIter; r++ {
+						resp, err := http.Post(hs.URL+"/v1/query", "application/json", bytes.NewReader(body))
+						if err != nil {
+							failed.Store(err)
+							return
+						}
+						var qr server.QueryResponse
+						err = json.NewDecoder(resp.Body).Decode(&qr)
+						resp.Body.Close()
+						if err != nil || len(qr.Sums) != wireN {
+							failed.Store(fmt.Errorf("bad response (err=%v, %d sums)", err, len(qr.Sums)))
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		if err := failed.Load(); err != nil {
+			b.Fatal(err)
+		}
+		reportQPS(b)
+	})
+
+	b.Run("binary-tcp", func(b *testing.B) {
+		s, id := newServer(b)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = s.ServeBinary(ln) }()
+		defer s.CloseBinary()
+		conns := make([]*wire.Client, clients)
+		for c := range conns {
+			cl, err := wire.Dial(ln.Addr().String(), 5*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			conns[c] = cl
+		}
+		var failed atomic.Value
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(cl *wire.Client) {
+					defer wg.Done()
+					q := wire.Query{Kind: wire.KindTreefix, TreeID: id, Vals: vals}
+					for r := 0; r < perIter; r++ {
+						res, err := cl.Do(&q)
+						if err != nil {
+							failed.Store(err)
+							return
+						}
+						if len(res.Sums) != wireN {
+							failed.Store(fmt.Errorf("bad response: %d sums", len(res.Sums)))
+							return
+						}
+					}
+				}(conns[c])
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		if err := failed.Load(); err != nil {
+			b.Fatal(err)
+		}
+		reportQPS(b)
+	})
 }
 
 // BenchmarkExprEval measures the §V-cited application: Miller-Reif

@@ -66,7 +66,7 @@ var (
 
 func main() {
 	var (
-		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery|E16NativeBackend", "benchmark regexp passed to go test -bench")
+		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery|E16NativeBackend|E17WireThroughput", "benchmark regexp passed to go test -bench")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		count     = flag.Int("count", 5, "runs per benchmark (minimum is kept)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime")

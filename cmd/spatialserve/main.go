@@ -36,9 +36,17 @@
 //	spatialserve -churn 4                  # mutable forest: 1 in 4 rounds mutates
 //	spatialserve -churn 4 -naive           # naive rebuild-per-mutation baseline
 //	spatialserve -flush-delay 0            # disable the autoflush scheduler
+//	spatialserve -tcp localhost:8373       # remote: binary protocol against spatialtreed
+//
+// With -tcp the traffic goes out over the length-prefixed binary
+// protocol (internal/wire, docs/protocol.md) to a running spatialtreed
+// -tcp-addr listener: one pipelined connection per client, queries
+// routed by parent array, backpressure answers counted rather than
+// fatal. -naive, -churn and -restart are in-process-only knobs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +64,7 @@ import (
 	"spatialtree/internal/sfc"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
+	"spatialtree/internal/wire"
 )
 
 func fatal(args ...any) {
@@ -83,8 +92,17 @@ func main() {
 		fldelay = flag.Duration("flush-delay", time.Millisecond, "autoflush scheduler deadline; 0 disables the scheduler (explicit Flush/Wait semantics)")
 		backend = flag.String("backend", "native", "engine execution backend: native (goroutine-parallel) or sim (model-cost metering)")
 		shadow  = flag.Int("shadow-meter", 0, "with -backend native, sample 1 in N batches through a shadow sim run (0 = off)")
+		tcp     = flag.String("tcp", "", "replay against a remote spatialtreed binary-protocol listener at this address instead of in-process (see docs/protocol.md; incompatible with -naive/-churn/-restart)")
 	)
 	flag.Parse()
+
+	if *tcp != "" {
+		if *naive || *churn > 0 {
+			fatal("-tcp is remote load generation; -naive and -churn only apply in-process")
+		}
+		runRemote(*tcp, *n, *trees, *clients, *rounds, *queries, *subs, *cutSh, *seed)
+		return
+	}
 
 	if !exec.Valid(*backend) {
 		fatal("-backend must be one of", exec.Names())
@@ -243,6 +261,103 @@ func main() {
 		fmt.Printf("dyn: epoch=%d refreshes=%d layout-rebuilds=%d park-energy=%d migrate-energy=%d\n",
 			epoch, refreshes, rebuilds, park, migrate)
 	}
+}
+
+// runRemote replays the immutable-forest traffic shape against a
+// spatialtreed binary-protocol listener: every client holds one
+// pipelined connection, routes each query by its tree's parent array
+// (the deserializing-server shape the local mode models with
+// MustFromParents) and issues one treefix plus the round's LCA
+// sub-batches per round. Backpressure answers (StatusTooMany,
+// StatusUnavailable) are counted and retried-as-lost rather than
+// fatal, so the generator can be pointed at a saturated daemon.
+func runRemote(addr string, n, trees, clients, rounds, nq, subs, cutSh int, seed uint64) {
+	parents := make([][]int, trees)
+	edgesOf := make([][]wire.Edge, trees)
+	for i := range parents {
+		t := tree.RandomAttachment(n, rng.New(seed+uint64(i)))
+		parents[i] = append([]int(nil), t.Parents()...)
+		for _, e := range mincut.RandomGraph(t, n/4, 10, rng.New(seed+100+uint64(i))) {
+			edgesOf[i] = append(edgesOf[i], wire.Edge{U: e.U, V: e.V, W: e.W})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		queriesN int64
+		rejected int64
+	)
+	conns := make([]*wire.Client, clients)
+	for c := range conns {
+		cl, err := wire.Dial(addr, 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		conns[c] = cl
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := conns[c]
+			r := rng.New(seed ^ uint64(c)*0x9e3779b97f4a7c15)
+			var served, lost int64
+			do := func(q *wire.Query) int {
+				_, err := cl.Do(q)
+				var we *wire.Error
+				switch {
+				case err == nil:
+					return 1
+				case errors.As(err, &we) && (we.Status == wire.StatusTooMany || we.Status == wire.StatusUnavailable):
+					lost++
+					return 0
+				default:
+					fatal(err)
+					return 0
+				}
+			}
+			for round := 0; round < rounds; round++ {
+				ti := r.Intn(trees)
+				if cutSh > 0 && (c+round)%cutSh == 0 {
+					q := wire.Query{Kind: wire.KindMinCut, Parents: parents[ti], Edges: edgesOf[ti]}
+					served += int64(do(&q) * len(edgesOf[ti]))
+					continue
+				}
+				vals := make([]int64, n)
+				for i := range vals {
+					vals[i] = int64(r.Intn(1000))
+				}
+				q := wire.Query{Kind: wire.KindTreefix, Parents: parents[ti], Op: "add", Vals: vals}
+				served += int64(do(&q) * n)
+				for _, qs := range splitQueries(r, nq, subs, n) {
+					wqs := make([]wire.LCAQuery, len(qs))
+					for i, lq := range qs {
+						wqs[i] = wire.LCAQuery{U: lq.U, V: lq.V}
+					}
+					q := wire.Query{Kind: wire.KindLCA, Parents: parents[ti], Queries: wqs}
+					served += int64(do(&q) * len(wqs))
+				}
+			}
+			mu.Lock()
+			queriesN += served
+			rejected += lost
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("mode=remote addr=%s trees=%d n=%d clients=%d rounds=%d sub-batches=%d\n",
+		addr, trees, n, clients, rounds, subs)
+	fmt.Printf("wall=%v  rounds/s=%.1f  queries/s=%.1f  backpressured=%d\n",
+		elapsed.Round(time.Millisecond),
+		float64(int64(clients)*int64(rounds))/elapsed.Seconds(),
+		float64(queriesN)/elapsed.Seconds(),
+		rejected)
 }
 
 func max64(a, b uint64) uint64 {

@@ -7,6 +7,13 @@
 // (-queue) that answers 429 under pressure; SIGINT/SIGTERM triggers a
 // graceful drain that resolves every in-flight request before exit.
 //
+// With -tcp-addr the same daemon also serves the length-prefixed
+// binary protocol (internal/wire, docs/protocol.md) on raw TCP:
+// identical shard routing, admission and drain semantics, shared
+// batches with HTTP traffic, far less per-request overhead. The
+// StatusTooMany/StatusUnavailable wire statuses are the binary
+// counterparts of HTTP 429/503.
+//
 // Endpoints (all JSON; see internal/server for the wire types):
 //
 //	POST /v1/trees            register a tree {parents} → {tree_id}
@@ -54,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -69,7 +77,10 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8372", "listen address")
+		addr     = flag.String("addr", ":8372", "HTTP listen address")
+		tcpAddr  = flag.String("tcp-addr", "", "binary-protocol TCP listen address ('' = HTTP only); see docs/protocol.md")
+		readHdr  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP request-header read budget (slow-loris guard)")
+		idleTO   = flag.Duration("idle-timeout", server.DefaultTCPIdleTimeout, "per-connection idle budget (HTTP keep-alive and binary-protocol frame gap)")
 		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch, "scheduler size trigger: flush a shard at this many pending requests")
 		maxDelay = flag.Duration("max-delay", server.DefaultMaxDelay, "scheduler deadline trigger: flush a shard once its oldest request waited this long")
 		queue    = flag.Int("queue", server.DefaultQueueLimit, "admission limit: concurrent requests beyond this get 429")
@@ -112,18 +123,19 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxBatch:      *maxBatch,
-		MaxDelay:      *maxDelay,
-		QueueLimit:    *queue,
-		MaxShards:     *shards,
-		Workers:       *workers,
-		Curve:         *curve,
-		Seed:          *seed,
-		CacheCapacity: *cacheCap,
-		Epsilon:       *epsilon,
-		Store:         store,
-		Backend:       *backend,
-		ShadowMeter:   *shadow,
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueLimit:     *queue,
+		MaxShards:      *shards,
+		Workers:        *workers,
+		Curve:          *curve,
+		Seed:           *seed,
+		CacheCapacity:  *cacheCap,
+		Epsilon:        *epsilon,
+		Store:          store,
+		Backend:        *backend,
+		ShadowMeter:    *shadow,
+		TCPIdleTimeout: *idleTO,
 	})
 	if store != nil {
 		rs, err := srv.Recover()
@@ -142,9 +154,36 @@ func main() {
 		log.Printf("preloaded tree %d: id=%s n=%d", i, id, t.N())
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	// Slow-loris defence: a client must deliver its headers within
+	// -read-header-timeout, finish its body within ReadTimeout, and a
+	// keep-alive connection idles out after -idle-timeout. The binary
+	// listener gets the equivalent guarantees from per-connection
+	// deadlines inside ServeBinary (Config.TCPIdleTimeout covers each
+	// whole frame read, so trickled frames cannot hold a connection).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHdr,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       *idleTO,
+	}
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
+	var tcpLn net.Listener
+	if *tcpAddr != "" {
+		var err error
+		tcpLn, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatalf("spatialtreed: %v", err)
+		}
+		go func() {
+			if err := srv.ServeBinary(tcpLn); !errors.Is(err, net.ErrClosed) {
+				errc <- err
+			}
+		}()
+		log.Printf("spatialtreed binary protocol on %s", tcpLn.Addr())
+	}
 	log.Printf("spatialtreed listening on %s (backend=%s max-batch=%d max-delay=%v queue=%d curve=%s)",
 		*addr, *backend, *maxBatch, *maxDelay, *queue, *curve)
 
@@ -166,6 +205,12 @@ func main() {
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("spatialtreed: shutdown: %v", err)
+	}
+	// Both protocols share the drain above: binary connections answer
+	// StatusUnavailable the moment Drain flips the flag, so closing the
+	// listener and remaining connections here loses no admitted work.
+	if tcpLn != nil {
+		srv.CloseBinary()
 	}
 	// Close the store after the drain: every admitted mutation has
 	// journaled by now, so this final sync makes the whole session

@@ -15,12 +15,14 @@ import (
 	"spatialtree/internal/rng"
 	"spatialtree/internal/server"
 	"spatialtree/internal/tree"
+	"spatialtree/internal/wire"
 )
 
-// TestDaemonEndToEnd exercises the daemon's serving shape over a real
-// TCP listener: the same server wiring main uses, 64+ concurrent
-// clients against a preloaded forest, scheduler coalescing visible in
-// /metrics, then the signal path's drain + shutdown sequence.
+// TestDaemonEndToEnd exercises the daemon's serving shape over real
+// TCP listeners: the same dual-protocol wiring main uses (HTTP/JSON
+// plus the binary wire protocol), 64+ concurrent clients against a
+// preloaded forest, scheduler coalescing visible in /metrics, then the
+// signal path's drain + shutdown sequence with both listeners.
 func TestDaemonEndToEnd(t *testing.T) {
 	srv := server.New(server.Config{MaxBatch: 16, MaxDelay: 40 * time.Millisecond})
 
@@ -53,6 +55,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
+
+	// The binary-protocol listener main starts under -tcp-addr.
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(wln)
+	wcl, err := wire.Dial(wln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wcl.Close()
 
 	const clients = 64
 	var wg sync.WaitGroup
@@ -93,6 +107,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	}
 
+	// The same shard answers over the binary protocol, identically.
+	wres, err := wcl.Do(&wire.Query{
+		Kind: wire.KindLCA, TreeID: ids[0],
+		Queries: []wire.LCAQuery{{U: 0, V: 511}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres.Answers) != 1 {
+		t.Fatalf("binary answers = %v, want 1", wres.Answers)
+	}
+
 	mr, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -108,16 +134,25 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if m.Scheduler.Batches >= m.Scheduler.Requests {
 		t.Fatalf("batches = %d for %d requests: no coalescing over TCP", m.Scheduler.Batches, m.Scheduler.Requests)
 	}
+	if m.Wire == nil || m.Wire.Queries == 0 {
+		t.Fatalf("wire metrics = %+v, want the binary query counted", m.Wire)
+	}
 
-	// The shutdown sequence main runs on SIGTERM.
+	// The shutdown sequence main runs on SIGTERM: drain (both protocols
+	// refuse new work), HTTP shutdown, then the binary listener closes.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := wcl.Do(&wire.Query{Kind: wire.KindLCA, TreeID: ids[0],
+		Queries: []wire.LCAQuery{{U: 0, V: 1}}}); err == nil {
+		t.Fatal("binary query served after drain, want StatusUnavailable")
+	}
 	if err := hs.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
+	srv.CloseBinary()
 }
 
 // TestDaemonRestartDurability drives the -data-dir path the way two

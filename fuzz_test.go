@@ -15,6 +15,7 @@ import (
 	"spatialtree/internal/rng"
 	"spatialtree/internal/sfc"
 	"spatialtree/internal/treefix"
+	"spatialtree/internal/wire"
 )
 
 // fuzzParents decodes fuzz bytes into a parent array: one signed byte
@@ -217,6 +218,102 @@ func FuzzSnapshotDecode(f *testing.F) {
 			t.Fatalf("Decode returned unexpected type %T", v)
 		}
 	})
+}
+
+// FuzzWireDecode asserts the binary serving protocol's contract on
+// untrusted bytes: the frame reader and the payload decoders either
+// reject input with a typed error (ErrCorrupt / ErrVersion /
+// ErrTooLarge) or accept a frame whose decoded value re-encodes
+// canonically — AppendX over the decoded value reproduces a frame that
+// decodes identically. They never panic and never allocate in
+// proportion to a forged count (every count is bounded by the bytes
+// actually present). This is the adversarial counterpart of the
+// server's TCP listener, which feeds network bytes to exactly this
+// code.
+func FuzzWireDecode(f *testing.F) {
+	f.Add(wire.AppendPing(nil))
+	f.Add(wire.AppendQuery(nil, &wire.Query{
+		ID: 3, Kind: wire.KindTreefix, TreeID: "t12ab", Op: "max", Vals: []int64{5, -2, 0},
+	}))
+	f.Add(wire.AppendQuery(nil, &wire.Query{
+		ID: 4, Kind: wire.KindLCA, Parents: []int{-1, 0, 0},
+		Queries: []wire.LCAQuery{{U: 1, V: 2}},
+	}))
+	f.Add(wire.AppendQuery(nil, &wire.Query{
+		ID: 5, Kind: wire.KindMinCut, Parents: []int{-1, 0, 1},
+		Edges: []wire.Edge{{U: 0, V: 2, W: 7}},
+	}))
+	f.Add(wire.AppendQuery(nil, &wire.Query{
+		ID: 6, Kind: wire.KindExpr, TreeID: "t0", ExprKinds: []uint8{1, 0, 0}, Vals: []int64{0, 2, 3},
+	}))
+	f.Add(wire.AppendResult(nil, &wire.Result{
+		ID: 3, Kind: wire.KindTreefix, Sums: []int64{5, 3, 0},
+		Cost: wire.Cost{Energy: 10, Messages: 4, Depth: 2},
+	}))
+	f.Add(wire.AppendError(nil, &wire.Error{ID: 9, Status: wire.StatusTooMany, Msg: "request queue full"}))
+	f.Add([]byte("STWR"))     // truncated header
+	f.Add([]byte("STSN\x01")) // the persist magic, not ours
+	corruptFrame := wire.AppendPong(nil)
+	corruptFrame[len(corruptFrame)-1] ^= 0xff
+	f.Add(corruptFrame)
+	two := wire.AppendPing(wire.AppendPong(nil)) // two frames back to back
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := wire.NewReader(bytes.NewReader(data), 1<<20)
+		for {
+			kind, payload, err := rd.Next()
+			if err != nil {
+				return // typed rejection or EOF: the valid outcome for garbage
+			}
+			switch kind {
+			case wire.FrameQuery:
+				var q wire.Query
+				if q.Decode(payload) != nil {
+					continue
+				}
+				frame := wire.AppendQuery(nil, &q)
+				var q2 wire.Query
+				roundTripPayload(t, frame, &q2)
+				if again := wire.AppendQuery(nil, &q2); !bytes.Equal(frame, again) {
+					t.Fatalf("query re-encode not canonical:\n %x\n %x", frame, again)
+				}
+			case wire.FrameResult:
+				var r wire.Result
+				if r.Decode(payload) != nil {
+					continue
+				}
+				frame := wire.AppendResult(nil, &r)
+				var r2 wire.Result
+				roundTripPayload(t, frame, &r2)
+				if again := wire.AppendResult(nil, &r2); !bytes.Equal(frame, again) {
+					t.Fatalf("result re-encode not canonical:\n %x\n %x", frame, again)
+				}
+			case wire.FrameError:
+				var e wire.Error
+				if e.Decode(payload) != nil {
+					continue
+				}
+				if !bytes.Equal(wire.AppendError(nil, &e), wire.AppendError(nil, &e)) {
+					t.Fatal("error encoding not deterministic")
+				}
+			}
+		}
+	})
+}
+
+// roundTripPayload re-parses a just-encoded frame and decodes its
+// payload into out (a *wire.Query or *wire.Result); encode must always
+// produce frames our own reader accepts.
+func roundTripPayload(t *testing.T, frame []byte, out interface{ Decode([]byte) error }) {
+	t.Helper()
+	rd := wire.NewReader(bytes.NewReader(frame), 1<<20)
+	_, payload, err := rd.Next()
+	if err != nil {
+		t.Fatalf("our own encoding rejected: %v", err)
+	}
+	if err := out.Decode(payload); err != nil {
+		t.Fatalf("our own payload rejected: %v", err)
+	}
 }
 
 func headerTruncLen(frame []byte) int {

@@ -86,6 +86,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -259,6 +260,23 @@ func (f *Future) resolve(res Result) {
 	close(f.done)
 }
 
+// ErrInvalid marks request-validation failures: the submission itself
+// was malformed (wrong vals length, out-of-range query, mismatched
+// expression tree). Callers serving remote clients branch on it with
+// errors.Is to separate client faults (HTTP 400) from engine-side
+// failures (HTTP 500). Matching errors keep their original, specific
+// messages — ErrInvalid is a classification, not a message.
+var ErrInvalid = errors.New("engine: invalid request")
+
+// invalidError classifies an error as ErrInvalid without changing its
+// message (tests and clients rely on the exact validation text).
+type invalidError struct{ error }
+
+func (invalidError) Is(target error) bool { return target == ErrInvalid }
+
+// invalid wraps a validation error so errors.Is(err, ErrInvalid) holds.
+func invalid(err error) error { return invalidError{err} }
+
 type kind uint8
 
 const (
@@ -277,6 +295,37 @@ type request struct {
 	edges   []mincut.Edge
 	expr    *exprtree.Expr
 	fut     *Future
+}
+
+// Request structs and batch slices are pooled: the serving hot path
+// submits thousands of short-lived requests per second, and their
+// headers were the engine's dominant steady-state allocation. A request
+// is recycled only at the very end of runBatch — after its future has
+// resolved AND any shadow run has re-read its inputs — so no live
+// reference survives the Put. The caller-owned payload slices (vals,
+// queries, edges) are only unreferenced, never reused.
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
+func newRequest() *request { return requestPool.Get().(*request) }
+
+// batchPool recycles the pending-batch slices detached by
+// takeBatchLocked.
+var batchPool = sync.Pool{New: func() any {
+	s := make([]*request, 0, DefaultWindow)
+	return &s
+}}
+
+// recycleBatch returns a finished batch's requests and backing slice to
+// their pools; the batch must have no live references (futures resolved,
+// shadow run complete).
+func recycleBatch(batch []*request) {
+	for i, req := range batch {
+		*req = request{}
+		requestPool.Put(req)
+		batch[i] = nil
+	}
+	batch = batch[:0]
+	batchPool.Put(&batch)
 }
 
 // Engine is a concurrency-safe batch server for one tree: it owns the
@@ -493,18 +542,22 @@ func (e *Engine) failed(err error) *Future {
 // not be mutated until the future resolves.
 func (e *Engine) SubmitTreefix(vals []int64, op treefix.Op) *Future {
 	if len(vals) != e.t.N() {
-		return e.failed(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N()))
+		return e.failed(invalid(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N())))
 	}
-	return e.submit(&request{kind: kindBottomUp, op: op, vals: vals})
+	req := newRequest()
+	req.kind, req.op, req.vals = kindBottomUp, op, vals
+	return e.submit(req)
 }
 
 // SubmitTopDown enqueues a top-down treefix sum of vals under op (the
 // fold along every root path).
 func (e *Engine) SubmitTopDown(vals []int64, op treefix.Op) *Future {
 	if len(vals) != e.t.N() {
-		return e.failed(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N()))
+		return e.failed(invalid(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N())))
 	}
-	return e.submit(&request{kind: kindTopDown, op: op, vals: vals})
+	req := newRequest()
+	req.kind, req.op, req.vals = kindTopDown, op, vals
+	return e.submit(req)
 }
 
 // SubmitLCA enqueues a batch of LCA queries. All LCA requests flushed
@@ -514,16 +567,20 @@ func (e *Engine) SubmitLCA(queries []lca.Query) *Future {
 	n := e.t.N()
 	for i, q := range queries {
 		if q.U < 0 || q.U >= n || q.V < 0 || q.V >= n {
-			return e.failed(fmt.Errorf("engine: LCA query %d out of range: %+v", i, q))
+			return e.failed(invalid(fmt.Errorf("engine: LCA query %d out of range: %+v", i, q)))
 		}
 	}
-	return e.submit(&request{kind: kindLCA, queries: queries})
+	req := newRequest()
+	req.kind, req.queries = kindLCA, queries
+	return e.submit(req)
 }
 
 // SubmitMinCut enqueues a 1-respecting minimum-cut computation of the
 // given graph edges against the engine's tree.
 func (e *Engine) SubmitMinCut(edges []mincut.Edge) *Future {
-	return e.submit(&request{kind: kindMinCut, edges: edges})
+	req := newRequest()
+	req.kind, req.edges = kindMinCut, edges
+	return e.submit(req)
 }
 
 // SubmitExpr enqueues evaluation of an expression whose tree is
@@ -531,12 +588,14 @@ func (e *Engine) SubmitMinCut(edges []mincut.Edge) *Future {
 // engine's placement is valid for it.
 func (e *Engine) SubmitExpr(x *exprtree.Expr) *Future {
 	if x.Tree != e.t && !slices.Equal(x.Tree.Parents(), e.t.Parents()) {
-		return e.failed(fmt.Errorf("engine: expression tree does not match engine tree"))
+		return e.failed(invalid(fmt.Errorf("engine: expression tree does not match engine tree")))
 	}
 	if err := x.Validate(); err != nil {
-		return e.failed(err)
+		return e.failed(invalid(err))
 	}
-	return e.submit(&request{kind: kindExpr, expr: x})
+	req := newRequest()
+	req.kind, req.expr = kindExpr, x
+	return e.submit(req)
 }
 
 func (e *Engine) submit(req *request) *Future {
@@ -545,6 +604,9 @@ func (e *Engine) submit(req *request) *Future {
 	var batch []*request
 	var seq uint64
 	e.mu.Lock()
+	if e.pending == nil {
+		e.pending = *batchPool.Get().(*[]*request)
+	}
 	e.pending = append(e.pending, req)
 	if len(e.pending) >= e.window {
 		batch, seq = e.takeBatchLocked()
@@ -722,7 +784,11 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 	}
 
 	if len(lcaReqs) > 0 {
-		all := make([]lca.Query, 0)
+		total := 0
+		for _, req := range lcaReqs {
+			total += len(req.queries)
+		}
+		all := make([]lca.Query, 0, total)
 		for _, req := range lcaReqs {
 			all = append(all, req.queries...)
 		}
@@ -755,6 +821,10 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		e.idle.Broadcast()
 	}
 	e.mu.Unlock()
+
+	// Every future is resolved and the shadow run (if any) has re-read
+	// its inputs, so the batch can be recycled.
+	recycleBatch(batch)
 }
 
 // resolveLCA demultiplexes a coalesced LCA run back to its futures,
@@ -825,7 +895,11 @@ func (e *Engine) runShadow(batch []*request, seq uint64) (batches, mismatches ui
 		}
 	}
 	if len(lcaReqs) > 0 {
-		all := make([]lca.Query, 0)
+		total := 0
+		for _, req := range lcaReqs {
+			total += len(req.queries)
+		}
+		all := make([]lca.Query, 0, total)
 		for _, req := range lcaReqs {
 			all = append(all, req.queries...)
 		}

@@ -22,6 +22,10 @@ type nativeBackend struct {
 	t       *tree.Tree
 	workers int
 	tf      *treefix.Engine
+	// run is the pre-boxed Run value: Run() sits on the per-batch hot
+	// path and reboxing nativeRun into the interface there would cost an
+	// allocation per batch.
+	run Run
 
 	lcaOnce sync.Once
 	lcaEng  *lca.Engine
@@ -30,11 +34,13 @@ type nativeBackend struct {
 }
 
 func newNative(cfg Config) *nativeBackend {
-	return &nativeBackend{
+	b := &nativeBackend{
 		t:       cfg.Tree,
 		workers: cfg.Workers,
 		tf:      treefix.NewEngine(cfg.Tree, cfg.Workers),
 	}
+	b.run = nativeRun{b}
+	return b
 }
 
 func (b *nativeBackend) Name() string { return Native }
@@ -52,8 +58,8 @@ func (b *nativeBackend) mincut() *mincut.Parallel {
 // Run opens a batch context. Native kernels are deterministic, so the
 // seed is ignored and the "run" is just a view of the shared
 // preprocessed state — safe for concurrent batches, since kernels only
-// read it and allocate their own outputs.
-func (b *nativeBackend) Run(uint64) Run { return nativeRun{b} }
+// read it and allocate their own (exactly pre-sized) outputs.
+func (b *nativeBackend) Run(uint64) Run { return b.run }
 
 type nativeRun struct{ b *nativeBackend }
 

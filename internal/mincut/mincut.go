@@ -20,6 +20,7 @@
 package mincut
 
 import (
+	"errors"
 	"fmt"
 
 	"spatialtree/internal/lca"
@@ -141,17 +142,27 @@ func OneRespecting(s *machine.Sim, t *tree.Tree, rank []int, edges []Edge, r *rn
 // validate checks the shared preconditions of every executor, so the
 // spatial and parallel paths reject exactly the same inputs with
 // identical messages.
+// ErrInvalid marks input-validation failures (degenerate tree,
+// out-of-range endpoint, negative weight), so serving layers can
+// classify them as client faults with errors.Is without matching
+// message text. Matching errors keep their specific messages.
+var ErrInvalid = errors.New("mincut: invalid input")
+
+type invalidError struct{ error }
+
+func (invalidError) Is(target error) bool { return target == ErrInvalid }
+
 func validate(t *tree.Tree, edges []Edge) error {
 	n := t.N()
 	if n < 2 {
-		return fmt.Errorf("mincut: tree with %d vertices has no cuts", n)
+		return invalidError{fmt.Errorf("mincut: tree with %d vertices has no cuts", n)}
 	}
 	for _, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return fmt.Errorf("mincut: edge %v out of range", e)
+			return invalidError{fmt.Errorf("mincut: edge %v out of range", e)}
 		}
 		if e.W < 0 {
-			return fmt.Errorf("mincut: negative weight on %v", e)
+			return invalidError{fmt.Errorf("mincut: negative weight on %v", e)}
 		}
 	}
 	return nil

@@ -40,16 +40,24 @@ type GraphEdge struct {
 
 // QueryRequest submits one request to a shard (POST /v1/query and
 // POST /v1/dyn/{id}/query). Kind selects the kernel: "treefix",
-// "topdown", "lca" or "mincut". Exactly one of TreeID / Parents routes
-// a /v1/query; the dyn endpoint ignores both.
+// "topdown", "lca", "mincut" or "expr". Exactly one of TreeID / Parents
+// routes a /v1/query (setting both is a 400); the dyn endpoint ignores
+// both.
+//
+// For kind "expr" the routed tree is interpreted as an expression tree:
+// ExprKinds labels every vertex (0 = leaf, 1 = add, 2 = mul) and Vals
+// carries the leaf constants (one entry per vertex; internal vertices'
+// entries are ignored). The tree must be full binary — every internal
+// vertex has exactly two children.
 type QueryRequest struct {
-	TreeID  string      `json:"tree_id,omitempty"`
-	Parents []int       `json:"parents,omitempty"`
-	Kind    string      `json:"kind"`
-	Op      string      `json:"op,omitempty"` // treefix/topdown: add|max|min|xor ("" = add)
-	Vals    []int64     `json:"vals,omitempty"`
-	Queries []LCAQuery  `json:"queries,omitempty"`
-	Edges   []GraphEdge `json:"edges,omitempty"`
+	TreeID    string      `json:"tree_id,omitempty"`
+	Parents   []int       `json:"parents,omitempty"`
+	Kind      string      `json:"kind"`
+	Op        string      `json:"op,omitempty"` // treefix/topdown: add|max|min|xor ("" = add)
+	Vals      []int64     `json:"vals,omitempty"`
+	Queries   []LCAQuery  `json:"queries,omitempty"`
+	Edges     []GraphEdge `json:"edges,omitempty"`
+	ExprKinds []int       `json:"expr_kinds,omitempty"` // expr: 0=leaf, 1=add, 2=mul per vertex
 }
 
 // Cost is the spatial-model cost attributed to a request: its
@@ -67,11 +75,12 @@ type MinCutResult struct {
 }
 
 // QueryResponse carries the kernel output: exactly the field matching
-// the request kind is populated.
+// the request kind is populated (Value for kind "expr").
 type QueryResponse struct {
 	Sums    []int64       `json:"sums,omitempty"`
 	Answers []int         `json:"answers,omitempty"`
 	MinCut  *MinCutResult `json:"min_cut,omitempty"`
+	Value   *int64        `json:"value,omitempty"`
 	Cost    Cost          `json:"cost"`
 }
 
@@ -210,6 +219,20 @@ type PersistMetrics struct {
 	ReplayedRecords int `json:"replayed_records"`
 }
 
+// WireMetrics reports the binary TCP protocol listener; present only
+// when the daemon serves one (see docs/protocol.md).
+type WireMetrics struct {
+	// Conns counts accepted connections over the process lifetime;
+	// ActiveConns is the current count.
+	Conns       uint64 `json:"conns"`
+	ActiveConns int    `json:"active_conns"`
+	// Queries counts query frames answered (with any status);
+	// Errors counts protocol-level failures (corrupt frames, unknown
+	// frame kinds) that terminated a connection.
+	Queries uint64 `json:"queries"`
+	Errors  uint64 `json:"errors"`
+}
+
 // MetricsResponse is the /metrics body.
 type MetricsResponse struct {
 	Server    ServerMetrics    `json:"server"`
@@ -218,5 +241,6 @@ type MetricsResponse struct {
 	Cache     CacheMetrics     `json:"cache"`
 	Backends  BackendMetrics   `json:"backends"`
 	Dyn       DynMetrics       `json:"dyn"`
+	Wire      *WireMetrics     `json:"wire,omitempty"`
 	Persist   *PersistMetrics  `json:"persist,omitempty"`
 }

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -40,6 +41,7 @@ import (
 
 	"spatialtree/internal/engine"
 	"spatialtree/internal/exec"
+	"spatialtree/internal/exprtree"
 	"spatialtree/internal/lca"
 	"spatialtree/internal/mincut"
 	"spatialtree/internal/persist"
@@ -55,6 +57,13 @@ const (
 	DefaultCacheCapacity = 128
 	DefaultBodyLimit     = 64 << 20
 	DefaultMaxShards     = 1024
+	// DefaultTCPIdleTimeout bounds how long a binary-protocol connection
+	// may sit between frames before the server hangs up — the TCP
+	// equivalent of the HTTP layer's read/idle timeouts, so one silent
+	// client cannot pin a connection forever.
+	DefaultTCPIdleTimeout = 2 * time.Minute
+	// DefaultTCPWriteTimeout bounds each binary-protocol response write.
+	DefaultTCPWriteTimeout = 30 * time.Second
 )
 
 // Config configures a Server.
@@ -113,6 +122,13 @@ type Config struct {
 	// reporting (sampled) model Energy/Depth and counts any
 	// native-vs-sim result mismatches, at 1/N of the simulator's cost.
 	ShadowMeter int
+	// TCPIdleTimeout bounds the gap between frames on a binary-protocol
+	// connection; an idle connection is closed when it expires (0 means
+	// DefaultTCPIdleTimeout, < 0 disables the deadline — tests only).
+	TCPIdleTimeout time.Duration
+	// TCPWriteTimeout bounds each binary-protocol response write (0
+	// means DefaultTCPWriteTimeout).
+	TCPWriteTimeout time.Duration
 }
 
 // Server serves the engines over HTTP. Construct with New; the zero
@@ -143,6 +159,16 @@ type Server struct {
 
 	// journaled counts WAL records appended across all dyn shards.
 	journaled atomic.Uint64
+
+	// Binary-protocol listener state (tcp.go). wireEnabled flips once
+	// ServeBinary runs, making the Wire block appear in /metrics.
+	wireEnabled   atomic.Bool
+	wireTotal     atomic.Uint64
+	wireQueries   atomic.Uint64
+	wireErrors    atomic.Uint64
+	wireMu        sync.Mutex
+	wireConns     map[net.Conn]struct{}
+	wireListeners map[net.Listener]struct{}
 
 	mu        sync.Mutex
 	trees     map[string]*tree.Tree
@@ -181,6 +207,12 @@ func New(cfg Config) *Server {
 	if cfg.Backend == "" {
 		cfg.Backend = exec.Native
 	}
+	if cfg.TCPIdleTimeout == 0 {
+		cfg.TCPIdleTimeout = DefaultTCPIdleTimeout
+	}
+	if cfg.TCPWriteTimeout <= 0 {
+		cfg.TCPWriteTimeout = DefaultTCPWriteTimeout
+	}
 	opts := engine.Options{
 		Curve:       cfg.Curve,
 		Window:      cfg.MaxBatch,
@@ -200,6 +232,9 @@ func New(cfg Config) *Server {
 		logs:     make(map[string]*persist.ShardLog),
 		adhoc:    make(map[uint64]struct{}),
 		backends: make(map[string]string),
+
+		wireConns:     make(map[net.Conn]struct{}),
+		wireListeners: make(map[net.Listener]struct{}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/trees", s.admitted(s.handleRegister))
@@ -412,6 +447,31 @@ type submitter interface {
 	SubmitTopDown([]int64, treefix.Op) *engine.Future
 	SubmitLCA([]lca.Query) *engine.Future
 	SubmitMinCut([]mincut.Edge) *engine.Future
+	SubmitExpr(*exprtree.Expr) *engine.Future
+}
+
+// errBadRequest classifies errors the client caused (malformed query,
+// unknown operator) as distinct from server-side failures; errStatus
+// maps it to 400. The wrapper keeps the original message.
+var errBadRequest = errors.New("server: bad request")
+
+type badRequestError struct{ error }
+
+func (badRequestError) Is(target error) bool { return target == errBadRequest }
+
+func badRequest(err error) error { return badRequestError{err} }
+
+// errStatus classifies a query-path error: faults in the request itself
+// (engine/mincut validation, unsupported operators, malformed bodies)
+// are the client's (400); everything else — backend dispatch, journal
+// repair, shard resolution — is the server's (500). The binary
+// protocol's wireStatus mirrors this mapping.
+func errStatus(err error) int {
+	if errors.Is(err, engine.ErrInvalid) || errors.Is(err, mincut.ErrInvalid) ||
+		errors.Is(err, treefix.ErrUnsupportedOp) || errors.Is(err, errBadRequest) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // checkQuery validates the cheap, tree-independent parts of a query —
@@ -420,7 +480,7 @@ type submitter interface {
 // submit's dispatch below.
 func checkQuery(req *QueryRequest) error {
 	switch req.Kind {
-	case "lca", "mincut":
+	case "lca", "mincut", "expr":
 		return nil
 	case "treefix", "topdown":
 		if req.Op == "" {
@@ -429,15 +489,17 @@ func checkQuery(req *QueryRequest) error {
 		_, err := treefix.OpByName(req.Op)
 		return err
 	default:
-		return fmt.Errorf("unknown kind %q (want treefix, topdown, lca or mincut)", req.Kind)
+		return fmt.Errorf("unknown kind %q (want treefix, topdown, lca, mincut or expr)", req.Kind)
 	}
 }
 
 // submit enqueues the request on the shard. It never runs kernel work
 // itself (beyond the size-trigger dispatch the scheduler may hand the
 // calling goroutine) — the returned future resolves when the shard's
-// scheduler flushes the batch.
-func submit(sh submitter, req *QueryRequest) (*engine.Future, error) {
+// scheduler flushes the batch. getTree supplies the shard's tree for
+// request kinds that need one to build their submission (expr); its
+// failure is a server-side error, never the client's.
+func submit(sh submitter, req *QueryRequest, getTree func() (*tree.Tree, error)) (*engine.Future, error) {
 	switch req.Kind {
 	case "treefix", "topdown":
 		opName := req.Op
@@ -446,7 +508,7 @@ func submit(sh submitter, req *QueryRequest) (*engine.Future, error) {
 		}
 		op, err := treefix.OpByName(opName)
 		if err != nil {
-			return nil, err
+			return nil, badRequest(err)
 		}
 		if req.Kind == "treefix" {
 			return sh.SubmitTreefix(req.Vals, op), nil
@@ -464,22 +526,39 @@ func submit(sh submitter, req *QueryRequest) (*engine.Future, error) {
 			es[i] = mincut.Edge{U: e.U, V: e.V, W: e.W}
 		}
 		return sh.SubmitMinCut(es), nil
+	case "expr":
+		t, err := getTree()
+		if err != nil {
+			return nil, err
+		}
+		kinds := make([]exprtree.NodeKind, len(req.ExprKinds))
+		for i, k := range req.ExprKinds {
+			if k < 0 || k > int(exprtree.Mul) {
+				return nil, badRequest(fmt.Errorf("expr_kinds[%d] = %d (want 0=leaf, 1=add or 2=mul)", i, k))
+			}
+			kinds[i] = exprtree.NodeKind(k)
+		}
+		// Length and shape invariants (full binary tree, leaf labeling)
+		// are SubmitExpr's validation, classified ErrInvalid there.
+		return sh.SubmitExpr(&exprtree.Expr{Tree: t, Kind: kinds, Val: req.Vals}), nil
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want treefix, topdown, lca or mincut)", req.Kind)
+		return nil, badRequest(fmt.Errorf("unknown kind %q (want treefix, topdown, lca, mincut or expr)", req.Kind))
 	}
 }
 
 // serveQuery runs the shared tail of both query endpoints: enqueue,
 // wait for the scheduler to dispatch the batch, translate the result.
-func serveQuery(w http.ResponseWriter, sh submitter, req *QueryRequest) {
-	fut, err := submit(sh, req)
+// Errors are classified by errStatus: the client's faults are 400s,
+// the server's 500s.
+func serveQuery(w http.ResponseWriter, sh submitter, req *QueryRequest, getTree func() (*tree.Tree, error)) {
+	fut, err := submit(sh, req, getTree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, errStatus(err), err.Error())
 		return
 	}
 	res := fut.Wait()
 	if res.Err != nil {
-		writeError(w, http.StatusBadRequest, res.Err.Error())
+		writeError(w, errStatus(res.Err), res.Err.Error())
 		return
 	}
 	resp := QueryResponse{
@@ -487,8 +566,12 @@ func serveQuery(w http.ResponseWriter, sh submitter, req *QueryRequest) {
 		Answers: res.Answers,
 		Cost:    Cost{Energy: res.Cost.Energy, Messages: res.Cost.Messages, Depth: res.Cost.Depth},
 	}
-	if req.Kind == "mincut" {
+	switch req.Kind {
+	case "mincut":
 		resp.MinCut = &MinCutResult{MinWeight: res.MinCut.MinWeight, ArgVertex: res.MinCut.ArgVertex}
+	case "expr":
+		v := res.Value
+		resp.Value = &v
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -504,6 +587,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var t *tree.Tree
 	switch {
+	case req.TreeID != "" && len(req.Parents) > 0:
+		// The API contract is "exactly one of tree_id / parents";
+		// silently preferring one would mask a client bug where the two
+		// disagree.
+		writeError(w, http.StatusBadRequest, "exactly one of tree_id and parents may be set")
+		return
 	case req.TreeID != "":
 		s.mu.Lock()
 		t = s.trees[req.TreeID]
@@ -527,7 +616,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	serveQuery(w, eng, &req)
+	serveQuery(w, eng, &req, func() (*tree.Tree, error) { return t, nil })
 	retire()
 }
 
@@ -711,7 +800,7 @@ func (s *Server) handleDynQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	serveQuery(w, de, &req)
+	serveQuery(w, de, &req, de.Tree)
 }
 
 // Metrics snapshots every layer's counters (also served as /metrics).
@@ -771,6 +860,18 @@ func (s *Server) Metrics() MetricsResponse {
 	if batches > 0 {
 		perBatch = float64(st.Requests) / float64(batches)
 	}
+	var wm *WireMetrics
+	if s.wireEnabled.Load() {
+		s.wireMu.Lock()
+		active := len(s.wireConns)
+		s.wireMu.Unlock()
+		wm = &WireMetrics{
+			Conns:       s.wireTotal.Load(),
+			ActiveConns: active,
+			Queries:     s.wireQueries.Load(),
+			Errors:      s.wireErrors.Load(),
+		}
+	}
 	return MetricsResponse{
 		Server: ServerMetrics{
 			Accepted:  s.accepted.Load(),
@@ -812,6 +913,7 @@ func (s *Server) Metrics() MetricsResponse {
 			ShadowMismatches: st.ShadowMismatches,
 		},
 		Dyn:     dyn,
+		Wire:    wm,
 		Persist: pm,
 	}
 }

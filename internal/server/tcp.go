@@ -1,0 +1,317 @@
+package server
+
+// The binary-protocol listener: the same serving semantics as the HTTP
+// handlers — shard routing by tree id or ad-hoc parents, bounded-queue
+// admission with an explicit backpressure status, drain awareness, the
+// same 400-vs-500 error classification — over internal/wire frames on
+// raw TCP. One connection processes its queries in arrival order (like
+// HTTP/1.1 on one connection); concurrency comes from many connections,
+// whose requests coalesce into shared batches exactly as HTTP traffic
+// does. The per-connection hot path is allocation-free: the frame
+// reader, decoded query, submission scratch and response buffer are all
+// connection-local and reused frame to frame.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"spatialtree/internal/engine"
+	"spatialtree/internal/exprtree"
+	"spatialtree/internal/lca"
+	"spatialtree/internal/mincut"
+	"spatialtree/internal/tree"
+	"spatialtree/internal/treefix"
+	"spatialtree/internal/wire"
+)
+
+// ServeBinary accepts binary-protocol connections from ln until the
+// listener is closed (by the caller or by CloseBinary) and serves each
+// on its own goroutine. Like http.Server.Serve, it always returns a
+// non-nil error; net.ErrClosed is the clean-shutdown one.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	s.wireEnabled.Store(true)
+	s.wireMu.Lock()
+	s.wireListeners[ln] = struct{}{}
+	s.wireMu.Unlock()
+	defer func() {
+		s.wireMu.Lock()
+		delete(s.wireListeners, ln)
+		s.wireMu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wireTotal.Add(1)
+		s.wireMu.Lock()
+		s.wireConns[conn] = struct{}{}
+		s.wireMu.Unlock()
+		go func() {
+			defer func() {
+				s.wireMu.Lock()
+				delete(s.wireConns, conn)
+				s.wireMu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// CloseBinary closes every binary-protocol listener registered by
+// ServeBinary and every open connection. Call it after Drain: draining
+// already makes every connection answer StatusUnavailable, so closing
+// here cuts off clients that never read their responses.
+func (s *Server) CloseBinary() {
+	s.wireMu.Lock()
+	lns := make([]net.Listener, 0, len(s.wireListeners))
+	for ln := range s.wireListeners {
+		lns = append(lns, ln)
+	}
+	conns := make([]net.Conn, 0, len(s.wireConns))
+	for c := range s.wireConns {
+		conns = append(conns, c)
+	}
+	s.wireMu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// wireScratch holds a connection's reusable submission state: the
+// kernel-typed slices a wire.Query converts into. Reused frame to
+// frame — safe because a connection serves serially and the engine
+// releases its view of a request's inputs when the batch retires.
+type wireScratch struct {
+	queries []lca.Query
+	edges   []mincut.Edge
+	kinds   []exprtree.NodeKind
+}
+
+// serveConn runs one connection's frame loop.
+func (s *Server) serveConn(conn net.Conn) {
+	rd := wire.NewReader(bufio.NewReader(conn), int(s.cfg.BodyLimit))
+	var (
+		q       wire.Query
+		res     wire.Result
+		scratch wireScratch
+		out     []byte
+	)
+	// Shadow metering re-reads a request's input slices after its future
+	// resolves (to validate served results against the simulator), so
+	// reusing the decoded query's buffers across frames would race with
+	// it; a shadow-metered server decodes fresh per frame instead.
+	reuse := s.cfg.ShadowMeter <= 0
+
+	writeFrame := func(frame []byte) bool {
+		if t := s.cfg.TCPWriteTimeout; t > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		_, err := conn.Write(frame)
+		return err == nil
+	}
+
+	for {
+		if t := s.cfg.TCPIdleTimeout; t > 0 {
+			// The deadline covers the whole frame read: it doubles as
+			// the slow-write guard HTTP gets from ReadTimeout, so a
+			// client trickling a frame byte-by-byte cannot hold the
+			// connection past the idle budget.
+			_ = conn.SetReadDeadline(time.Now().Add(t))
+		}
+		kind, payload, err := rd.Next()
+		switch {
+		case err == nil:
+		case errors.Is(err, wire.ErrTooLarge):
+			// The reader discarded the payload, so the stream is still
+			// framed; the query id was in the discarded bytes, hence the
+			// connection-level id 0.
+			if !writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusTooLarge, Msg: err.Error()})) {
+				return
+			}
+			continue
+		case errors.Is(err, wire.ErrCorrupt), errors.Is(err, wire.ErrVersion):
+			// The stream cannot be resynchronized: answer once at the
+			// connection level and hang up.
+			s.wireErrors.Add(1)
+			writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest, Msg: err.Error()}))
+			return
+		default:
+			// io.EOF (clean close), deadline expiry, reset: nothing to say.
+			return
+		}
+
+		switch kind {
+		case wire.FramePing:
+			if !writeFrame(wire.AppendPong(out[:0])) {
+				return
+			}
+		case wire.FrameQuery:
+			wq, sc := &q, &scratch
+			if !reuse {
+				wq, sc = new(wire.Query), new(wireScratch)
+			}
+			if err := wq.Decode(payload); err != nil {
+				s.wireErrors.Add(1)
+				writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest, Msg: err.Error()}))
+				return
+			}
+			out = s.serveWireQuery(out[:0], wq, &res, sc)
+			if !writeFrame(out) {
+				return
+			}
+		default:
+			s.wireErrors.Add(1)
+			writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest,
+				Msg: fmt.Sprintf("unexpected frame kind %d", kind)}))
+			return
+		}
+	}
+}
+
+// serveWireQuery admits, routes, executes and encodes one query,
+// appending the response frame (result or error) to out. It mirrors
+// the HTTP path stage for stage: the same bounded-queue admission and
+// counters, the same shard routing, the same error classification.
+func (s *Server) serveWireQuery(out []byte, q *wire.Query, res *wire.Result, scratch *wireScratch) []byte {
+	s.wireQueries.Add(1)
+	fail := func(status wire.Status, msg string) []byte {
+		return wire.AppendError(out, &wire.Error{ID: q.ID, Status: status, Msg: msg})
+	}
+
+	// Admission: the bounded in-flight queue (QueueLimit → backpressure
+	// the client can see) and drain tracking, sharing the HTTP layer's
+	// counters so /metrics reports one serving truth.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return fail(wire.StatusTooMany, "request queue full")
+	}
+	if !s.enter() {
+		<-s.sem
+		return fail(wire.StatusUnavailable, "server is draining")
+	}
+	s.accepted.Add(1)
+	defer func() {
+		<-s.sem
+		s.exit()
+	}()
+
+	// Routing, as in handleQuery. The frame format routes by exactly one
+	// of tree id / parents by construction, so the HTTP both-set 400 has
+	// no binary counterpart.
+	var t *tree.Tree
+	switch {
+	case q.TreeID != "":
+		s.mu.Lock()
+		t = s.trees[q.TreeID]
+		s.mu.Unlock()
+		if t == nil {
+			return fail(wire.StatusNotFound, "unknown tree_id "+q.TreeID)
+		}
+	case len(q.Parents) > 0:
+		var err error
+		if t, err = tree.FromParents(q.Parents); err != nil {
+			return fail(wire.StatusBadRequest, err.Error())
+		}
+	default:
+		return fail(wire.StatusBadRequest, "tree_id or parents required")
+	}
+	eng, retire, err := s.engineFor(t)
+	if err != nil {
+		return fail(wire.StatusInternal, err.Error())
+	}
+	defer retire()
+
+	fut, err := submitWire(eng, q, t, scratch)
+	if err != nil {
+		return fail(wireStatus(err), err.Error())
+	}
+	r := fut.Wait()
+	if r.Err != nil {
+		return fail(wireStatus(r.Err), r.Err.Error())
+	}
+
+	*res = wire.Result{
+		ID:   q.ID,
+		Kind: q.Kind,
+		Cost: wire.Cost{Energy: r.Cost.Energy, Messages: r.Cost.Messages, Depth: r.Cost.Depth},
+	}
+	switch q.Kind {
+	case wire.KindTreefix, wire.KindTopDown:
+		res.Sums = r.Sums
+	case wire.KindLCA:
+		res.Answers = r.Answers
+	case wire.KindMinCut:
+		res.MinWeight, res.ArgVertex = r.MinCut.MinWeight, r.MinCut.ArgVertex
+	case wire.KindExpr:
+		res.Value = r.Value
+	}
+	return wire.AppendResult(out, res)
+}
+
+// wireStatus is errStatus in the binary protocol's vocabulary — the
+// mirrored classification the HTTP layer documents.
+func wireStatus(err error) wire.Status {
+	if errStatus(err) == http.StatusBadRequest {
+		return wire.StatusBadRequest
+	}
+	return wire.StatusInternal
+}
+
+// submitWire enqueues a decoded binary query on the shard, converting
+// its payload into the kernel types through the connection's reusable
+// scratch. Identical dispatch and validation to submit; t is the routed
+// tree (needed to build expr submissions).
+func submitWire(sh submitter, q *wire.Query, t *tree.Tree, scratch *wireScratch) (*engine.Future, error) {
+	switch q.Kind {
+	case wire.KindTreefix, wire.KindTopDown:
+		opName := q.Op
+		if opName == "" {
+			opName = "add"
+		}
+		op, err := treefix.OpByName(opName)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if q.Kind == wire.KindTreefix {
+			return sh.SubmitTreefix(q.Vals, op), nil
+		}
+		return sh.SubmitTopDown(q.Vals, op), nil
+	case wire.KindLCA:
+		qs := scratch.queries[:0]
+		for _, lq := range q.Queries {
+			qs = append(qs, lca.Query{U: lq.U, V: lq.V})
+		}
+		scratch.queries = qs
+		return sh.SubmitLCA(qs), nil
+	case wire.KindMinCut:
+		es := scratch.edges[:0]
+		for _, e := range q.Edges {
+			es = append(es, mincut.Edge{U: e.U, V: e.V, W: e.W})
+		}
+		scratch.edges = es
+		return sh.SubmitMinCut(es), nil
+	case wire.KindExpr:
+		ks := scratch.kinds[:0]
+		for _, k := range q.ExprKinds {
+			if k > uint8(exprtree.Mul) {
+				return nil, badRequest(fmt.Errorf("expr kind %d (want 0=leaf, 1=add or 2=mul)", k))
+			}
+			ks = append(ks, exprtree.NodeKind(k))
+		}
+		scratch.kinds = ks
+		return sh.SubmitExpr(&exprtree.Expr{Tree: t, Kind: ks, Val: q.Vals}), nil
+	default:
+		return nil, badRequest(fmt.Errorf("unknown query kind %d", q.Kind))
+	}
+}

@@ -3,6 +3,7 @@ package treefix
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"spatialtree/internal/par"
 	"spatialtree/internal/tree"
@@ -38,7 +39,33 @@ type Engine struct {
 	// the tree per request.
 	maxDepth int
 	workers  int
+	// scratch recycles the 2(n-1)+1-sized tour contribution arrays the
+	// prefix-scan kernels build per call: on the serving hot path these
+	// were the engine's dominant per-request allocation (256 KiB per
+	// treefix call at n = 2^14). Contents of a pooled array are stale —
+	// every kernel fills (zero or identity) before scattering.
+	scratch sync.Pool
 }
+
+// getContrib returns a scratch array of the given length with
+// unspecified contents; return it with putContrib after the last read.
+func (e *Engine) getContrib(size int) []int64 {
+	if p, ok := e.scratch.Get().(*[]int64); ok && cap(*p) >= size {
+		return (*p)[:size]
+	}
+	return make([]int64, size)
+}
+
+// getContribZero is getContrib with the array zero-filled.
+func (e *Engine) getContribZero(size int) []int64 {
+	s := e.getContrib(size)
+	par.For(size, e.workers, func(lo, hi int) {
+		clear(s[lo:hi])
+	})
+	return s
+}
+
+func (e *Engine) putContrib(s []int64) { e.scratch.Put(&s) }
 
 // NewEngine builds the tour positions with a host DFS.
 func NewEngine(t *tree.Tree, workers int) *Engine {
@@ -100,7 +127,7 @@ func (e *Engine) BottomUpSum(vals []int64) []int64 {
 		return out
 	}
 	L := 2 * (n - 1)
-	contrib := make([]int64, L+1) // shifted by one: prefix[0] = 0
+	contrib := e.getContribZero(L + 1) // shifted by one: prefix[0] = 0
 	root := e.t.Root()
 	par.For(n, e.workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -118,6 +145,7 @@ func (e *Engine) BottomUpSum(vals []int64) []int64 {
 			out[v] = vals[v] + contrib[e.upPos[v]] - contrib[e.downPos[v]+1]
 		}
 	})
+	e.putContrib(contrib)
 	return out
 }
 
@@ -183,7 +211,7 @@ func (e *Engine) bottomUpInvertible(vals []int64, op Op) []int64 {
 		return out
 	}
 	L := 2 * (n - 1)
-	contrib := make([]int64, L+1) // shifted by one: prefix[0] = Identity
+	contrib := e.getContrib(L + 1) // shifted by one: prefix[0] = Identity
 	root := e.t.Root()
 	par.For(L+1, e.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -204,6 +232,7 @@ func (e *Engine) bottomUpInvertible(vals []int64, op Op) []int64 {
 			out[v] = op.Combine(vals[v], below)
 		}
 	})
+	e.putContrib(contrib)
 	return out
 }
 
@@ -223,7 +252,7 @@ func (e *Engine) bottomUpIdempotent(vals []int64, op Op) []int64 {
 		return out
 	}
 	L := 2 * (n - 1)
-	contrib := make([]int64, L)
+	contrib := e.getContrib(L)
 	root := e.t.Root()
 	par.For(L, e.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -245,6 +274,7 @@ func (e *Engine) bottomUpIdempotent(vals []int64, op Op) []int64 {
 			out[v] = op.Combine(vals[v], fold(int(e.downPos[v])+1, int(e.upPos[v])-1))
 		}
 	})
+	e.putContrib(contrib)
 	return out
 }
 
@@ -310,7 +340,7 @@ func (e *Engine) topDownInvertible(vals []int64, op Op) []int64 {
 		return out
 	}
 	L := 2 * (n - 1)
-	contrib := make([]int64, L)
+	contrib := e.getContrib(L)
 	par.For(L, e.workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			contrib[i] = op.Identity
@@ -334,6 +364,7 @@ func (e *Engine) topDownInvertible(vals []int64, op Op) []int64 {
 			}
 		}
 	})
+	e.putContrib(contrib)
 	return out
 }
 
@@ -392,7 +423,7 @@ func (e *Engine) TopDownSum(vals []int64) []int64 {
 		return out
 	}
 	L := 2 * (n - 1)
-	contrib := make([]int64, L)
+	contrib := e.getContribZero(L)
 	par.For(n, e.workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if v != root {
@@ -411,5 +442,6 @@ func (e *Engine) TopDownSum(vals []int64) []int64 {
 			}
 		}
 	})
+	e.putContrib(contrib)
 	return out
 }

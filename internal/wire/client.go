@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client speaks the binary protocol to one server connection. It is
+// safe for concurrent use: calls are pipelined over the single
+// connection (each query carries an ID; a reader goroutine routes each
+// response to its waiter), which is how one client keeps a server's
+// batch scheduler fed without one connection per in-flight request.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu  sync.Mutex // serializes writes and the write buffer
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error // terminal connection error, set once
+}
+
+type response struct {
+	res *Result
+	err error
+}
+
+// Dial connects to a binary-protocol server at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection. The client owns conn and
+// closes it on Close or on any protocol error.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		nextID:  1,
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Do sends q and waits for its response. The query's ID field is
+// assigned by the client; concurrent Do calls are pipelined. A non-OK
+// server response comes back as an *Error (inspect its Status); a
+// transport failure fails every in-flight call with the same error.
+func (c *Client) Do(q *Query) (*Result, error) {
+	ch := make(chan response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	q.ID = c.nextID
+	c.nextID++
+	c.pending[q.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.wbuf = AppendQuery(c.wbuf[:0], q)
+	_, werr := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(fmt.Errorf("wire: write: %w", werr))
+	}
+
+	r := <-ch
+	return r.res, r.err
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	// Pings carry no ID on the wire; responses arrive in order relative
+	// to other pings, so park waiters on descending pseudo-IDs.
+	id := ^c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.wbuf = AppendPing(c.wbuf[:0])
+	_, werr := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(fmt.Errorf("wire: write: %w", werr))
+	}
+	r := <-ch
+	return r.err
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.fail(errors.New("wire: client closed"))
+	return nil
+}
+
+func (c *Client) readLoop() {
+	rd := NewReader(c.br, DefaultMaxFrame)
+	for {
+		kind, payload, err := rd.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("wire: read: %w", err))
+			return
+		}
+		switch kind {
+		case FrameResult:
+			res := new(Result)
+			if err := res.Decode(payload); err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(res.ID, response{res: res})
+		case FrameError:
+			e := new(Error)
+			if err := e.Decode(payload); err != nil {
+				c.fail(err)
+				return
+			}
+			if e.ID == 0 {
+				// Connection-level error: no query to attribute it to,
+				// so every in-flight call fails with it.
+				c.fail(e)
+				return
+			}
+			c.deliver(e.ID, response{err: e})
+		case FramePong:
+			c.deliverPong()
+		default:
+			c.fail(corruptf("unexpected frame kind %d from server", kind))
+			return
+		}
+	}
+}
+
+func (c *Client) deliver(id uint64, r response) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ok {
+		ch <- r
+	}
+}
+
+func (c *Client) deliverPong() {
+	c.mu.Lock()
+	var best uint64
+	found := false
+	// Oldest ping waiter = largest pseudo-ID (IDs descend from ^1).
+	for id := range c.pending {
+		if id > 1<<63 && (!found || id > best) {
+			best, found = id, true
+		}
+	}
+	var ch chan response
+	if found {
+		ch = c.pending[best]
+		delete(c.pending, best)
+	}
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- response{}
+	}
+}
+
+// fail records the terminal error, closes the connection, and fails
+// every pending call. Only the first error sticks.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		ch <- response{err: err}
+	}
+}

@@ -1,0 +1,749 @@
+// Package wire is the binary serving protocol behind spatialtreed's
+// -tcp-addr listener: a length-prefixed, CRC-checked frame format over
+// raw TCP that carries the same queries as the HTTP/JSON API at a
+// fraction of the encode/decode cost. It exists because the native
+// backend made kernels cheap enough (E16: a 16-request treefix batch in
+// ~13 ms) that HTTP/JSON marshalling and per-request heap churn became
+// the dominant per-query cost for small queries — the wire tax the
+// ROADMAP targets.
+//
+// # Frame layout
+//
+// Every message is one self-checking frame, reusing the `STSN`-style
+// framing idiom of internal/persist (all integers little-endian):
+//
+//	offset 0:  magic "STWR" (4 bytes)
+//	offset 4:  protocol version (1 byte; currently 1)
+//	offset 5:  frame kind (1 byte; see Frame* constants)
+//	offset 6:  payload length (uint32)
+//	offset 10: CRC-32C (Castagnoli) of the payload (uint32)
+//	offset 14: payload
+//
+// Payload fields are varint/uvarint encoded (strings are
+// length-prefixed), so a typical small query costs tens of bytes where
+// its JSON form costs hundreds. A decoder never trusts a count further
+// than the bytes actually present, so arbitrary (fuzzed or corrupt)
+// input can neither panic nor over-allocate — the same hardening
+// contract as the persist codec, pinned by FuzzWireDecode.
+//
+// # Conversation shape
+//
+// A connection carries a sequence of frames in each direction. Clients
+// send FrameQuery (or FramePing); the server answers each query with
+// exactly one FrameResult or FrameError carrying the query's ID.
+// Queries on one connection are processed in arrival order (like
+// HTTP/1.1 on one connection); concurrency comes from multiple
+// connections, whose requests coalesce into shared batches on the
+// server's scheduler exactly as HTTP traffic does. ID 0 is reserved
+// for connection-level errors (a frame the server could not attribute
+// to a query, e.g. an oversized one).
+//
+// # Allocation discipline
+//
+// The hot path is allocation-free where lifetimes allow it: Reader owns
+// a single growable frame buffer reused across frames, encoders append
+// into caller-supplied buffers (GetBuf/PutBuf lends pooled ones), and
+// Query.Decode reuses the Query's own slices across frames. Results
+// decoded by the client are fresh allocations — they outlive the
+// connection's read loop by design.
+//
+// # Versioning
+//
+// The version byte covers the whole conversation: a server receiving a
+// frame with an unknown version replies with a connection-level
+// StatusBadRequest error and closes. Additive changes (new frame
+// kinds, new trailing payload fields guarded by their own counts) do
+// not bump the version; changes to existing payload layouts do. See
+// docs/protocol.md for the full rules.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version this package speaks.
+	Version = 1
+	// HeaderLen is the fixed frame header size.
+	HeaderLen = 14
+	// DefaultMaxFrame bounds a peer's declared payload length (matching
+	// the HTTP layer's default body limit).
+	DefaultMaxFrame = 64 << 20
+	// maxNameLen bounds tree-id and operator strings.
+	maxNameLen = 256
+	// maxErrLen bounds error message strings.
+	maxErrLen = 4096
+)
+
+// Frame kinds.
+const (
+	// FrameQuery carries a Query (client → server).
+	FrameQuery = 1
+	// FrameResult carries a Result (server → client, status OK).
+	FrameResult = 2
+	// FrameError carries an Error (server → client, status != OK).
+	FrameError = 3
+	// FramePing is an empty liveness probe (client → server).
+	FramePing = 4
+	// FramePong answers a ping (server → client).
+	FramePong = 5
+)
+
+// Magic is the frame magic, first on the wire.
+var Magic = [4]byte{'S', 'T', 'W', 'R'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Query kinds, mirroring the HTTP API's kind strings.
+const (
+	KindTreefix = 1
+	KindTopDown = 2
+	KindLCA     = 3
+	KindMinCut  = 4
+	KindExpr    = 5
+)
+
+// KindName maps a binary query kind to the HTTP API's kind string
+// ("" for an unknown kind).
+func KindName(k uint8) string {
+	switch k {
+	case KindTreefix:
+		return "treefix"
+	case KindTopDown:
+		return "topdown"
+	case KindLCA:
+		return "lca"
+	case KindMinCut:
+		return "mincut"
+	case KindExpr:
+		return "expr"
+	}
+	return ""
+}
+
+// Status is the binary protocol's response status, mirroring the HTTP
+// layer's classification: client-fault statuses correspond to 4xx,
+// StatusInternal to 500.
+type Status uint8
+
+// Statuses. The numeric values are part of the wire format.
+const (
+	StatusOK          Status = 0 // carried implicitly by FrameResult
+	StatusBadRequest  Status = 1 // invalid request (HTTP 400)
+	StatusNotFound    Status = 2 // unknown tree or shard id (HTTP 404)
+	StatusTooMany     Status = 3 // admission queue full — backpressure (HTTP 429)
+	StatusUnavailable Status = 4 // server draining (HTTP 503)
+	StatusTooLarge    Status = 5 // frame beyond the size limit (HTTP 413)
+	StatusInternal    Status = 6 // server-side failure (HTTP 500)
+)
+
+// HTTPStatus returns the HTTP status code the same condition maps to on
+// the JSON API.
+func (s Status) HTTPStatus() int {
+	switch s {
+	case StatusOK:
+		return 200
+	case StatusBadRequest:
+		return 400
+	case StatusNotFound:
+		return 404
+	case StatusTooMany:
+		return 429
+	case StatusUnavailable:
+		return 503
+	case StatusTooLarge:
+		return 413
+	}
+	return 500
+}
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusNotFound:
+		return "not found"
+	case StatusTooMany:
+		return "too many requests"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusTooLarge:
+		return "frame too large"
+	case StatusInternal:
+		return "internal error"
+	}
+	return fmt.Sprintf("status %d", uint8(s))
+}
+
+// Routing discriminators inside a Query payload.
+const (
+	routeTreeID  = 1
+	routeParents = 2
+)
+
+// ErrCorrupt reports a frame that failed structural validation: bad
+// magic, a length prefix disagreeing with the bytes present, a CRC
+// mismatch, or payload fields violating their invariants. A stream
+// that produced it cannot be resynchronized; close the connection.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ErrVersion reports a frame written by an incompatible protocol
+// version.
+var ErrVersion = errors.New("wire: unsupported protocol version")
+
+// ErrTooLarge reports a frame whose declared payload exceeds the
+// reader's limit. The reader discards the payload, so the stream stays
+// synchronized: the caller may answer with StatusTooLarge and continue.
+var ErrTooLarge = errors.New("wire: frame exceeds size limit")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// LCAQuery is one lowest-common-ancestor query.
+type LCAQuery struct{ U, V int }
+
+// Edge is a weighted undirected graph edge for min-cut queries.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Cost is the spatial-model cost attributed to a request (zero on
+// unmetered native backends, like the JSON API's cost block).
+type Cost struct{ Energy, Messages, Depth int64 }
+
+// Query is one request, the binary twin of the HTTP API's QueryRequest.
+// Exactly one of TreeID / Parents routes it (the frame format makes
+// the choice explicit, so "both set" is unrepresentable). Vals carries
+// treefix/topdown inputs and expr leaf constants; ExprKinds labels
+// expr vertices (0 = leaf, 1 = add, 2 = mul).
+type Query struct {
+	// ID correlates the response; the client assigns it (never 0).
+	ID        uint64
+	Kind      uint8
+	TreeID    string
+	Parents   []int
+	Op        string
+	Vals      []int64
+	Queries   []LCAQuery
+	Edges     []Edge
+	ExprKinds []uint8
+}
+
+// Result is one successful response, the binary twin of QueryResponse.
+type Result struct {
+	ID      uint64
+	Kind    uint8
+	Sums    []int64
+	Answers []int
+	// MinWeight/ArgVertex are meaningful for KindMinCut.
+	MinWeight int64
+	ArgVertex int
+	// Value is meaningful for KindExpr.
+	Value int64
+	Cost  Cost
+}
+
+// Error is one failed response. ID 0 marks a connection-level error
+// (the server could not attribute the frame to a query).
+type Error struct {
+	ID     uint64
+	Status Status
+	Msg    string
+}
+
+// Error implements the error interface, so an *Error can travel as the
+// client's returned error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("wire: %s: %s", e.Status, e.Msg)
+}
+
+// bufPool lends encode buffers so the hot path never allocates for
+// framing. Buffers grow to their workload's high-water mark and are
+// reused at that size.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuf borrows a pooled encode buffer (length 0).
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer borrowed with GetBuf.
+func PutBuf(b *[]byte) { bufPool.Put(b) }
+
+// appendFrame appends one complete frame to dst: header, then the
+// payload produced by enc, then the length and CRC fixed up in place.
+func appendFrame(dst []byte, kind byte, enc func([]byte) []byte) []byte {
+	base := len(dst)
+	dst = append(dst, Magic[0], Magic[1], Magic[2], Magic[3], Version, kind,
+		0, 0, 0, 0, 0, 0, 0, 0)
+	if enc != nil {
+		dst = enc(dst)
+	}
+	payload := dst[base+HeaderLen:]
+	binary.LittleEndian.PutUint32(dst[base+6:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[base+10:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// AppendPing appends a ping frame to dst.
+func AppendPing(dst []byte) []byte { return appendFrame(dst, FramePing, nil) }
+
+// AppendPong appends a pong frame to dst.
+func AppendPong(dst []byte) []byte { return appendFrame(dst, FramePong, nil) }
+
+// AppendQuery appends q as one query frame to dst.
+func AppendQuery(dst []byte, q *Query) []byte {
+	return appendFrame(dst, FrameQuery, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, q.ID)
+		b = append(b, q.Kind)
+		if q.TreeID != "" {
+			b = append(b, routeTreeID)
+			b = appendStr(b, q.TreeID)
+		} else {
+			b = append(b, routeParents)
+			b = binary.AppendUvarint(b, uint64(len(q.Parents)))
+			for _, p := range q.Parents {
+				b = binary.AppendVarint(b, int64(p))
+			}
+		}
+		switch q.Kind {
+		case KindTreefix, KindTopDown:
+			b = appendStr(b, q.Op)
+			b = appendVals(b, q.Vals)
+		case KindLCA:
+			b = binary.AppendUvarint(b, uint64(len(q.Queries)))
+			for _, lq := range q.Queries {
+				b = binary.AppendUvarint(b, uint64(lq.U))
+				b = binary.AppendUvarint(b, uint64(lq.V))
+			}
+		case KindMinCut:
+			b = binary.AppendUvarint(b, uint64(len(q.Edges)))
+			for _, e := range q.Edges {
+				b = binary.AppendUvarint(b, uint64(e.U))
+				b = binary.AppendUvarint(b, uint64(e.V))
+				b = binary.AppendVarint(b, e.W)
+			}
+		case KindExpr:
+			b = binary.AppendUvarint(b, uint64(len(q.ExprKinds)))
+			b = append(b, q.ExprKinds...)
+			b = appendVals(b, q.Vals)
+		}
+		return b
+	})
+}
+
+// AppendResult appends r as one result frame to dst.
+func AppendResult(dst []byte, r *Result) []byte {
+	return appendFrame(dst, FrameResult, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, r.ID)
+		b = append(b, r.Kind)
+		b = binary.AppendVarint(b, r.Cost.Energy)
+		b = binary.AppendVarint(b, r.Cost.Messages)
+		b = binary.AppendVarint(b, r.Cost.Depth)
+		switch r.Kind {
+		case KindTreefix, KindTopDown:
+			b = appendVals(b, r.Sums)
+		case KindLCA:
+			b = binary.AppendUvarint(b, uint64(len(r.Answers)))
+			for _, a := range r.Answers {
+				b = binary.AppendUvarint(b, uint64(a))
+			}
+		case KindMinCut:
+			b = binary.AppendVarint(b, r.MinWeight)
+			b = binary.AppendVarint(b, int64(r.ArgVertex))
+		case KindExpr:
+			b = binary.AppendVarint(b, r.Value)
+		}
+		return b
+	})
+}
+
+// AppendError appends e as one error frame to dst.
+func AppendError(dst []byte, e *Error) []byte {
+	return appendFrame(dst, FrameError, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, e.ID)
+		b = append(b, byte(e.Status))
+		msg := e.Msg
+		if len(msg) > maxErrLen {
+			msg = msg[:maxErrLen]
+		}
+		b = appendStr(b, msg)
+		return b
+	})
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendVals(dst []byte, vals []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// Decode decodes the payload of a query frame into q, reusing q's
+// slices when their capacity suffices — the zero-alloc path a serving
+// connection leans on. Any structural violation returns ErrCorrupt
+// (wrapped); q's contents are then unspecified.
+func (q *Query) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if q.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return err
+	}
+	q.Kind = kind
+	route, err := d.byte()
+	if err != nil {
+		return err
+	}
+	q.TreeID, q.Parents = "", q.Parents[:0]
+	switch route {
+	case routeTreeID:
+		if q.TreeID, err = d.str(maxNameLen); err != nil {
+			return err
+		}
+	case routeParents:
+		n, err := d.count("vertex")
+		if err != nil {
+			return err
+		}
+		q.Parents = growInts(q.Parents, n)
+		for i := range q.Parents {
+			p, err := d.varint()
+			if err != nil {
+				return err
+			}
+			q.Parents[i] = int(p)
+		}
+	default:
+		return corruptf("unknown route %d", route)
+	}
+	q.Op, q.Vals, q.Queries, q.Edges, q.ExprKinds =
+		"", q.Vals[:0], q.Queries[:0], q.Edges[:0], q.ExprKinds[:0]
+	switch q.Kind {
+	case KindTreefix, KindTopDown:
+		if q.Op, err = d.str(maxNameLen); err != nil {
+			return err
+		}
+		if q.Vals, err = d.vals(q.Vals); err != nil {
+			return err
+		}
+	case KindLCA:
+		n, err := d.count("query")
+		if err != nil {
+			return err
+		}
+		if cap(q.Queries) < n {
+			q.Queries = make([]LCAQuery, n)
+		}
+		q.Queries = q.Queries[:n]
+		for i := range q.Queries {
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			q.Queries[i] = LCAQuery{U: int(u), V: int(v)}
+		}
+	case KindMinCut:
+		n, err := d.count("edge")
+		if err != nil {
+			return err
+		}
+		if cap(q.Edges) < n {
+			q.Edges = make([]Edge, n)
+		}
+		q.Edges = q.Edges[:n]
+		for i := range q.Edges {
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			w, err := d.varint()
+			if err != nil {
+				return err
+			}
+			q.Edges[i] = Edge{U: int(u), V: int(v), W: w}
+		}
+	case KindExpr:
+		n, err := d.count("expr vertex")
+		if err != nil {
+			return err
+		}
+		if cap(q.ExprKinds) < n {
+			q.ExprKinds = make([]uint8, n)
+		}
+		q.ExprKinds = q.ExprKinds[:n]
+		if n > 0 {
+			copy(q.ExprKinds, d.buf[:n])
+			d.buf = d.buf[n:]
+		}
+		if q.Vals, err = d.vals(q.Vals); err != nil {
+			return err
+		}
+	default:
+		return corruptf("unknown query kind %d", q.Kind)
+	}
+	return d.drained()
+}
+
+// Decode decodes the payload of a result frame into r. Slices are
+// freshly allocated: a decoded Result owns its memory.
+func (r *Result) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if r.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if r.Kind, err = d.byte(); err != nil {
+		return err
+	}
+	if r.Cost.Energy, err = d.varint(); err != nil {
+		return err
+	}
+	if r.Cost.Messages, err = d.varint(); err != nil {
+		return err
+	}
+	if r.Cost.Depth, err = d.varint(); err != nil {
+		return err
+	}
+	r.Sums, r.Answers, r.MinWeight, r.ArgVertex, r.Value = nil, nil, 0, 0, 0
+	switch r.Kind {
+	case KindTreefix, KindTopDown:
+		if r.Sums, err = d.vals(nil); err != nil {
+			return err
+		}
+	case KindLCA:
+		n, err := d.count("answer")
+		if err != nil {
+			return err
+		}
+		r.Answers = make([]int, n)
+		for i := range r.Answers {
+			a, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			r.Answers[i] = int(a)
+		}
+	case KindMinCut:
+		if r.MinWeight, err = d.varint(); err != nil {
+			return err
+		}
+		av, err := d.varint()
+		if err != nil {
+			return err
+		}
+		r.ArgVertex = int(av)
+	case KindExpr:
+		if r.Value, err = d.varint(); err != nil {
+			return err
+		}
+	default:
+		return corruptf("unknown result kind %d", r.Kind)
+	}
+	return d.drained()
+}
+
+// Decode decodes the payload of an error frame into e.
+func (e *Error) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if e.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	st, err := d.byte()
+	if err != nil {
+		return err
+	}
+	e.Status = Status(st)
+	if e.Msg, err = d.str(maxErrLen); err != nil {
+		return err
+	}
+	return d.drained()
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Reader reads frames from a stream, reusing one growable buffer: the
+// payload returned by Next is valid only until the following Next
+// call. The reader never allocates in proportion to a declared length
+// it has not actually received.
+type Reader struct {
+	r      io.Reader
+	header [HeaderLen]byte
+	buf    []byte
+	max    int
+}
+
+// NewReader wraps r; maxFrame bounds accepted payload lengths
+// (<= 0 means DefaultMaxFrame). Wrap r in a bufio.Reader if it is an
+// unbuffered connection.
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: r, max: maxFrame}
+}
+
+// Next reads one frame and returns its kind and payload (valid until
+// the next call). io.EOF on a clean frame boundary means the peer
+// closed; ErrTooLarge means the oversized payload was discarded and
+// the stream remains usable; ErrCorrupt and ErrVersion mean the stream
+// cannot be trusted further.
+func (r *Reader) Next() (kind byte, payload []byte, err error) {
+	if _, err := io.ReadFull(r.r, r.header[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, corruptf("truncated header")
+		}
+		return 0, nil, err
+	}
+	if [4]byte(r.header[:4]) != Magic {
+		return 0, nil, corruptf("bad magic %q", r.header[:4])
+	}
+	if r.header[4] != Version {
+		return 0, nil, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, r.header[4], Version)
+	}
+	kind = r.header[5]
+	plen := int(binary.LittleEndian.Uint32(r.header[6:]))
+	if plen > r.max {
+		// Discard the payload so the stream stays framed; the caller
+		// can answer StatusTooLarge and keep serving.
+		if _, err := io.CopyN(io.Discard, r.r, int64(plen)); err != nil {
+			return kind, nil, corruptf("discarding oversized frame: %v", err)
+		}
+		return kind, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrTooLarge, plen, r.max)
+	}
+	if cap(r.buf) < plen {
+		r.buf = make([]byte, plen)
+	}
+	payload = r.buf[:plen]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return kind, nil, corruptf("truncated payload: %v", err)
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(r.header[10:]) {
+		return kind, nil, corruptf("payload CRC mismatch")
+	}
+	return kind, payload, nil
+}
+
+// decoder consumes primitive values, validating every length against
+// the bytes actually remaining before allocating anything (the persist
+// codec's discipline).
+type decoder struct{ buf []byte }
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, corruptf("truncated byte")
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, corruptf("truncated or overlong uvarint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, corruptf("truncated or overlong varint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) str(limit int) (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) {
+		return "", corruptf("string length %d exceeds %d", n, limit)
+	}
+	if n > uint64(len(d.buf)) {
+		return "", corruptf("string length %d exceeds %d remaining bytes", n, len(d.buf))
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+// count reads an element count bounded by the remaining payload (every
+// element costs at least one byte, so a count exceeding the bytes
+// present is corrupt — and rejecting it here keeps allocation O(input)).
+func (d *decoder) count(what string) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(d.buf)) {
+		return 0, corruptf("%s count %d exceeds %d remaining bytes", what, n, len(d.buf))
+	}
+	return int(n), nil
+}
+
+// vals reads a counted varint slice into dst (reusing its capacity;
+// pass nil for a fresh allocation).
+func (d *decoder) vals(dst []int64) ([]int64, error) {
+	n, err := d.count("value")
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		if dst[i], err = d.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// drained asserts the payload was consumed exactly.
+func (d *decoder) drained() error {
+	if len(d.buf) != 0 {
+		return corruptf("%d trailing payload bytes", len(d.buf))
+	}
+	return nil
+}

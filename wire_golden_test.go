@@ -1,0 +1,136 @@
+package spatialtree
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialtree/internal/wire"
+)
+
+// The golden fixtures pin the binary protocol's wire format — exactly
+// as testdata/persist does for the snapshot codec. Re-encoding the
+// reference values must reproduce the checked-in bytes byte for byte,
+// so any change that drifts the format (field order, varint widths,
+// header layout, CRC placement) fails loudly here and forces a
+// conscious protocol version bump instead of silently breaking every
+// deployed client. docs/protocol.md documents the layout these bytes
+// embody.
+
+func goldenWireQuery() *wire.Query {
+	return &wire.Query{
+		ID:      42,
+		Kind:    wire.KindTreefix,
+		TreeID:  "t69286a04bcfab1e6",
+		Op:      "max",
+		Vals:    []int64{5, -2, 0, 1 << 40},
+		Queries: nil,
+	}
+}
+
+func goldenWireLCAQuery() *wire.Query {
+	return &wire.Query{
+		ID:      43,
+		Kind:    wire.KindLCA,
+		Parents: []int{-1, 0, 0, 1, 1},
+		Queries: []wire.LCAQuery{{U: 3, V: 4}, {U: 2, V: 3}},
+	}
+}
+
+func goldenWireResult() *wire.Result {
+	return &wire.Result{
+		ID:   42,
+		Kind: wire.KindTreefix,
+		Sums: []int64{5, 3, 0, 1 << 40},
+		Cost: wire.Cost{Energy: 1234, Messages: 56, Depth: 7},
+	}
+}
+
+func goldenWireError() *wire.Error {
+	return &wire.Error{ID: 9, Status: wire.StatusTooMany, Msg: "request queue full"}
+}
+
+func readWireGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "wire", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func decodeOneFrame(t *testing.T, raw []byte, wantKind byte) []byte {
+	t.Helper()
+	rd := wire.NewReader(bytes.NewReader(raw), 1<<20)
+	kind, payload, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != wantKind {
+		t.Fatalf("frame kind = %d, want %d", kind, wantKind)
+	}
+	return payload
+}
+
+func TestGoldenWireQueryFrames(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		q    *wire.Query
+	}{
+		{"query-treefix.v1.bin", goldenWireQuery()},
+		{"query-lca.v1.bin", goldenWireLCAQuery()},
+	} {
+		want := readWireGolden(t, tc.file)
+		if got := wire.AppendQuery(nil, tc.q); !bytes.Equal(got, want) {
+			t.Fatalf("query wire format drifted from testdata/wire/%s:\n got %x\nwant %x\n(bump the protocol version rather than regenerate silently)", tc.file, got, want)
+		}
+		var q wire.Query
+		if err := q.Decode(decodeOneFrame(t, want, wire.FrameQuery)); err != nil {
+			t.Fatal(err)
+		}
+		if again := wire.AppendQuery(nil, &q); !bytes.Equal(again, want) {
+			t.Fatalf("golden %s does not round-trip through decode", tc.file)
+		}
+	}
+}
+
+func TestGoldenWireResultFrame(t *testing.T) {
+	want := readWireGolden(t, "result-treefix.v1.bin")
+	if got := wire.AppendResult(nil, goldenWireResult()); !bytes.Equal(got, want) {
+		t.Fatalf("result wire format drifted from testdata/wire/result-treefix.v1.bin:\n got %x\nwant %x", got, want)
+	}
+	var r wire.Result
+	if err := r.Decode(decodeOneFrame(t, want, wire.FrameResult)); err != nil {
+		t.Fatal(err)
+	}
+	if again := wire.AppendResult(nil, &r); !bytes.Equal(again, want) {
+		t.Fatal("golden result frame does not round-trip through decode")
+	}
+}
+
+func TestGoldenWireErrorFrame(t *testing.T) {
+	want := readWireGolden(t, "error.v1.bin")
+	if got := wire.AppendError(nil, goldenWireError()); !bytes.Equal(got, want) {
+		t.Fatalf("error wire format drifted from testdata/wire/error.v1.bin:\n got %x\nwant %x", got, want)
+	}
+	var e wire.Error
+	if err := e.Decode(decodeOneFrame(t, want, wire.FrameError)); err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != 9 || e.Status != wire.StatusTooMany || e.Msg != "request queue full" {
+		t.Fatalf("golden error decodes to %+v", e)
+	}
+}
+
+// TestGoldenWireCorruptCRC: a stored frame whose payload no longer
+// matches its CRC must come back as the typed wire.ErrCorrupt — never
+// a panic, never a silently-accepted frame.
+func TestGoldenWireCorruptCRC(t *testing.T) {
+	raw := readWireGolden(t, "corrupt-crc.bin")
+	rd := wire.NewReader(bytes.NewReader(raw), 1<<20)
+	if _, _, err := rd.Next(); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("Next(corrupt) = %v, want wire.ErrCorrupt", err)
+	}
+}
