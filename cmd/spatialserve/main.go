@@ -445,6 +445,7 @@ func runMutable(sh *mutShard, mutate bool, r *rng.RNG, nq, subs int, wantCut boo
 	de := sh.eng
 	n := de.N()
 	if wantCut {
+		//spatialvet:ignore waitunderlock -- sh.mu serializes whole churn rounds per shard by design; engine workers never take it, so no cycle
 		if res := de.SubmitMinCut(edges).Wait(); res.Err != nil {
 			fatal(res.Err)
 		}
@@ -460,6 +461,7 @@ func runMutable(sh *mutShard, mutate bool, r *rng.RNG, nq, subs int, wantCut boo
 		futs = append(futs, de.SubmitLCA(qs))
 	}
 	for _, f := range futs {
+		//spatialvet:ignore waitunderlock -- sh.mu serializes whole churn rounds per shard by design; engine workers never take it, so no cycle
 		if res := f.Wait(); res.Err != nil {
 			fatal("request failed:", res.Err)
 		}

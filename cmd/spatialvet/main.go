@@ -1,0 +1,43 @@
+// Command spatialvet runs the repo's custom invariant analyzers (see
+// internal/analysis and docs/analysis.md) over the module:
+//
+//	go run ./cmd/spatialvet ./...
+//
+// It prints one line per finding and exits non-zero if any survive
+// their //spatialvet:ignore review — CI runs it as a hard gate in the
+// lint job.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spatialtree/internal/analysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialvet:", err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", prog.Fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "spatialvet: %d finding(s) in %d package(s)\n",
+			len(diags), prog.Vetted())
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "spatialvet: %d package(s) clean (%d analyzers)\n",
+		prog.Vetted(), len(analysis.All()))
+}

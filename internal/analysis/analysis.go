@@ -1,0 +1,182 @@
+// Package analysis is spatialvet's analyzer framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer / Pass / Diagnostic) on top of the standard
+// library's go/ast, go/types and go/importer.
+//
+// Why not x/tools itself: the module is deliberately zero-dependency
+// (see go.mod), and the build environments this repo targets cannot
+// assume network access to fetch golang.org/x/tools. The framework
+// below keeps the same shape as x/tools — an Analyzer is a named Run
+// function over a typed package, diagnostics carry positions — so the
+// analyzers in this package port mechanically if the module ever takes
+// the dependency. One deliberate difference: a Pass here can see the
+// whole Program (every module package, loaded and type-checked
+// together), which replaces x/tools' Facts mechanism for the
+// cross-package function summaries in summary.go.
+//
+// The analyzers themselves encode this repo's proven-expensive bug
+// classes; see docs/analysis.md for the invariant and the historical
+// bug behind each one, and for the //spatialvet: directive syntax
+// (lock classes, classification boundaries, justified suppressions).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in messages and //spatialvet:ignore
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Package is one type-checked package of the loaded program.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Pass carries one analyzer's run over one package. Prog exposes the
+// whole module (shared FileSet, every package, function summaries) for
+// cross-package reasoning.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf("%s: %s", p.Analyzer.Name, fmt.Sprintf(format, args...)),
+	})
+}
+
+// A Program is a loaded, type-checked view of one module (or one
+// fixture package): every package shares one FileSet and one stdlib
+// importer, so types and positions are comparable across packages.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	roots      map[string]bool // nil = report everywhere; else only these import paths
+	byPath     map[string]*Package
+	stdImports func(path string) (*types.Package, error)
+	stdCache   map[string]*types.Package
+	netConn    *types.Interface // lazily resolved net.Conn; netConnSentinel until looked up
+
+	directives *directiveSet
+	summaries  map[*types.Func]*funcSummary
+}
+
+// isRoot reports whether findings in the package should be reported —
+// packages loaded only as dependencies of the requested patterns are
+// type-checked and summarized but not vetted, go vet's semantics.
+func (prog *Program) isRoot(path string) bool {
+	return prog.roots == nil || prog.roots[path]
+}
+
+// Vetted returns how many loaded packages are actually analyzed (the
+// requested patterns, not their dependencies).
+func (prog *Program) Vetted() int {
+	n := 0
+	for _, pkg := range prog.Packages {
+		if prog.isRoot(pkg.Path) {
+			n++
+		}
+	}
+	return n
+}
+
+// pkgOf returns the loaded Package owning pkg, or nil for packages
+// outside the program (the standard library).
+func (prog *Program) pkgOf(pkg *types.Package) *Package {
+	if pkg == nil {
+		return nil
+	}
+	return prog.byPath[pkg.Path()]
+}
+
+// stdPackage resolves a standard-library package by import path,
+// importing it on demand (from source, offline). It returns nil if the
+// program never needs it and it cannot be loaded.
+func (prog *Program) stdPackage(path string) *types.Package {
+	if p, ok := prog.stdCache[path]; ok {
+		return p
+	}
+	p, err := prog.stdImports(path)
+	if err != nil {
+		p = nil
+	}
+	prog.stdCache[path] = p
+	return p
+}
+
+// Run executes the analyzers over every package and returns the
+// surviving findings in file/position order. Findings carrying a
+// justified //spatialvet:ignore directive (same or preceding line) are
+// dropped; malformed directives — an ignore with no justification —
+// are themselves reported, so a suppression can never silently decay
+// into a blanket waiver.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			if !prog.isRoot(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !prog.directives.suppressed(prog.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, prog.directives.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(kept[i].Pos), prog.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// All returns the spatialvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		WaitUnderLock,
+		PoolEscape,
+		ErrClass,
+		BoundedAlloc,
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+// ErrClass checks the error-classification contract behind the HTTP
+// 400-vs-500 split and the binary protocol's wire status (the PR 6
+// contract): a function marked //spatialvet:errclass sits on a
+// classification boundary, so every error it constructs must be
+// classified — a package sentinel, an Is-method wrapper type, a %w
+// wrap of a classified value, or a call to a classifying constructor
+// (server.badRequest, engine.invalid, wire.corruptf, …). A bare
+// fmt.Errorf or errors.New in such a function is exactly the bug that
+// made valid-but-unknown register requests come back as 500s:
+// errStatus cannot classify what carries no type.
+
+import "go/ast"
+
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "functions marked //spatialvet:errclass must classify every error " +
+		"they construct (sentinel, Is-method wrapper, or %w wrap thereof)",
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) error {
+	funcDecls(pass.Pkg, func(decl *ast.FuncDecl) {
+		fnObj := pass.Pkg.Info.Defs[decl.Name]
+		if fnObj == nil || !pass.Prog.directives.errclassFns[fnObj] {
+			return
+		}
+		checkErrClass(pass, decl.Body, false, fnObj.Name())
+	})
+	return nil
+}
+
+// checkErrClass walks a body looking for raw error constructors.
+// sanctioned is true inside the arguments of a classifying constructor
+// — badRequest(fmt.Errorf(...)) is the approved wrapping idiom.
+func checkErrClass(pass *Pass, n ast.Node, sanctioned bool, fname string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path, name := fn.Pkg().Path(), fn.Name()
+		rawErrorf := path == "fmt" && name == "Errorf"
+		rawNew := path == "errors" && name == "New"
+		if rawErrorf || rawNew {
+			if !sanctioned && !pass.Prog.classifiedExpr(pass.Pkg, call) {
+				pass.Reportf(call.Pos(),
+					"unclassified %s.%s in classification boundary %s (wrap with a "+
+						"classified sentinel or constructor so errStatus/wireStatus can map it)",
+					path, name, fname)
+			}
+			return true
+		}
+		if s := pass.Prog.summaryOf(fn); s != nil && s.classifies {
+			// Everything under a classifying constructor is sanctioned;
+			// recurse manually and prune this subtree.
+			for _, arg := range call.Args {
+				checkErrClass(pass, arg, true, fname)
+			}
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,229 @@
+package analysis
+
+// Loading: package discovery through `go list -json` (the one part of
+// the toolchain a vet-style tool may assume), parsing with comments
+// (directives live there), and type-checking every module package in
+// import order against a chain importer — module packages resolve to
+// the packages just checked, standard-library imports resolve through
+// go/importer's source importer, which works offline from GOROOT.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+
+	// DirFiles, when set, lists resolved file paths directly and
+	// bypasses Dir+GoFiles joining — the LoadDir fixture entry point.
+	DirFiles []string `json:"-"`
+}
+
+// Load discovers the packages matching patterns (relative to dir, e.g.
+// "./..."), parses and type-checks them, and returns the program view
+// the analyzers run over. Module dependencies of the matched packages
+// are loaded too — a partial pattern like ./internal/server/... still
+// type-checks against the one true copy of the packages it imports —
+// but findings are reported only for the packages the patterns named,
+// go vet's semantics. Test files are not loaded — like go vet's
+// default surface, spatialvet checks the shipped code.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	requested, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[string]bool, len(requested))
+	for _, p := range requested {
+		roots[p.ImportPath] = true
+	}
+	withDeps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	var listed []listedPackage
+	for _, p := range withDeps {
+		if !p.Standard && len(p.GoFiles) > 0 {
+			listed = append(listed, p)
+		}
+	}
+	return load(listed, roots)
+}
+
+func goList(dir string, patterns []string, deps bool) ([]listedPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// LoadDir loads one directory of Go files as a single package named by
+// importPath — the analysistest fixture loader. Imports must resolve
+// within the standard library.
+func LoadDir(dir, importPath string) (*Program, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return load([]listedPackage{{Dir: dir, ImportPath: importPath, DirFiles: files}}, nil)
+}
+
+// load parses and type-checks the listed packages in dependency order.
+// roots, when non-nil, restricts reporting to those import paths (the
+// rest are loaded for type identity and summaries only).
+func load(listed []listedPackage, roots map[string]bool) (*Program, error) {
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	prog := &Program{
+		Fset:     fset,
+		roots:    roots,
+		byPath:   make(map[string]*Package),
+		stdCache: make(map[string]*types.Package),
+		netConn:  netConnSentinel,
+	}
+	prog.stdImports = func(path string) (*types.Package, error) { return std.Import(path) }
+
+	byPath := make(map[string]listedPackage, len(listed))
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+	order := topoOrder(listed, byPath)
+
+	checked := make(map[string]*types.Package)
+	imp := chainImporter{module: checked, std: std, cache: prog.stdCache}
+	for _, lp := range order {
+		var files []*ast.File
+		names := lp.DirFiles
+		if names == nil {
+			names = make([]string, len(lp.GoFiles))
+			for i, f := range lp.GoFiles {
+				names[i] = filepath.Join(lp.Dir, f)
+			}
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if len(terrs) > 0 {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, terrs[0])
+		}
+		checked[lp.ImportPath] = tpkg
+		pkg := &Package{Path: lp.ImportPath, Files: files, Types: tpkg, Info: info}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[lp.ImportPath] = pkg
+	}
+
+	prog.directives = collectDirectives(prog)
+	prog.summaries = computeSummaries(prog)
+	return prog, nil
+}
+
+// topoOrder sorts packages so every module import precedes its
+// importer (imports outside the listed set — the standard library —
+// are the chain importer's business).
+func topoOrder(listed []listedPackage, byPath map[string]listedPackage) []listedPackage {
+	var order []listedPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p listedPackage)
+	visit = func(p listedPackage) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	// Deterministic root order.
+	sorted := append([]listedPackage(nil), listed...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return order
+}
+
+// chainImporter resolves module packages from the in-progress check
+// and everything else from the source importer, caching stdlib
+// packages so analyzers can look types up later (net.Conn).
+type chainImporter struct {
+	module map[string]*types.Package
+	std    types.Importer
+	cache  map[string]*types.Package
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.module[path]; ok {
+		return p, nil
+	}
+	if p, ok := c.cache[path]; ok && p != nil {
+		return p, nil
+	}
+	p, err := c.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	c.cache[path] = p
+	return p, nil
+}

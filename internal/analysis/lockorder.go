@@ -1,0 +1,51 @@
+package analysis
+
+// LockOrder enforces the repo's two-level lock order: a routing-class
+// lock (server.Server.mu, engine.Pool.mu — the locks that gate shard
+// lookup) is the outermost lock. While one is held, acquiring any
+// other lock — directly or through a callee — is the PR 3 deadlock
+// class: /metrics once held the routing lock across per-shard stat
+// locks while a slow mutation held a stat lock and waited for routing.
+// The fix pattern the analyzer pins: copy what you need under the
+// routing lock, release it, then touch shards.
+
+import "go/ast"
+
+const routingClass = "routing"
+
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "acquiring another lock while holding a routing-class lock " +
+		"(//spatialvet:lockclass routing) inverts the shard/routing lock order",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	funcDecls(pass.Pkg, func(decl *ast.FuncDecl) {
+		walkLockState(pass.Prog, pass.Pkg, decl, func(ev lockEvent) {
+			routing := ""
+			for _, h := range ev.held {
+				if h.class == routingClass {
+					routing = objectString(h.obj)
+					break
+				}
+			}
+			if routing == "" {
+				return
+			}
+			if ev.acquired != nil {
+				pass.Reportf(ev.call.Pos(),
+					"%s acquired while holding routing-class lock %s",
+					objectString(ev.acquired.obj), routing)
+				return
+			}
+			fn := calleeOf(pass.Pkg, ev.call)
+			if s := pass.Prog.summaryOf(fn); s != nil && s.acquires != "" {
+				pass.Reportf(ev.call.Pos(),
+					"call to %s (acquires %s) while holding routing-class lock %s",
+					objectString(fn), s.acquires, routing)
+			}
+		})
+	})
+	return nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+// The shared intra-procedural lock tracker behind lockorder and
+// waitunderlock. The walk is source-order and branch-insensitive: a
+// Lock pushes, an Unlock pops its lock, a deferred Unlock holds to the
+// end of the function. The early-unlock-and-return idiom
+// (`if x { mu.Unlock(); return }`) therefore under-approximates the
+// held set for the fall-through path — the safe direction for a vet
+// tool. Function literals are walked inline at their definition point:
+// the balanced Lock/Unlock bodies of deferred publish closures cancel
+// out, and their lock usage still contributes to the enclosing
+// function's summary.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type heldLock struct {
+	obj   types.Object // the mutex field or package variable
+	class string       // its //spatialvet:lockclass, "" if unclassified
+}
+
+// lockEvent is one call site presented to an analyzer together with
+// the locks held when control reaches it. acquired is non-nil when the
+// call itself is a Lock/RLock (held excludes it at that point).
+type lockEvent struct {
+	call     *ast.CallExpr
+	acquired *heldLock
+	held     []heldLock
+}
+
+// walkLockState drives visit over every call in decl with the tracked
+// lock state.
+func walkLockState(prog *Program, pkg *Package, decl *ast.FuncDecl, visit func(ev lockEvent)) {
+	var held []heldLock
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return: the lock stays held
+			// for the rest of the walk, so the release is dropped.
+			if obj, op := lockOp(pkg, n.Call); obj != nil && op == opUnlock {
+				skip[n.Call] = true
+			}
+		case *ast.CallExpr:
+			if skip[n] {
+				return true
+			}
+			obj, op := lockOp(pkg, n)
+			switch op {
+			case opLock:
+				hl := heldLock{obj: obj, class: prog.directives.lockClass[obj]}
+				visit(lockEvent{call: n, acquired: &hl, held: held})
+				held = append(held, hl)
+			case opUnlock:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].obj == obj {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			default:
+				visit(lockEvent{call: n, held: held})
+			}
+		}
+		return true
+	})
+}
+
+// funcDecls iterates the package's function declarations with bodies.
+func funcDecls(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

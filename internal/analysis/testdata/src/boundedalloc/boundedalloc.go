@@ -1,0 +1,65 @@
+// Package boundedalloc exercises the decoded-length taint analyzer:
+// counts read from input bytes must be bound-checked before they size
+// an allocation; checked counts and internally-bounded decoders are
+// clean.
+package boundedalloc
+
+import "encoding/binary"
+
+// BrokenDirect allocates straight from the decoded count: the classic
+// length-prefix bomb.
+func BrokenDirect(p []byte) []byte {
+	n, _ := binary.Uvarint(p)
+	return make([]byte, n) // want "allocation sized by n, decoded from input bytes"
+}
+
+// CleanChecked compares the count against the payload first.
+func CleanChecked(p []byte) []byte {
+	n, _ := binary.Uvarint(p)
+	if n > uint64(len(p)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// grow sizes an allocation from its parameter; bounding is the
+// caller's job, so a tainted argument taints the allocation.
+func grow(n int) []int64 { return make([]int64, n) }
+
+// BrokenHelper funnels an unchecked count through the alloc helper.
+func BrokenHelper(p []byte) []int64 {
+	n, _ := binary.Uvarint(p)
+	return grow(int(n)) // want "sizes an allocation in boundedalloc.grow"
+}
+
+// readLen decodes without checking: an unbounded source, so callers
+// inherit the taint through the function summary.
+func readLen(p []byte) uint64 {
+	n, _ := binary.Uvarint(p)
+	return n
+}
+
+// BrokenSummary taints through the module source summary.
+func BrokenSummary(p []byte) []byte {
+	m := readLen(p)
+	return make([]byte, m) // want "allocation sized by m, decoded from input bytes"
+}
+
+// count decodes and bounds internally — the sanctioned decoder.count
+// pattern; its result carries no taint.
+func count(p []byte, max int) (int, bool) {
+	n, _ := binary.Uvarint(p)
+	if n > uint64(max) {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// CleanBoundedSource trusts the internally-bounded decoder.
+func CleanBoundedSource(p []byte) []byte {
+	m, ok := count(p, len(p))
+	if !ok {
+		return nil
+	}
+	return make([]byte, m)
+}

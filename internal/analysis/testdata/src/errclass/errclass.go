@@ -1,0 +1,55 @@
+// Package errclass exercises the error-classification analyzer: a
+// function marked //spatialvet:errclass sits on a status-mapping
+// boundary and must construct only classified errors.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's classification sentinel.
+var ErrBad = errors.New("errclass: bad request")
+
+type badErr struct{ error }
+
+func (badErr) Is(target error) bool { return target == ErrBad }
+
+// classify is the sanctioned constructor: anything wrapped in it maps
+// to the sentinel.
+func classify(err error) error { return badErr{err} }
+
+// BrokenRaw returns an untyped error from a boundary: errStatus-style
+// mapping cannot classify it.
+//
+//spatialvet:errclass
+func BrokenRaw(kind string) error {
+	return fmt.Errorf("unknown kind %q", kind) // want "unclassified fmt.Errorf in classification boundary BrokenRaw"
+}
+
+// BrokenNew shows errors.New is just as untyped.
+//
+//spatialvet:errclass
+func BrokenNew() error {
+	return errors.New("nope") // want "unclassified errors.New in classification boundary BrokenNew"
+}
+
+// CleanConstructor wraps through the sanctioned constructor.
+//
+//spatialvet:errclass
+func CleanConstructor(kind string) error {
+	return classify(fmt.Errorf("unknown kind %q", kind))
+}
+
+// CleanWrap carries the sentinel via %w.
+//
+//spatialvet:errclass
+func CleanWrap(kind string) error {
+	return fmt.Errorf("%w: unknown kind %q", ErrBad, kind)
+}
+
+// CleanUnmarked is not a boundary: raw errors are fine off the
+// classification surface.
+func CleanUnmarked() error {
+	return fmt.Errorf("internal detail")
+}

@@ -1,0 +1,35 @@
+// Package ignore exercises the //spatialvet:ignore directive contract:
+// a justified suppression silences exactly its line, while an ignore
+// without a justification is itself reported and suppresses nothing.
+package ignore
+
+import "sync"
+
+// Future mimics the engine's batch future.
+type Future struct{ done chan struct{} }
+
+// Wait blocks until the future resolves.
+func (f *Future) Wait() { <-f.done }
+
+// Engine mimics a shard with a state lock.
+type Engine struct {
+	mu   sync.Mutex
+	last *Future
+}
+
+// Suppressed carries a justified ignore: no finding survives.
+func (e *Engine) Suppressed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//spatialvet:ignore waitunderlock -- fixture: the barrier is the design here
+	e.last.Wait()
+}
+
+// Unjustified carries an ignore without a justification: the directive
+// is malformed (reported), and the finding it meant to cover survives.
+func (e *Engine) Unjustified() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//spatialvet:ignore waitunderlock // want "ignore directive requires an analyzer name and a justification"
+	e.last.Wait() // want "call to blocking ignore.Wait while holding ignore.mu"
+}

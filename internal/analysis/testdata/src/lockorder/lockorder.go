@@ -1,0 +1,68 @@
+// Package lockorder exercises the routing/shard lock-order analyzer:
+// inversions under a routing-class lock are flagged, the sanctioned
+// copy-then-touch pattern beside them is not.
+package lockorder
+
+import "sync"
+
+// Pool mirrors the repo's routing tables: mu gates shard lookup and is
+// the outermost lock in the order.
+type Pool struct {
+	mu     sync.Mutex //spatialvet:lockclass routing
+	shards []*Shard
+}
+
+// Shard mirrors a per-shard stat lock, inner in the order.
+type Shard struct {
+	smu  sync.Mutex //spatialvet:lockclass shard
+	hits int
+}
+
+func (s *Shard) stats() int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.hits
+}
+
+// BrokenDirect acquires a shard lock while routing is held.
+func (p *Pool) BrokenDirect() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, sh := range p.shards {
+		sh.smu.Lock() // want "lockorder.smu acquired while holding routing-class lock lockorder.mu"
+		total += sh.hits
+		sh.smu.Unlock()
+	}
+	return total
+}
+
+// BrokenTransitive reaches the shard lock through a callee.
+func (p *Pool) BrokenTransitive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, sh := range p.shards {
+		total += sh.stats() // want "call to lockorder.stats .acquires lockorder.smu. while holding routing-class lock lockorder.mu"
+	}
+	return total
+}
+
+// CleanCopyThenTouch is the sanctioned pattern: copy the routing slice
+// under mu, release it, then take the per-shard locks.
+func (p *Pool) CleanCopyThenTouch() int {
+	p.mu.Lock()
+	shards := append([]*Shard(nil), p.shards...)
+	p.mu.Unlock()
+	total := 0
+	for _, sh := range shards {
+		total += sh.stats()
+	}
+	return total
+}
+
+// CleanInnerOnly holds only the shard lock: the order constrains what
+// nests under routing, not the shard lock on its own.
+func (s *Shard) CleanInnerOnly() int {
+	return s.stats()
+}

@@ -1,0 +1,57 @@
+// Package poolescape exercises the sync.Pool discipline analyzer:
+// field stores, use-after-Put and goroutine capture are flagged; the
+// lender idiom and defer-Put borrowing beside them are sanctioned.
+package poolescape
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type server struct {
+	scratch *[]byte
+}
+
+// BrokenFieldStore parks a pooled buffer in a long-lived struct field:
+// the owner outlives the frame the buffer was borrowed for.
+func (s *server) BrokenFieldStore() {
+	s.scratch = bufPool.Get().(*[]byte) // want "sync.Pool-sourced value stored in field poolescape.scratch"
+}
+
+// BrokenUseAfterPut touches the buffer after returning it: the next
+// Get may already have handed the memory to a concurrent frame.
+func BrokenUseAfterPut() int {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	return len(*b) // want "pooled value b used after Put"
+}
+
+// BrokenGoCapture hands the buffer to a goroutine whose lifetime the
+// borrower cannot know.
+func BrokenGoCapture() {
+	b := bufPool.Get().(*[]byte)
+	go func() { // want "pooled value b captured by goroutine closure"
+		_ = len(*b)
+	}()
+	bufPool.Put(b)
+}
+
+// getBuf is a lender: returning the pooled value is the sanctioned way
+// to hand a borrow to the caller's frame.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// CleanLenderUse borrows through the lender, uses the buffer locally,
+// and returns it at frame exit.
+func CleanLenderUse() int {
+	b := getBuf()
+	defer bufPool.Put(b)
+	return cap(*b)
+}
+
+// CleanDeferPut releases at return: every lexically-later use is still
+// before the Put actually runs.
+func CleanDeferPut() int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	*b = append((*b)[:0], 1)
+	return len(*b)
+}

@@ -1,0 +1,71 @@
+// Package waitunderlock exercises the blocking-under-mutex analyzer:
+// engine-style Wait calls (direct and transitive) and net.Conn I/O
+// under a held sync.Mutex are flagged; the copy-then-wait pattern is
+// not.
+package waitunderlock
+
+import (
+	"net"
+	"sync"
+)
+
+// Future mimics the engine's batch future: Wait blocks until the batch
+// runs, so it must never be called with a lock held.
+type Future struct{ done chan struct{} }
+
+// Wait blocks until the future resolves.
+func (f *Future) Wait() { <-f.done }
+
+// Engine mimics a shard with a routing/state lock.
+type Engine struct {
+	mu   sync.Mutex
+	last *Future
+}
+
+func (e *Engine) submit() *Future { return &Future{done: make(chan struct{})} }
+
+// drain blocks transitively, through Wait.
+func (e *Engine) drain() {
+	if e.last != nil {
+		e.last.Wait()
+	}
+}
+
+// BrokenWait resolves a future while holding the lock.
+func (e *Engine) BrokenWait() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := e.submit()
+	f.Wait() // want "call to blocking waitunderlock.Wait while holding waitunderlock.mu"
+}
+
+// BrokenTransitive blocks through a callee that waits.
+func (e *Engine) BrokenTransitive() {
+	e.mu.Lock()
+	e.drain() // want "call to blocking waitunderlock.drain .blocks in waitunderlock.Wait. while holding waitunderlock.mu"
+	e.mu.Unlock()
+}
+
+type client struct {
+	wmu  sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// BrokenWrite does network I/O under the write lock.
+func (c *client) BrokenWrite() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.Write(c.buf) // want "call to blocking net.Conn.Write while holding waitunderlock.wmu"
+}
+
+// CleanCopyThenWait is the sanctioned shape: snapshot under the lock,
+// release it, then block.
+func (e *Engine) CleanCopyThenWait() {
+	e.mu.Lock()
+	f := e.last
+	e.mu.Unlock()
+	if f != nil {
+		f.Wait()
+	}
+}

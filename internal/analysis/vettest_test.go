@@ -1,0 +1,108 @@
+package analysis
+
+// The fixture harness: an analysistest-style runner over
+// testdata/src/<name>. Each fixture line may carry `// want "regex"`
+// markers; the runner demands a finding on that line matching the
+// pattern, and rejects findings on unmarked lines — so every analyzer
+// is proven to fire AND to stay quiet on the deliberately-similar
+// clean cases beside each flagged one.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	prog, err := LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	files, _ := filepath.Glob(filepath.Join(dir, "*.go"))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", f, i+1, m[1], err)
+				}
+				k := key{f, i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, re := range wants[k] {
+			if !matched[re] && re.MatchString(d.Message) {
+				matched[re] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected a finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func TestLockOrder(t *testing.T)     { runFixture(t, "lockorder", LockOrder) }
+func TestWaitUnderLock(t *testing.T) { runFixture(t, "waitunderlock", WaitUnderLock) }
+func TestPoolEscape(t *testing.T)    { runFixture(t, "poolescape", PoolEscape) }
+func TestErrClass(t *testing.T)      { runFixture(t, "errclass", ErrClass) }
+func TestBoundedAlloc(t *testing.T)  { runFixture(t, "boundedalloc", BoundedAlloc) }
+
+// TestIgnoreDirectives pins the suppression contract: a justified
+// //spatialvet:ignore silences exactly its line, and an ignore without
+// a justification is itself reported while the finding survives.
+func TestIgnoreDirectives(t *testing.T) { runFixture(t, "ignore", WaitUnderLock) }
+
+// TestModuleClean is the end-to-end gate the CI step mirrors: the
+// repository's own tree must pass every analyzer with zero findings.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck is slow; run without -short")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := prog.Run(All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", prog.Fset.Position(d.Pos), d.Message)
+	}
+}

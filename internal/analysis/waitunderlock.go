@@ -1,0 +1,43 @@
+package analysis
+
+// WaitUnderLock flags blocking work done while holding any
+// sync.Mutex/RWMutex: calls that resolve batch futures
+// (Future.Wait / Flush / FlushAll / Quiesce on module types, directly
+// or transitively) and network I/O (Read/Write on a net.Conn). Holding
+// a lock across a batch barrier is the DynEngine mutation-barrier
+// class: everything routed through that lock stalls behind kernel
+// execution. The two sanctioned exceptions in the tree carry justified
+// //spatialvet:ignore directives — the DynEngine mutation barrier
+// (the drain IS the design) and the wire client's write serialization.
+
+import "go/ast"
+
+var WaitUnderLock = &Analyzer{
+	Name: "waitunderlock",
+	Doc: "calling a blocking engine API (Wait/Flush/Quiesce) or doing " +
+		"net.Conn I/O while holding a mutex stalls every goroutine behind that lock",
+	Run: runWaitUnderLock,
+}
+
+func runWaitUnderLock(pass *Pass) error {
+	funcDecls(pass.Pkg, func(decl *ast.FuncDecl) {
+		walkLockState(pass.Prog, pass.Pkg, decl, func(ev lockEvent) {
+			if ev.acquired != nil || len(ev.held) == 0 {
+				return
+			}
+			why, blocking := pass.Prog.baseBlockingCall(pass.Pkg, ev.call)
+			if !blocking {
+				fn := calleeOf(pass.Pkg, ev.call)
+				if s := pass.Prog.summaryOf(fn); s != nil && s.blocks != "" {
+					why, blocking = objectString(fn)+" (blocks in "+s.blocks+")", true
+				}
+			}
+			if !blocking {
+				return
+			}
+			pass.Reportf(ev.call.Pos(), "call to blocking %s while holding %s",
+				why, objectString(ev.held[len(ev.held)-1].obj))
+		})
+	})
+	return nil
+}

@@ -280,6 +280,7 @@ func (de *DynEngine) drainLocked() {
 func (de *DynEngine) InsertLeaf(parent int) (int, error) {
 	de.mu.Lock()
 	defer de.mu.Unlock()
+	//spatialvet:ignore waitunderlock -- the mutation barrier IS the design: in-flight queries must drain before the layout mutates, and Quiesce never takes de.mu
 	de.drainLocked()
 	before := de.dyn.Inserts
 	v, err := de.dyn.InsertLeaf(parent)
@@ -325,6 +326,7 @@ func (de *DynEngine) journalLocked(rec MutationRecord) error {
 func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
 	de.mu.Lock()
 	defer de.mu.Unlock()
+	//spatialvet:ignore waitunderlock -- the mutation barrier IS the design: in-flight queries must drain before the layout mutates, and Quiesce never takes de.mu
 	de.drainLocked()
 	before := de.dyn.Deletes
 	moved, err = de.dyn.DeleteLeaf(v)

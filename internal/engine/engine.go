@@ -540,6 +540,8 @@ func (e *Engine) failed(err error) *Future {
 // SubmitTreefix enqueues a bottom-up treefix sum of vals under op (the
 // fold over every subtree). vals must have one entry per vertex and must
 // not be mutated until the future resolves.
+//
+//spatialvet:errclass
 func (e *Engine) SubmitTreefix(vals []int64, op treefix.Op) *Future {
 	if len(vals) != e.t.N() {
 		return e.failed(invalid(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N())))
@@ -551,6 +553,8 @@ func (e *Engine) SubmitTreefix(vals []int64, op treefix.Op) *Future {
 
 // SubmitTopDown enqueues a top-down treefix sum of vals under op (the
 // fold along every root path).
+//
+//spatialvet:errclass
 func (e *Engine) SubmitTopDown(vals []int64, op treefix.Op) *Future {
 	if len(vals) != e.t.N() {
 		return e.failed(invalid(fmt.Errorf("engine: treefix vals has %d entries for %d vertices", len(vals), e.t.N())))
@@ -563,6 +567,8 @@ func (e *Engine) SubmitTopDown(vals []int64, op treefix.Op) *Future {
 // SubmitLCA enqueues a batch of LCA queries. All LCA requests flushed
 // together are coalesced into a single spatial run; answers come back in
 // query order.
+//
+//spatialvet:errclass
 func (e *Engine) SubmitLCA(queries []lca.Query) *Future {
 	n := e.t.N()
 	for i, q := range queries {
@@ -577,6 +583,8 @@ func (e *Engine) SubmitLCA(queries []lca.Query) *Future {
 
 // SubmitMinCut enqueues a 1-respecting minimum-cut computation of the
 // given graph edges against the engine's tree.
+//
+//spatialvet:errclass
 func (e *Engine) SubmitMinCut(edges []mincut.Edge) *Future {
 	req := newRequest()
 	req.kind, req.edges = kindMinCut, edges
@@ -586,6 +594,8 @@ func (e *Engine) SubmitMinCut(edges []mincut.Edge) *Future {
 // SubmitExpr enqueues evaluation of an expression whose tree is
 // structurally identical to the engine's (same parent array), so the
 // engine's placement is valid for it.
+//
+//spatialvet:errclass
 func (e *Engine) SubmitExpr(x *exprtree.Expr) *Future {
 	if x.Tree != e.t && !slices.Equal(x.Tree.Parents(), e.t.Parents()) {
 		return e.failed(invalid(fmt.Errorf("engine: expression tree does not match engine tree")))
@@ -605,6 +615,7 @@ func (e *Engine) submit(req *request) *Future {
 	var seq uint64
 	e.mu.Lock()
 	if e.pending == nil {
+		//spatialvet:ignore poolescape -- pending is the batch accumulator by design; takeBatchLocked nils the field before recycleBatch returns the slice
 		e.pending = *batchPool.Get().(*[]*request)
 	}
 	e.pending = append(e.pending, req)

@@ -28,7 +28,7 @@ type Pool struct {
 	opts    Options
 	workers int
 
-	mu       sync.Mutex
+	mu       sync.Mutex //spatialvet:lockclass routing
 	engines  map[poolKey]*Engine
 	building map[poolKey]*poolBuild
 	shards   []*Engine    // stable insertion order for FlushAll and Stats

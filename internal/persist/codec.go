@@ -143,6 +143,8 @@ func EncodeDyn(s DynSnapshot) []byte {
 // DecodePlacement decodes a placement snapshot frame. It returns
 // ErrCorrupt (wrapped) on any structural violation and ErrVersion on a
 // version it cannot read; it never panics on arbitrary input.
+//
+//spatialvet:errclass
 func DecodePlacement(data []byte) (PlacementSnapshot, error) {
 	v, err := Decode(data)
 	if err != nil {
@@ -157,6 +159,8 @@ func DecodePlacement(data []byte) (PlacementSnapshot, error) {
 
 // DecodeDyn decodes a dyn-shard snapshot frame; error semantics as in
 // DecodePlacement.
+//
+//spatialvet:errclass
 func DecodeDyn(data []byte) (DynSnapshot, error) {
 	v, err := Decode(data)
 	if err != nil {
@@ -172,6 +176,8 @@ func DecodeDyn(data []byte) (DynSnapshot, error) {
 // Decode decodes any snapshot frame, returning a PlacementSnapshot or a
 // DynSnapshot. Arbitrary input bytes can neither panic nor allocate
 // more than O(len(data)).
+//
+//spatialvet:errclass
 func Decode(data []byte) (any, error) {
 	kind, payload, err := openFrame(data)
 	if err != nil {

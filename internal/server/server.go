@@ -170,7 +170,7 @@ type Server struct {
 	wireConns     map[net.Conn]struct{}
 	wireListeners map[net.Listener]struct{}
 
-	mu        sync.Mutex
+	mu        sync.Mutex //spatialvet:lockclass routing
 	trees     map[string]*tree.Tree
 	dyns      map[string]*engine.DynEngine
 	logs      map[string]*persist.ShardLog // per-dyn-shard WALs (nil Store: empty)
@@ -357,12 +357,14 @@ func (s *Server) RegisterTreeBackend(t *tree.Tree, backend string) (string, erro
 // registerTree is RegisterTree with the persistence side controllable:
 // Recover re-registers trees that are already on disk (and were
 // admitted when first registered, so the budget does not re-apply).
+//
+//spatialvet:errclass
 func (s *Server) registerTree(t *tree.Tree, save bool, backend string) (string, error) {
 	if backend == "" {
 		backend = s.cfg.Backend
 	}
 	if !exec.Valid(backend) {
-		return "", fmt.Errorf("unknown backend %q (want %q or %q)", backend, exec.Native, exec.Sim)
+		return "", badRequest(fmt.Errorf("unknown backend %q (want %q or %q)", backend, exec.Native, exec.Sim))
 	}
 	backend = exec.Normalize(backend)
 	fp := engine.Fingerprint(t)
@@ -431,7 +433,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, errStatus(err), err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -468,7 +470,8 @@ func badRequest(err error) error { return badRequestError{err} }
 // protocol's wireStatus mirrors this mapping.
 func errStatus(err error) int {
 	if errors.Is(err, engine.ErrInvalid) || errors.Is(err, mincut.ErrInvalid) ||
-		errors.Is(err, treefix.ErrUnsupportedOp) || errors.Is(err, errBadRequest) {
+		errors.Is(err, treefix.ErrUnsupportedOp) || errors.Is(err, treefix.ErrInvalid) ||
+		errors.Is(err, errBadRequest) {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -478,6 +481,8 @@ func errStatus(err error) int {
 // kind and operator — so handlers can reject garbage before any shard
 // state is created or budget consumed. Keep its kind set in sync with
 // submit's dispatch below.
+//
+//spatialvet:errclass
 func checkQuery(req *QueryRequest) error {
 	switch req.Kind {
 	case "lca", "mincut", "expr":
@@ -489,7 +494,7 @@ func checkQuery(req *QueryRequest) error {
 		_, err := treefix.OpByName(req.Op)
 		return err
 	default:
-		return fmt.Errorf("unknown kind %q (want treefix, topdown, lca, mincut or expr)", req.Kind)
+		return badRequest(fmt.Errorf("unknown kind %q (want treefix, topdown, lca, mincut or expr)", req.Kind))
 	}
 }
 
@@ -499,6 +504,8 @@ func checkQuery(req *QueryRequest) error {
 // scheduler flushes the batch. getTree supplies the shard's tree for
 // request kinds that need one to build their submission (expr); its
 // failure is a server-side error, never the client's.
+//
+//spatialvet:errclass
 func submit(sh submitter, req *QueryRequest, getTree func() (*tree.Tree, error)) (*engine.Future, error) {
 	switch req.Kind {
 	case "treefix", "topdown":
@@ -636,6 +643,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
 	fp := engine.Fingerprint(t)
 	id := treeID(fp)
+	// Sample the pool size before taking the routing lock: Size takes
+	// the pool's own routing lock, and s.mu must never nest over
+	// another lock (the /metrics deadlock class). The value is a budget
+	// heuristic — concurrent registrations already race it regardless
+	// of where it is read.
+	poolSize := s.pool.Size()
 	s.mu.Lock()
 	backend := s.cfg.Backend
 	_, known := s.trees[id]
@@ -645,7 +658,7 @@ func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
 		}
 	} else {
 		_, known = s.adhoc[fp]
-		if !known && len(s.adhoc) < s.cfg.MaxShards/2 && s.pool.Size() < s.cfg.MaxShards {
+		if !known && len(s.adhoc) < s.cfg.MaxShards/2 && poolSize < s.cfg.MaxShards {
 			s.adhoc[fp] = struct{}{}
 			known = true
 		}

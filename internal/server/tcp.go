@@ -272,6 +272,8 @@ func wireStatus(err error) wire.Status {
 // its payload into the kernel types through the connection's reusable
 // scratch. Identical dispatch and validation to submit; t is the routed
 // tree (needed to build expr submissions).
+//
+//spatialvet:errclass
 func submitWire(sh submitter, q *wire.Query, t *tree.Tree, scratch *wireScratch) (*engine.Future, error) {
 	switch q.Kind {
 	case wire.KindTreefix, wire.KindTopDown:

@@ -74,7 +74,11 @@ var Xor = Op{Name: "xor", Identity: 0,
 	Invert:  func(x int64) int64 { return x },
 }
 
-// OpByName returns a registered operator.
+// OpByName returns a registered operator. An unknown name is a caller
+// mistake: the error satisfies errors.Is(err, ErrInvalid) so the
+// serving layer can map it to HTTP 400 / wire status invalid.
+//
+//spatialvet:errclass
 func OpByName(name string) (Op, error) {
 	switch name {
 	case "add":
@@ -86,5 +90,5 @@ func OpByName(name string) (Op, error) {
 	case "xor":
 		return Xor, nil
 	}
-	return Op{}, fmt.Errorf("treefix: unknown op %q", name)
+	return Op{}, invalid(fmt.Errorf("treefix: unknown op %q", name))
 }

@@ -15,6 +15,21 @@ import (
 // malformed operator is a typed error instead of wrong sums.
 var ErrUnsupportedOp = errors.New("treefix: operator not executable by the parallel engine")
 
+// ErrInvalid marks caller mistakes — a request the engine rejects on
+// its face (unknown operator name, vals length mismatch) rather than an
+// execution failure. The serving layer maps it to HTTP 400 / wire
+// status invalid, the same contract as engine.ErrInvalid.
+var ErrInvalid = errors.New("treefix: invalid request")
+
+type invalidError struct{ error }
+
+func (e invalidError) Is(target error) bool { return target == ErrInvalid }
+func (e invalidError) Unwrap() error        { return e.error }
+
+// invalid classifies err as a caller mistake (errors.Is(..., ErrInvalid)
+// holds) while preserving its message verbatim.
+func invalid(err error) error { return invalidError{err} }
+
 // Engine is the goroutine-parallel treefix executor: the native serving
 // backend's treefix kernel (and the wall-clock arm of experiment E12).
 // It precomputes the Euler tour positions of the tree once (the paper
@@ -153,10 +168,12 @@ func (e *Engine) BottomUpSum(vals []int64) []int64 {
 // commutative (as everywhere in this package); a nil Combine or a vals
 // slice of the wrong length returns an error (wrapping ErrUnsupportedOp
 // for the former) instead of wrong sums.
+//
+//spatialvet:errclass
 func (e *Engine) BottomUp(vals []int64, op Op) ([]int64, error) {
 	n := e.t.N()
 	if len(vals) != n {
-		return nil, fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n)
+		return nil, invalid(fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n))
 	}
 	switch {
 	case op.Combine == nil:
@@ -177,10 +194,12 @@ func (e *Engine) BottomUp(vals []int64, op Op) ([]int64, error) {
 
 // TopDown returns the root-path folds of vals under op (associative;
 // folded in root-to-vertex order). Same error contract as BottomUp.
+//
+//spatialvet:errclass
 func (e *Engine) TopDown(vals []int64, op Op) ([]int64, error) {
 	n := e.t.N()
 	if len(vals) != n {
-		return nil, fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n)
+		return nil, invalid(fmt.Errorf("treefix: vals has %d entries for %d vertices", len(vals), n))
 	}
 	switch {
 	case op.Combine == nil:

@@ -74,6 +74,7 @@ func (c *Client) Do(q *Query) (*Result, error) {
 
 	c.wmu.Lock()
 	c.wbuf = AppendQuery(c.wbuf[:0], q)
+	//spatialvet:ignore waitunderlock -- wmu exists to serialize whole-frame writes on the shared conn; readLoop never takes it, so writers only wait on writers
 	_, werr := c.conn.Write(c.wbuf)
 	c.wmu.Unlock()
 	if werr != nil {
@@ -102,6 +103,7 @@ func (c *Client) Ping() error {
 
 	c.wmu.Lock()
 	c.wbuf = AppendPing(c.wbuf[:0])
+	//spatialvet:ignore waitunderlock -- wmu exists to serialize whole-frame writes on the shared conn; readLoop never takes it, so writers only wait on writers
 	_, werr := c.conn.Write(c.wbuf)
 	c.wmu.Unlock()
 	if werr != nil {

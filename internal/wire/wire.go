@@ -401,6 +401,8 @@ func appendVals(dst []byte, vals []int64) []byte {
 // slices when their capacity suffices — the zero-alloc path a serving
 // connection leans on. Any structural violation returns ErrCorrupt
 // (wrapped); q's contents are then unspecified.
+//
+//spatialvet:errclass
 func (q *Query) Decode(payload []byte) error {
 	d := decoder{buf: payload}
 	var err error
@@ -516,6 +518,8 @@ func (q *Query) Decode(payload []byte) error {
 
 // Decode decodes the payload of a result frame into r. Slices are
 // freshly allocated: a decoded Result owns its memory.
+//
+//spatialvet:errclass
 func (r *Result) Decode(payload []byte) error {
 	d := decoder{buf: payload}
 	var err error
@@ -573,6 +577,8 @@ func (r *Result) Decode(payload []byte) error {
 }
 
 // Decode decodes the payload of an error frame into e.
+//
+//spatialvet:errclass
 func (e *Error) Decode(payload []byte) error {
 	d := decoder{buf: payload}
 	var err error
@@ -623,6 +629,8 @@ func NewReader(r io.Reader, maxFrame int) *Reader {
 // closed; ErrTooLarge means the oversized payload was discarded and
 // the stream remains usable; ErrCorrupt and ErrVersion mean the stream
 // cannot be trusted further.
+//
+//spatialvet:errclass
 func (r *Reader) Next() (kind byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r.r, r.header[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
