@@ -542,9 +542,8 @@ func BenchmarkE17WireThroughput(b *testing.B) {
 	newServer := func(b *testing.B) (*server.Server, string) {
 		b.Helper()
 		s := server.New(server.Config{
-			MaxBatch:   1,
-			MaxDelay:   time.Millisecond,
-			QueueLimit: 4096,
+			Scheduler: server.Scheduler{MaxBatch: 1, MaxDelay: time.Millisecond},
+			Limits:    server.Limits{QueueLimit: 4096},
 		})
 		id, err := s.RegisterTree(t)
 		if err != nil {
@@ -607,7 +606,7 @@ func BenchmarkE17WireThroughput(b *testing.B) {
 		defer s.CloseBinary()
 		conns := make([]*wire.Client, clients)
 		for c := range conns {
-			cl, err := wire.Dial(ln.Addr().String(), 5*time.Second)
+			cl, err := wire.Dial(ln.Addr().String(), wire.DialOptions{DialTimeout: 5 * time.Second})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -817,7 +816,7 @@ func BenchmarkE15Recovery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	seed := server.New(server.Config{Store: store})
+	seed := server.New(server.Config{Durability: server.Durability{Store: store}})
 	for _, tr := range trees {
 		if _, err := seed.RegisterTree(tr); err != nil {
 			b.Fatal(err)
@@ -849,7 +848,7 @@ func BenchmarkE15Recovery(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			srv := server.New(server.Config{Store: st})
+			srv := server.New(server.Config{Durability: server.Durability{Store: st}})
 			rs, err := srv.Recover()
 			if err != nil {
 				b.Fatal(err)

@@ -289,7 +289,7 @@ func runRemote(addr string, n, trees, clients, rounds, nq, subs, cutSh int, seed
 	)
 	conns := make([]*wire.Client, clients)
 	for c := range conns {
-		cl, err := wire.Dial(addr, 5*time.Second)
+		cl, err := wire.Dial(addr, wire.DialOptions{DialTimeout: 5 * time.Second})
 		if err != nil {
 			fatal(err)
 		}

@@ -46,6 +46,17 @@
 // replayed on boot. -fsync picks the WAL durability/latency trade-off
 // and -compact-after bounds replay work; see docs/persistence.md.
 //
+// With -peers (plus -advertise and -tcp-addr) the daemon joins a static
+// cluster: mutable shards are owned by consistent hash of their tree
+// fingerprint across the peer list, non-owners proxy (or, with
+// -redirect, answer 421 with the owner's address), and each owner ships
+// its shards' snapshots and WAL records to -replicas followers, acking
+// mutations only after the followers confirmed. Followed replicas
+// persist under <data-dir>/replicas. See docs/cluster.md.
+//
+//	spatialtreed -tcp-addr :9372 -advertise host1:9372 \
+//	    -peers host1:9372,host2:9372,host3:9372 -replicas 1
+//
 // A quick smoke from a shell:
 //
 //	curl -s localhost:8372/healthz
@@ -65,9 +76,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"spatialtree/internal/cluster"
 	"spatialtree/internal/exec"
 	"spatialtree/internal/persist"
 	"spatialtree/internal/rng"
@@ -98,11 +112,31 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable storage directory; registered trees and dyn shards survive restarts ('' = in-memory only)")
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy: always (fsync per mutation) or off (OS page cache)")
 		compact  = flag.Int("compact-after", persist.DefaultCompactAfter, "WAL records per dyn shard before compaction into a fresh snapshot")
+		peers    = flag.String("peers", "", "comma-separated advertise addresses of every cluster member ('' = single node); requires -tcp-addr and -advertise")
+		adv      = flag.String("advertise", "", "this node's advertise address (must appear in -peers); peers dial it for proxying and replication")
+		replicas = flag.Int("replicas", server.DefaultReplicas, "follower copies per dyn shard beyond its owner (cluster mode; capped at peers-1)")
+		vnodes   = flag.Int("vnodes", server.DefaultVirtualNodes, "consistent-hash virtual nodes per peer (cluster mode)")
+		redirect = flag.Bool("redirect", false, "answer non-owned shard requests with a redirect (HTTP 421 / wire status) carrying the owner address, instead of proxying")
 	)
 	flag.Parse()
 
 	if !exec.Valid(*backend) {
 		log.Fatalf("spatialtreed: -backend must be one of %v, got %q", exec.Names(), *backend)
+	}
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *tcpAddr == "" {
+			log.Fatalf("spatialtreed: -peers requires -tcp-addr (replication and proxying ride the binary protocol)")
+		}
+		if *adv == "" {
+			log.Fatalf("spatialtreed: -peers requires -advertise (this node's address within the peer list)")
+		}
 	}
 
 	var store *persist.Store
@@ -123,19 +157,34 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxBatch:       *maxBatch,
-		MaxDelay:       *maxDelay,
-		QueueLimit:     *queue,
-		MaxShards:      *shards,
-		Workers:        *workers,
-		Curve:          *curve,
-		Seed:           *seed,
-		CacheCapacity:  *cacheCap,
-		Epsilon:        *epsilon,
-		Store:          store,
-		Backend:        *backend,
-		ShadowMeter:    *shadow,
-		TCPIdleTimeout: *idleTO,
+		Scheduler: server.Scheduler{
+			MaxBatch: *maxBatch,
+			MaxDelay: *maxDelay,
+			Workers:  *workers,
+		},
+		Limits: server.Limits{
+			QueueLimit:    *queue,
+			MaxShards:     *shards,
+			CacheCapacity: *cacheCap,
+		},
+		Timeouts: server.Timeouts{
+			TCPIdle: *idleTO,
+		},
+		Durability: server.Durability{
+			Store: store,
+		},
+		Cluster: server.Cluster{
+			Self:         *adv,
+			Peers:        peerList,
+			Replicas:     *replicas,
+			VirtualNodes: *vnodes,
+			Redirect:     *redirect,
+		},
+		Curve:       *curve,
+		Seed:        *seed,
+		Epsilon:     *epsilon,
+		Backend:     *backend,
+		ShadowMeter: *shadow,
 	})
 	if store != nil {
 		rs, err := srv.Recover()
@@ -144,6 +193,20 @@ func main() {
 		}
 		log.Printf("recovered %d trees and %d dyn shards (%d WAL records replayed) from %s",
 			rs.Trees, rs.DynShards, rs.Records, store.Dir())
+	}
+	var node *cluster.Node
+	if len(peerList) > 0 {
+		opts := cluster.Options{}
+		if *dataDir != "" {
+			opts.ReplicaDir = filepath.Join(*dataDir, "replicas")
+		}
+		var err error
+		node, err = cluster.New(srv, opts) // installs itself via srv.SetCluster
+		if err != nil {
+			log.Fatalf("spatialtreed: %v", err)
+		}
+		log.Printf("cluster member %s of %v (replicas=%d vnodes=%d redirect=%v)",
+			*adv, peerList, *replicas, *vnodes, *redirect)
 	}
 	for i := 0; i < *preload; i++ {
 		t := tree.RandomAttachment(*preN, rng.New(*seed+uint64(i)))
@@ -211,6 +274,13 @@ func main() {
 	// listener and remaining connections here loses no admitted work.
 	if tcpLn != nil {
 		srv.CloseBinary()
+	}
+	// Cluster teardown after the drain: acked mutations finished their
+	// follower round-trips before Drain returned.
+	if node != nil {
+		if err := node.Close(); err != nil {
+			log.Printf("spatialtreed: closing cluster: %v", err)
+		}
 	}
 	// Close the store after the drain: every admitted mutation has
 	// journaled by now, so this final sync makes the whole session

@@ -24,7 +24,7 @@ import (
 // preloaded forest, scheduler coalescing visible in /metrics, then the
 // signal path's drain + shutdown sequence with both listeners.
 func TestDaemonEndToEnd(t *testing.T) {
-	srv := server.New(server.Config{MaxBatch: 16, MaxDelay: 40 * time.Millisecond})
+	srv := server.New(server.Config{Scheduler: server.Scheduler{MaxBatch: 16, MaxDelay: 40 * time.Millisecond}})
 
 	// Preload a seeded forest the way -preload does.
 	const forest = 3
@@ -62,7 +62,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	go srv.ServeBinary(wln)
-	wcl, err := wire.Dial(wln.Addr().String(), 5*time.Second)
+	wcl, err := wire.Dial(wln.Addr().String(), wire.DialOptions{DialTimeout: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestDaemonRestartDurability(t *testing.T) {
 	}
 
 	boot := func(st *persist.Store) (*server.Server, *http.Server, string) {
-		srv := server.New(server.Config{MaxBatch: 8, MaxDelay: time.Millisecond, Store: st})
+		srv := server.New(server.Config{Scheduler: server.Scheduler{MaxBatch: 8, MaxDelay: time.Millisecond}, Durability: server.Durability{Store: st}})
 		if _, err := srv.Recover(); err != nil {
 			t.Fatal(err)
 		}

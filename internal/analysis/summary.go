@@ -29,6 +29,11 @@ type funcSummary struct {
 	// for diagnostics ("(*Engine).Quiesce", "net.Conn.Write", …).
 	blocks   string
 	acquires string
+	// acquiresCluster names a cluster-class lock the function may take,
+	// directly or transitively. Cluster locks block on network round
+	// trips, so lockorder holds them to a stricter rule: they must be
+	// outermost, never taken while anything else is held.
+	acquiresCluster string
 
 	// classifies: every error this function returns is classified (a
 	// sentinel, an Is-method wrapper, or a %w wrap of one) — calling it
@@ -91,8 +96,13 @@ func computeSummaries(prog *Program) map[*types.Func]*funcSummary {
 			if why, ok := prog.baseBlockingCall(s.pkg, call); ok && s.blocks == "" {
 				s.blocks = why
 			}
-			if obj, op := lockOp(s.pkg, call); obj != nil && op == opLock && s.acquires == "" {
-				s.acquires = objectString(obj)
+			if obj, op := lockOp(s.pkg, call); obj != nil && op == opLock {
+				if s.acquires == "" {
+					s.acquires = objectString(obj)
+				}
+				if s.acquiresCluster == "" && prog.directives.lockClass[obj] == clusterClass {
+					s.acquiresCluster = objectString(obj)
+				}
 			}
 			return true
 		})
@@ -101,6 +111,8 @@ func computeSummaries(prog *Program) map[*types.Func]*funcSummary {
 		func(s *funcSummary, why string) { s.blocks = why })
 	propagate(sums, func(s *funcSummary) string { return s.acquires },
 		func(s *funcSummary, why string) { s.acquires = why })
+	propagate(sums, func(s *funcSummary) string { return s.acquiresCluster },
+		func(s *funcSummary, why string) { s.acquiresCluster = why })
 
 	// classifies: grows monotonically — a round may discover that a
 	// function only returns wrappers the previous round proved.

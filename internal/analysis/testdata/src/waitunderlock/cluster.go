@@ -1,0 +1,37 @@
+package waitunderlock
+
+// Cluster-class cases: blocking while holding a cluster-class lock is
+// the replication design (the ack gate spans a network round trip), so
+// it is exempt by class. Blocking with a cluster lock AND an ordinary
+// lock held still reports — on the ordinary lock.
+
+import "sync"
+
+// Shard mirrors the replication pipeline's per-shard pipeline lock.
+type Shard struct {
+	cmu  sync.Mutex //spatialvet:lockclass cluster
+	bmu  sync.Mutex
+	last *Future
+}
+
+// CleanAckGateUnderClusterLock blocks while holding only the cluster
+// lock: the sanctioned replication shape, no finding.
+func (s *Shard) CleanAckGateUnderClusterLock() {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.last != nil {
+		s.last.Wait()
+	}
+}
+
+// BrokenOrdinaryLockInside still reports: the exemption covers the
+// cluster lock, not the ordinary lock waiting behind the same block.
+func (s *Shard) BrokenOrdinaryLockInside() {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	if s.last != nil {
+		s.last.Wait() // want "call to blocking waitunderlock.Wait while holding waitunderlock.bmu"
+	}
+}

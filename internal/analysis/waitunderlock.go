@@ -9,6 +9,13 @@ package analysis
 // execution. The two sanctioned exceptions in the tree carry justified
 // //spatialvet:ignore directives — the DynEngine mutation barrier
 // (the drain IS the design) and the wire client's write serialization.
+//
+// Cluster-class locks (//spatialvet:lockclass cluster) are exempt by
+// class, not by site: the replication pipeline holds a per-shard
+// cluster lock across the mutate → ship → ack round trip because the
+// ack gate IS the mutation contract. Lockorder compensates with the
+// inverse rule — nothing may be held when a cluster lock is taken, so
+// the blocking never propagates to another lock's waiters.
 
 import "go/ast"
 
@@ -22,7 +29,16 @@ var WaitUnderLock = &Analyzer{
 func runWaitUnderLock(pass *Pass) error {
 	funcDecls(pass.Pkg, func(decl *ast.FuncDecl) {
 		walkLockState(pass.Prog, pass.Pkg, decl, func(ev lockEvent) {
-			if ev.acquired != nil || len(ev.held) == 0 {
+			if ev.acquired != nil {
+				return
+			}
+			var held []heldLock
+			for _, h := range ev.held {
+				if h.class != clusterClass {
+					held = append(held, h)
+				}
+			}
+			if len(held) == 0 {
 				return
 			}
 			why, blocking := pass.Prog.baseBlockingCall(pass.Pkg, ev.call)
@@ -36,7 +52,7 @@ func runWaitUnderLock(pass *Pass) error {
 				return
 			}
 			pass.Reportf(ev.call.Pos(), "call to blocking %s while holding %s",
-				why, objectString(ev.held[len(ev.held)-1].obj))
+				why, objectString(held[len(held)-1].obj))
 		})
 	})
 	return nil

@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spatialtree/internal/persist"
+	"spatialtree/internal/server"
+	"spatialtree/internal/wire"
+)
+
+// DefaultDownFor is how long a peer stays quarantined after a failed
+// dial or call before routing optimistically retries it.
+const DefaultDownFor = 500 * time.Millisecond
+
+// Options configures a Node beyond what server.Cluster carries.
+type Options struct {
+	// ReplicaDir, when non-empty, roots a persist.Store for the replicas
+	// this node follows for other owners — separate from the server's
+	// own store, so boot recovery never confuses a followed copy with an
+	// owned shard. Empty keeps replicas in memory only (they survive
+	// owner failover, not a restart of this node).
+	ReplicaDir string
+	// DownFor is the liveness quarantine after a failed dial or call
+	// (0 means DefaultDownFor).
+	DownFor time.Duration
+	// Dial configures the peer connections (zero takes the package's
+	// defaults: bounded dial/read/write, no redirect-following — hops
+	// are the ring's business, not the transport's).
+	Dial wire.DialOptions
+}
+
+// Node is one member of the cluster: it routes dyn-shard requests by
+// consistent hash over the peer list, replicates the shards it owns to
+// its ring successors, and follows replicas for the owners it succeeds.
+// Install it with server.SetCluster (New does so); all methods are safe
+// for concurrent use.
+type Node struct {
+	srv   *server.Server
+	cfg   server.Cluster
+	ring  *Ring
+	store *persist.Store // replica store; nil = in-memory replicas
+	opts  Options
+
+	peers map[string]*peer // fixed at New; the *peer values self-lock
+
+	mu    sync.Mutex //spatialvet:lockclass routing
+	reps  map[string]*replica
+	owned map[string]*ownedShard
+	seq   uint64
+}
+
+// peer tracks one remote member: its client connection and its
+// liveness quarantine. The zero downUntil means "assumed live".
+type peer struct {
+	addr string
+
+	mu        sync.Mutex //spatialvet:lockclass routing
+	c         *wire.Client
+	downUntil time.Time
+}
+
+// ownedShard serializes one owned shard's mutate→ship→ack pipeline.
+type ownedShard struct {
+	key uint64
+	mu  sync.Mutex //spatialvet:lockclass cluster
+}
+
+// New builds the cluster tier for srv's Cluster configuration, recovers
+// any replicas found under opts.ReplicaDir, and installs the node as
+// srv's cluster hooks. Call after server recovery (so owned shards are
+// back before routing starts) and before serving traffic.
+func New(srv *server.Server, opts Options) (*Node, error) {
+	cfg := srv.ClusterConfig()
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	self := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			self = true
+			break
+		}
+	}
+	if cfg.Self == "" || !self {
+		return nil, fmt.Errorf("cluster: self address %q must appear in the peer list", cfg.Self)
+	}
+	if opts.DownFor <= 0 {
+		opts.DownFor = DefaultDownFor
+	}
+	n := &Node{
+		srv:   srv,
+		cfg:   cfg,
+		ring:  NewRing(cfg.Peers, cfg.VirtualNodes),
+		opts:  opts,
+		peers: make(map[string]*peer),
+		reps:  make(map[string]*replica),
+		owned: make(map[string]*ownedShard),
+	}
+	for _, addr := range n.ring.Nodes() {
+		if addr != cfg.Self {
+			n.peers[addr] = &peer{addr: addr}
+		}
+	}
+	if opts.ReplicaDir != "" {
+		st, err := persist.Open(persist.Options{Dir: opts.ReplicaDir})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica store: %w", err)
+		}
+		n.store = st
+		if err := n.recoverReplicas(); err != nil {
+			_ = st.Close()
+			return nil, err
+		}
+	}
+	// Seed the shard-id sequence past everything already on disk, so a
+	// restarted (or failed-over) owner never re-issues a taken id.
+	for _, id := range srv.DynShardIDs() {
+		n.bumpSeq(id)
+	}
+	srv.SetCluster(n)
+	return n, nil
+}
+
+// Close tears down peer connections and the replica store. The node
+// stays installed in the server (hooks have no un-install); Close is
+// for process shutdown.
+func (n *Node) Close() error {
+	for _, p := range n.peers {
+		p.mu.Lock()
+		c := p.c
+		p.c = nil
+		p.mu.Unlock()
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	if n.store != nil {
+		return n.store.Close()
+	}
+	return nil
+}
+
+// Self returns this node's advertise address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// alive reports the routing view of addr: self is always live, a
+// remote peer is live when connected or out of quarantine (untried
+// peers are assumed live and probed by use).
+func (n *Node) alive(addr string) bool {
+	if addr == n.cfg.Self {
+		return true
+	}
+	p := n.peers[addr]
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.c != nil {
+		return true
+	}
+	return p.downUntil.IsZero() || !time.Now().Before(p.downUntil)
+}
+
+// client returns a connected client for addr, dialing if needed. A
+// failed dial quarantines the peer and reports it unavailable.
+func (n *Node) client(addr string) (*wire.Client, error) {
+	p := n.peers[addr]
+	if p == nil {
+		return nil, server.Errf(server.StatusInternal, "cluster: %s is not a peer", addr)
+	}
+	p.mu.Lock()
+	c := p.c
+	down := !p.downUntil.IsZero() && time.Now().Before(p.downUntil)
+	p.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if down {
+		return nil, server.Errf(server.StatusUnavailable, "cluster: peer %s is down", addr)
+	}
+	cc, err := wire.Dial(addr, n.dialOpts())
+	if err != nil {
+		n.markDown(addr)
+		return nil, server.Err(server.StatusUnavailable, fmt.Errorf("cluster: dial %s: %w", addr, err))
+	}
+	p.mu.Lock()
+	if p.c != nil {
+		prior := p.c
+		p.mu.Unlock()
+		_ = cc.Close() // lost a dial race; keep the registered client
+		return prior, nil
+	}
+	p.c = cc
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+	return cc, nil
+}
+
+// markDown quarantines addr for DownFor and drops its client, failing
+// that client's in-flight calls.
+func (n *Node) markDown(addr string) {
+	p := n.peers[addr]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	c := p.c
+	p.c = nil
+	p.downUntil = time.Now().Add(n.opts.DownFor)
+	p.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+func (n *Node) dialOpts() wire.DialOptions {
+	o := n.opts.Dial
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	o.FollowRedirects = 0 // routing hops are the ring's, not the transport's
+	return o
+}
+
+// fromWireError converts a peer's protocol-level error into the local
+// status vocabulary, so a proxied error re-renders at this edge exactly
+// as the owner classified it. Returns nil for transport errors — those
+// are liveness events, handled by the caller's retry loop.
+func fromWireError(err error) error {
+	var we *wire.Error
+	if !errors.As(err, &we) {
+		return nil
+	}
+	if we.Status == wire.StatusRedirect {
+		return server.RedirectTo(we.Msg)
+	}
+	return server.Err(server.StatusFromWire(we.Status), errors.New(we.Msg))
+}
+
+// Shard ids. Cluster-created dyn shards embed their ring key so any
+// node can route them without a directory: "c<16-hex key>-<seq>". Ids
+// without the prefix (the single-node "d<n>" ids) are node-local and
+// never routed.
+
+// shardKey extracts the ring key from a cluster shard id.
+func shardKey(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "c")
+	if !ok {
+		return 0, false
+	}
+	hexKey, seq, ok := strings.Cut(rest, "-")
+	if !ok || len(hexKey) != 16 || seq == "" {
+		return 0, false
+	}
+	key, err := strconv.ParseUint(hexKey, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	if _, err := strconv.ParseUint(seq, 10, 64); err != nil {
+		return 0, false
+	}
+	return key, true
+}
+
+// shardSeq extracts the sequence component of a cluster shard id.
+func shardSeq(id string) (uint64, bool) {
+	if _, ok := shardKey(id); !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(id[strings.LastIndexByte(id, '-')+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// nextShardID issues a fresh cluster shard id for key.
+func (n *Node) nextShardID(key uint64) string {
+	n.mu.Lock()
+	n.seq++
+	s := n.seq
+	n.mu.Unlock()
+	return fmt.Sprintf("c%016x-%d", key, s)
+}
+
+// bumpSeq advances the id sequence past an observed shard id, keeping
+// ids unique across restarts and failovers.
+func (n *Node) bumpSeq(id string) {
+	seq, ok := shardSeq(id)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	if seq > n.seq {
+		n.seq = seq
+	}
+	n.mu.Unlock()
+}
+
+// ownedShardState returns (creating if needed) the replication pipeline
+// state for an owned shard.
+func (n *Node) ownedShardState(id string, key uint64) *ownedShard {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.owned[id]
+	if sh == nil {
+		sh = &ownedShard{key: key}
+		n.owned[id] = sh
+	}
+	return sh
+}
+
+// Status implements server.ClusterHooks.
+func (n *Node) Status() server.ClusterStatus {
+	st := server.ClusterStatus{
+		Self:         n.cfg.Self,
+		Replicas:     n.cfg.Replicas,
+		VirtualNodes: n.cfg.VirtualNodes,
+		Redirect:     n.cfg.Redirect,
+	}
+	for _, addr := range n.ring.Nodes() {
+		st.Peers = append(st.Peers, server.ClusterPeer{
+			Addr:  addr,
+			Alive: n.alive(addr),
+			Self:  addr == n.cfg.Self,
+		})
+	}
+	st.Owned = n.srv.DynShardIDs()
+	sort.Strings(st.Owned)
+	// Copy the replica table out, then read cursors lock-free of n.mu:
+	// cursor() takes per-replica and engine locks, which never nest
+	// under a routing-class lock.
+	n.mu.Lock()
+	reps := make(map[string]*replica, len(n.reps))
+	for id, rep := range n.reps {
+		reps[id] = rep
+	}
+	n.mu.Unlock()
+	if len(reps) > 0 {
+		st.ReplicaCursors = make(map[string]uint64, len(reps))
+		for id, rep := range reps {
+			st.ReplicaCursors[id] = rep.cursor()
+		}
+	}
+	return st
+}

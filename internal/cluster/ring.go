@@ -1,0 +1,132 @@
+// Package cluster is the multi-node serving tier: a static peer list, a
+// consistent-hash ring that assigns every mutable shard an owner, and
+// log-shipping replication from each owner to its ring successors. The
+// package plugs into the serving core through server.ClusterHooks — the
+// server never imports it — and speaks to peers over the binary wire
+// protocol (frames FrameDynCreate..FrameRepAck). See docs/cluster.md.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over a static node list. Each node
+// contributes vnodes points (hashes of "addr#i"), so ownership spreads
+// evenly and the loss of one node redistributes only that node's keys.
+// A Ring is immutable after NewRing — liveness is the caller's,
+// supplied per lookup — so lookups need no locking.
+type Ring struct {
+	nodes  []string // sorted, deduplicated addresses
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// index (into Ring.nodes) of the node it belongs to.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds the ring for the given peer addresses with vnodes
+// virtual nodes per peer. Order and duplicates in peers do not matter:
+// the ring hashes addresses, so every node builds the identical ring
+// from the same (even differently ordered) peer list.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 1
+	}
+	seen := make(map[string]bool, len(peers))
+	nodes := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		nodes = append(nodes, p)
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for i, addr := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(addr, v), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so every
+		// peer still sorts the identical ring.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's member addresses, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Successors walks the ring clockwise from key's position and returns
+// up to max distinct live node addresses in preference order: the first
+// is the key's owner, the rest are its replica followers. A nil alive
+// treats every node as live. A dead node is skipped but still consumes
+// its ring positions, so one node's death only remaps keys that node
+// owned — everyone else's walk is unchanged.
+func (r *Ring) Successors(key uint64, max int, alive func(addr string) bool) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := mix64(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	out := make([]string, 0, max)
+	seen := make([]bool, len(r.nodes))
+	for step := 0; step < len(r.points) && len(out) < max; step++ {
+		p := r.points[(i+step)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if addr := r.nodes[p.node]; alive == nil || alive(addr) {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// Owner returns the live node owning key, or ok == false when no node
+// is live.
+func (r *Ring) Owner(key uint64, alive func(addr string) bool) (string, bool) {
+	s := r.Successors(key, len(r.nodes), alive)
+	if len(s) == 0 {
+		return "", false
+	}
+	return s[0], true
+}
+
+// vnodeHash positions virtual node v of addr on the circle: FNV-1a 64
+// over "addr#v", finalized with mix64. The finalizer matters — peer
+// addresses differ in a byte or two, and FNV-1a's upper bits avalanche
+// too weakly over such near-identical inputs to spread vnode points
+// evenly (without it, one node in an 8-node ring can own 2x its share).
+func vnodeHash(addr string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{'#'})
+	h.Write(strconv.AppendInt(nil, int64(v), 10))
+	return mix64(h.Sum64())
+}
+
+// mix64 finalizes a key before ring lookup (the splitmix64 finalizer).
+// Shard keys are tree fingerprints, which are already hashes, but the
+// extra avalanche keeps lookup uniform for any caller-chosen keys too.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// testKeys yields n deterministic well-mixed keys (splitmix64 stream).
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	var x uint64 = 0x9e3779b97f4a7c15
+	for i := range keys {
+		x += 0x9e3779b97f4a7c15
+		keys[i] = mix64(x)
+	}
+	return keys
+}
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("10.0.0.%d:9372", i+1)
+	}
+	return peers
+}
+
+// TestRingBalance: with enough virtual nodes, ownership spreads evenly —
+// no node owns more than twice nor less than half its fair share.
+func TestRingBalance(t *testing.T) {
+	cases := []struct {
+		nodes, vnodes int
+	}{
+		{2, 64}, {3, 64}, {3, 128}, {5, 128}, {8, 128}, {16, 64},
+	}
+	keys := testKeys(20000)
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dnodes_%dvnodes", tc.nodes, tc.vnodes), func(t *testing.T) {
+			r := NewRing(testPeers(tc.nodes), tc.vnodes)
+			counts := make(map[string]int, tc.nodes)
+			for _, k := range keys {
+				owner, ok := r.Owner(k, nil)
+				if !ok {
+					t.Fatalf("no owner for key %016x", k)
+				}
+				counts[owner]++
+			}
+			if len(counts) != tc.nodes {
+				t.Fatalf("only %d of %d nodes own keys: %v", len(counts), tc.nodes, counts)
+			}
+			fair := float64(len(keys)) / float64(tc.nodes)
+			for addr, c := range counts {
+				if load := float64(c) / fair; load < 0.5 || load > 2.0 {
+					t.Errorf("%s owns %d keys (%.2fx fair share %0.f)", addr, c, load, fair)
+				}
+			}
+		})
+	}
+}
+
+// TestRingStability: a node's death remaps only the keys it owned.
+// Every other key keeps its owner, and the remapped keys land on nodes
+// that were already in the key's successor list (so a follower that
+// holds the replica becomes the new owner).
+func TestRingStability(t *testing.T) {
+	for _, nNodes := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("%dnodes", nNodes), func(t *testing.T) {
+			peers := testPeers(nNodes)
+			r := NewRing(peers, 128)
+			keys := testKeys(5000)
+			dead := peers[nNodes/2]
+			alive := func(addr string) bool { return addr != dead }
+			remapped := 0
+			for _, k := range keys {
+				before, _ := r.Owner(k, nil)
+				after, ok := r.Owner(k, alive)
+				if !ok {
+					t.Fatalf("no owner for key %016x after one death", k)
+				}
+				if before != dead {
+					if after != before {
+						t.Fatalf("key %016x moved %s -> %s though %s did not die",
+							k, before, after, before)
+					}
+					continue
+				}
+				remapped++
+				if after == dead {
+					t.Fatalf("key %016x still owned by dead node", k)
+				}
+				// The new owner must be the dead owner's ring successor for
+				// this key — the node failover promotes from.
+				succ := r.Successors(k, 2, nil)
+				if len(succ) < 2 || succ[1] != after {
+					t.Fatalf("key %016x remapped to %s, want ring successor %v", k, after, succ)
+				}
+			}
+			if remapped == 0 {
+				t.Fatalf("dead node %s owned no keys; balance is broken", dead)
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: every peer builds the identical ring from the
+// same membership, regardless of list order or duplicates.
+func TestRingDeterminism(t *testing.T) {
+	base := testPeers(5)
+	shuffled := []string{base[3], base[0], base[4], base[0], base[2], base[1], ""}
+	a, b := NewRing(base, 64), NewRing(shuffled, 64)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node lists differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for _, k := range testKeys(1000) {
+		sa := a.Successors(k, 3, nil)
+		sb := b.Successors(k, 3, nil)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("key %016x: successor lists differ: %v vs %v", k, sa, sb)
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct: successor lists never repeat a node and
+// honor max.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(testPeers(4), 64)
+	for _, k := range testKeys(500) {
+		for max := 0; max <= 6; max++ {
+			s := r.Successors(k, max, nil)
+			want := max
+			if want > 4 {
+				want = 4
+			}
+			if len(s) != want {
+				t.Fatalf("key %016x max %d: got %d successors %v", k, max, len(s), s)
+			}
+			seen := map[string]bool{}
+			for _, addr := range s {
+				if seen[addr] {
+					t.Fatalf("key %016x: duplicate successor %s in %v", k, addr, s)
+				}
+				seen[addr] = true
+			}
+		}
+	}
+}
+
+// TestRingAllDead: no live nodes means no owner, not a panic or a dead
+// owner.
+func TestRingAllDead(t *testing.T) {
+	r := NewRing(testPeers(3), 16)
+	if addr, ok := r.Owner(42, func(string) bool { return false }); ok {
+		t.Fatalf("owner %q returned with every node dead", addr)
+	}
+	if s := r.Successors(42, 3, func(string) bool { return false }); len(s) != 0 {
+		t.Fatalf("successors %v returned with every node dead", s)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -342,6 +343,74 @@ func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
 		return 0, err
 	}
 	return moved, nil
+}
+
+// ErrReplicaGap reports a shipped record whose epoch does not follow
+// the replica's apply cursor: the replica missed records and must
+// resync from a snapshot.
+var ErrReplicaGap = errors.New("engine: record epoch gap")
+
+// ErrReplicaDiverged reports that re-applying a shipped record did not
+// reproduce the owner's recorded outcome: the replica's state cannot be
+// trusted and must be rebuilt from a snapshot.
+var ErrReplicaDiverged = errors.New("engine: replica diverged from owner")
+
+// ApplyRecord re-applies one journaled mutation to a replica engine —
+// the follower half of log-shipping replication. The engine's epoch is
+// the apply cursor: a record at or before it is a duplicate shipment
+// and is skipped (idempotence under owner retries), one exactly at
+// cursor+1 applies through the same Quiesce barrier as a local
+// mutation, and anything further ahead is ErrReplicaGap. The applied
+// result is verified against rec.Result; a mismatch is
+// ErrReplicaDiverged. A successful apply journals rec through the
+// installed hook, so a replica's own WAL tracks its cursor.
+func (de *DynEngine) ApplyRecord(rec MutationRecord) error {
+	if rec.Op != MutInsert && rec.Op != MutDelete {
+		return fmt.Errorf("engine: cannot apply record op %d", rec.Op)
+	}
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if rec.Epoch <= de.epoch {
+		return nil
+	}
+	if rec.Epoch != de.epoch+1 {
+		return fmt.Errorf("%w: record epoch %d does not follow cursor %d", ErrReplicaGap, rec.Epoch, de.epoch)
+	}
+	//spatialvet:ignore waitunderlock -- the mutation barrier IS the design: in-flight queries must drain before the layout mutates, and Quiesce never takes de.mu
+	de.drainLocked()
+	var got int
+	var err error
+	var applied bool
+	switch rec.Op {
+	case MutInsert:
+		before := de.dyn.Inserts
+		got, err = de.dyn.InsertLeaf(rec.Arg)
+		applied = de.dyn.Inserts != before
+	case MutDelete:
+		before := de.dyn.Deletes
+		got, err = de.dyn.DeleteLeaf(rec.Arg)
+		applied = de.dyn.Deletes != before
+	}
+	if !applied {
+		// The owner applied this mutation; a replica that cannot is out
+		// of step with it, whatever the proximate error says.
+		if err == nil {
+			err = errors.New("mutation did not apply")
+		}
+		return fmt.Errorf("%w: op %d arg %d at epoch %d: %v", ErrReplicaDiverged, rec.Op, rec.Arg, rec.Epoch, err)
+	}
+	de.epoch++
+	de.dirty = true
+	if got != rec.Result {
+		return fmt.Errorf("%w: op %d arg %d at epoch %d produced %d, owner recorded %d", ErrReplicaDiverged, rec.Op, rec.Arg, rec.Epoch, got, rec.Result)
+	}
+	// A post-apply rebuild error degrades serving, not state: the epoch
+	// advanced exactly as the owner's did, so the record still journals
+	// and the error surfaces to the caller.
+	if jerr := de.journalLocked(rec); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // N returns the current vertex count.

@@ -167,6 +167,21 @@ func (p *Pool) RestoreDynShard(st DynState) (*DynEngine, error) {
 	return de, nil
 }
 
+// AdoptDynShard registers an existing mutable engine for FlushAll and
+// Stats — the failover path, where a cluster node promotes a replica
+// engine (built with RestoreDyn on this pool's Options) into serving.
+func (p *Pool) AdoptDynShard(de *DynEngine) {
+	p.mu.Lock()
+	p.dyns = append(p.dyns, de)
+	p.mu.Unlock()
+}
+
+// Options returns the pool's resolved engine options (shared cache
+// included), so callers can build engines that serve identically to the
+// pool's own without registering them — replica engines, which only
+// apply shipped records until a failover adopts them.
+func (p *Pool) Options() Options { return p.opts }
+
 // Cache returns the shared layout cache.
 func (p *Pool) Cache() *LayoutCache { return p.opts.Cache }
 

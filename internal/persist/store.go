@@ -226,6 +226,27 @@ func (s *Store) track(id string, l *ShardLog) {
 	s.mu.Unlock()
 }
 
+// DropShard removes a shard's durable state entirely, closing its open
+// log first if the store is tracking one. The replication tier resets a
+// diverged or superseded replica with it before re-creating the shard
+// from a fresh snapshot; dropping an unknown id is a no-op.
+func (s *Store) DropShard(id string) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	l := s.logs[id]
+	delete(s.logs, id)
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	if err := os.RemoveAll(filepath.Join(s.opts.Dir, "dyn", id)); err != nil {
+		return fmt.Errorf("persist: drop shard %s: %w", id, err)
+	}
+	return nil
+}
+
 // ShardLog is one mutable shard's durability state: the append-side of
 // its WAL plus the bookkeeping that ties segments to snapshots. Safe
 // for concurrent use, though mutation ordering is the caller's (the
@@ -381,6 +402,68 @@ func (l *ShardLog) Compact(snap DynSnapshot) error {
 	l.closed = kept
 	l.compactions++
 	return nil
+}
+
+// ErrCompacted reports that the records a reader asked for are no
+// longer in the WAL: a snapshot superseded them and compaction deleted
+// their segments. The reader must resync from a snapshot instead.
+var ErrCompacted = fmt.Errorf("persist: records compacted away")
+
+// RecordsAfter returns the mutation records with epochs strictly after
+// epoch, in order — the log-shipping read path: a replication owner
+// ships exactly the records a follower's apply cursor is missing.
+// Segments whose last record the cursor already covers are skipped
+// without being read. ErrCompacted (wrapped) means the WAL no longer
+// reaches back to epoch and the follower needs a snapshot.
+//
+// Reading happens on independent file handles against segments the
+// holder of l.mu can see, so it is consistent with appends: a record is
+// returned only once its single-call Write completed.
+func (l *ShardLog) RecordsAfter(epoch uint64) ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, fmt.Errorf("persist: shard log is closed")
+	}
+	if epoch >= l.lastEpoch {
+		return nil, nil
+	}
+	if epoch < l.snapEpoch {
+		return nil, fmt.Errorf("%w: epoch %d predates snapshot %d", ErrCompacted, epoch, l.snapEpoch)
+	}
+	var out []Record
+	read := func(seq int) error {
+		raw, err := os.ReadFile(segPath(l.dir, seq))
+		if err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		recs, _, _ := scanRecords(raw)
+		for _, r := range recs {
+			if r.Type != RecFence && r.Epoch > epoch {
+				out = append(out, r)
+			}
+		}
+		return nil
+	}
+	for _, c := range l.closed {
+		if c.last <= epoch {
+			continue
+		}
+		if err := read(c.seq); err != nil {
+			return nil, err
+		}
+	}
+	if err := read(l.seg); err != nil {
+		return nil, err
+	}
+	// The append path enforces consecutive epochs, so any discontinuity
+	// here means the files under the log changed out from under it.
+	for i, r := range out {
+		if r.Epoch != epoch+1+uint64(i) {
+			return nil, fmt.Errorf("persist: records after epoch %d are not consecutive (found %d at index %d)", epoch, r.Epoch, i)
+		}
+	}
+	return out, nil
 }
 
 // Sync flushes the current segment to stable storage.

@@ -129,9 +129,35 @@ type HealthResponse struct {
 	Draining bool `json:"draining"`
 }
 
-// ErrorResponse is the body of every non-200 reply.
+// ErrorResponse is the body of every non-200 reply. Status names the
+// server.Status the condition classified to (see docs/protocol.md).
+// Owner is set on "redirect": the binary-protocol address of the
+// cluster node owning the addressed shard (also sent as the
+// X-Spatialtree-Owner header).
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status string `json:"status,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+}
+
+// ClusterPeer describes one ring member in a ClusterStatus.
+type ClusterPeer struct {
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	Self  bool   `json:"self,omitempty"`
+}
+
+// ClusterStatus is the /v1/cluster/status body: this node's view of the
+// ring, the dyn shards it currently owns, and the apply cursors of the
+// replicas it follows for other owners.
+type ClusterStatus struct {
+	Self           string            `json:"self"`
+	Peers          []ClusterPeer     `json:"peers"`
+	Replicas       int               `json:"replicas"`
+	VirtualNodes   int               `json:"virtual_nodes"`
+	Redirect       bool              `json:"redirect"`
+	Owned          []string          `json:"owned_shards"`
+	ReplicaCursors map[string]uint64 `json:"replica_cursors,omitempty"`
 }
 
 // ServerMetrics reports the HTTP layer's counters.

@@ -13,7 +13,7 @@ import (
 // metering only the sim backend produces), and /metrics reports the
 // shard split.
 func TestBackendPerTree(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 	simParents := testParents(60, 1)
 	natParents := testParents(61, 2)
 
@@ -74,7 +74,7 @@ func TestBackendPerTree(t *testing.T) {
 // must respect MaxShards instead of riding the "already known" bypass;
 // re-registering on the same backend stays free.
 func TestBackendSwitchBudget(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxDelay: time.Millisecond, MaxShards: 2})
+	s, _ := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: time.Millisecond}, Limits: Limits{MaxShards: 2}})
 	t1 := tree.RandomAttachment(30, rng.New(1))
 	t2 := tree.RandomAttachment(31, rng.New(2))
 	if _, err := s.RegisterTree(t1); err != nil {
@@ -100,7 +100,7 @@ func TestBackendSwitchBudget(t *testing.T) {
 // create on sim, mutate, query — model cost flows; a default (native)
 // shard stays unmetered.
 func TestBackendDynShard(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 	parents := testParents(40, 3)
 
 	var sim DynCreateResponse
@@ -145,7 +145,7 @@ func TestBackendDynShard(t *testing.T) {
 // TestShadowMeterMetrics arms shadow metering on a native server and
 // checks /metrics regains sampled model cost with zero mismatches.
 func TestShadowMeterMetrics(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: time.Millisecond, ShadowMeter: 1})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: time.Millisecond}, ShadowMeter: 1})
 	parents := testParents(80, 4)
 	vals := make([]int64, 80)
 	for i := 0; i < 3; i++ {

@@ -43,10 +43,10 @@ type RecoveryStats struct {
 // MaxShards — the persisted state was admitted when it was created.
 func (s *Server) Recover() (RecoveryStats, error) {
 	var rs RecoveryStats
-	if s.cfg.Store == nil {
+	if s.cfg.Durability.Store == nil {
 		return rs, nil
 	}
-	saved, err := s.cfg.Store.LoadTrees()
+	saved, err := s.cfg.Durability.Store.LoadTrees()
 	if err != nil {
 		return rs, err
 	}
@@ -56,7 +56,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		}
 		rs.Trees++
 	}
-	ids, err := s.cfg.Store.ShardIDs()
+	ids, err := s.cfg.Durability.Store.ShardIDs()
 	if err != nil {
 		return rs, err
 	}
@@ -114,7 +114,7 @@ func (s *Server) recoverTree(st persist.SavedTree) error {
 // per-record verification, journal re-arming, and a catch-up compaction
 // when the surviving log already exceeds the threshold.
 func (s *Server) recoverDynShard(id string) (replayed int, err error) {
-	log, snap, recs, err := s.cfg.Store.OpenShardLog(id)
+	log, snap, recs, err := s.cfg.Durability.Store.OpenShardLog(id)
 	if err != nil {
 		return 0, err
 	}
@@ -187,10 +187,10 @@ func (s *Server) journalFunc(log *persist.ShardLog) engine.JournalFunc {
 // assigned. On failure the shard is served memory-only for this
 // process's lifetime but reported as an error to the creator.
 func (s *Server) persistDynCreate(id string, de *engine.DynEngine) error {
-	if s.cfg.Store == nil {
+	if s.cfg.Durability.Store == nil {
 		return nil
 	}
-	log, err := s.cfg.Store.CreateShardLog(id, dynSnapFromState(de.State()))
+	log, err := s.cfg.Durability.Store.CreateShardLog(id, dynSnapFromState(de.State()))
 	if err != nil {
 		return err
 	}
@@ -237,12 +237,12 @@ func (s *Server) repairJournal(id string, de *engine.DynEngine) {
 
 // persistTree saves a registered tree's placement snapshot.
 func (s *Server) persistTree(id string, eng *engine.Engine) error {
-	if s.cfg.Store == nil {
+	if s.cfg.Durability.Store == nil {
 		return nil
 	}
 	p := eng.Placement()
 	t := eng.Tree()
-	return s.cfg.Store.SaveTree(id, persist.PlacementSnapshot{
+	return s.cfg.Durability.Store.SaveTree(id, persist.PlacementSnapshot{
 		Parents: append([]int(nil), t.Parents()...),
 		Curve:   p.Curve.Name(),
 		Order:   p.Order.Name,

@@ -30,7 +30,7 @@ func openTestStore(t *testing.T, dir string, opts persist.Options) *persist.Stor
 func TestRestartDurability(t *testing.T) {
 	dir := t.TempDir()
 	store := openTestStore(t, dir, persist.Options{})
-	s1, hs1 := newTestServer(t, Config{Store: store, MaxDelay: time.Millisecond})
+	s1, hs1 := newTestServer(t, Config{Durability: Durability{Store: store}, Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 
 	// Two registered trees.
 	parentsA := testParents(300, 1)
@@ -97,7 +97,7 @@ func TestRestartDurability(t *testing.T) {
 
 	// Second server, same data dir.
 	store2 := openTestStore(t, dir, persist.Options{})
-	s2, hs2 := newTestServer(t, Config{Store: store2, MaxDelay: time.Millisecond})
+	s2, hs2 := newTestServer(t, Config{Durability: Durability{Store: store2}, Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 	rs, err := s2.Recover()
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestRestartDurability(t *testing.T) {
 func TestRestartCompaction(t *testing.T) {
 	dir := t.TempDir()
 	store := openTestStore(t, dir, persist.Options{CompactAfter: 8})
-	s1, hs1 := newTestServer(t, Config{Store: store, MaxDelay: time.Millisecond})
+	s1, hs1 := newTestServer(t, Config{Durability: Durability{Store: store}, Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 	var dyn DynCreateResponse
 	if err := postJSON(hs1.URL, "/v1/dyn", DynCreateRequest{Parents: testParents(40, 9)}, &dyn); err != nil {
 		t.Fatal(err)
@@ -187,7 +187,7 @@ func TestRestartCompaction(t *testing.T) {
 	store.Close()
 
 	store2 := openTestStore(t, dir, persist.Options{CompactAfter: 8})
-	s2, hs2 := newTestServer(t, Config{Store: store2, MaxDelay: time.Millisecond})
+	s2, hs2 := newTestServer(t, Config{Durability: Durability{Store: store2}, Scheduler: Scheduler{MaxDelay: time.Millisecond}})
 	rs, err := s2.Recover()
 	if err != nil {
 		t.Fatal(err)

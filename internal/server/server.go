@@ -47,89 +47,8 @@ import (
 	"spatialtree/internal/persist"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
+	"spatialtree/internal/wire"
 )
-
-// Defaults used by New when the corresponding Config field is zero.
-const (
-	DefaultMaxBatch      = 64
-	DefaultMaxDelay      = 2 * time.Millisecond
-	DefaultQueueLimit    = 1024
-	DefaultCacheCapacity = 128
-	DefaultBodyLimit     = 64 << 20
-	DefaultMaxShards     = 1024
-	// DefaultTCPIdleTimeout bounds how long a binary-protocol connection
-	// may sit between frames before the server hangs up — the TCP
-	// equivalent of the HTTP layer's read/idle timeouts, so one silent
-	// client cannot pin a connection forever.
-	DefaultTCPIdleTimeout = 2 * time.Minute
-	// DefaultTCPWriteTimeout bounds each binary-protocol response write.
-	DefaultTCPWriteTimeout = 30 * time.Second
-)
-
-// Config configures a Server.
-type Config struct {
-	// MaxBatch is the scheduler's size trigger: a shard's pending batch
-	// is dispatched as soon as it holds this many requests (0 means
-	// DefaultMaxBatch).
-	MaxBatch int
-	// MaxDelay is the scheduler's deadline trigger: a pending batch is
-	// dispatched once its oldest request has waited this long (0 means
-	// DefaultMaxDelay).
-	MaxDelay time.Duration
-	// QueueLimit bounds concurrently admitted requests; excess traffic
-	// receives 429 (0 means DefaultQueueLimit).
-	QueueLimit int
-	// Workers bounds the pool's parallel shard flushes (0 means
-	// GOMAXPROCS).
-	Workers int
-	// Curve names the space-filling curve for placements ("" means
-	// "hilbert").
-	Curve string
-	// Seed drives the Las Vegas coins of the simulator runs.
-	Seed uint64
-	// CacheCapacity sizes the shared layout cache (0 means
-	// DefaultCacheCapacity).
-	CacheCapacity int
-	// Epsilon is the default drift budget of mutable shards (0 means
-	// engine.DefaultEpsilon).
-	Epsilon float64
-	// BodyLimit caps request body bytes (0 means DefaultBodyLimit).
-	BodyLimit int64
-	// MaxShards bounds retained per-tree serving state (registered
-	// trees + mutable shards + pool shards auto-created for ad-hoc
-	// query trees; 0 means DefaultMaxShards). Beyond it, registration
-	// and shard creation are refused with 429, and ad-hoc query trees
-	// are served from ephemeral engines instead of growing the pool —
-	// admission control for memory, the way QueueLimit is admission
-	// control for concurrency.
-	MaxShards int
-	// Store, when non-nil, makes the shard table durable: registered
-	// trees are persisted as placement snapshots, mutable shards as a
-	// snapshot plus a mutation WAL, and Recover replays all of it on
-	// boot. Nil serves everything from memory, as before.
-	Store *persist.Store
-	// Backend names the default execution backend shards serve on
-	// ("" means "native": goroutine-parallel kernels, no simulator
-	// bookkeeping on the hot path). "sim" serves every batch through the
-	// spatial-computer simulator with exact model-cost metering — the
-	// validation/metering deployment, an order of magnitude slower.
-	// Register/create requests may override per shard; recovered shards
-	// come back on this default (the backend is a serving-time knob, not
-	// part of the durable state — re-register to override after boot).
-	Backend string
-	// ShadowMeter, when > 0 with a native default backend, samples every
-	// N-th batch of each shard through a shadow sim run: /metrics keeps
-	// reporting (sampled) model Energy/Depth and counts any
-	// native-vs-sim result mismatches, at 1/N of the simulator's cost.
-	ShadowMeter int
-	// TCPIdleTimeout bounds the gap between frames on a binary-protocol
-	// connection; an idle connection is closed when it expires (0 means
-	// DefaultTCPIdleTimeout, < 0 disables the deadline — tests only).
-	TCPIdleTimeout time.Duration
-	// TCPWriteTimeout bounds each binary-protocol response write (0
-	// means DefaultTCPWriteTimeout).
-	TCPWriteTimeout time.Duration
-}
 
 // Server serves the engines over HTTP. Construct with New; the zero
 // value is not usable.
@@ -160,6 +79,10 @@ type Server struct {
 	// journaled counts WAL records appended across all dyn shards.
 	journaled atomic.Uint64
 
+	// cluster holds the installed ClusterHooks (see cluster_hooks.go);
+	// nil means single-node serving.
+	cluster atomic.Pointer[ClusterHooks]
+
 	// Binary-protocol listener state (tcp.go). wireEnabled flips once
 	// ServeBinary runs, making the Wire block appear in /metrics.
 	wireEnabled   atomic.Bool
@@ -183,50 +106,21 @@ type Server struct {
 // New builds a server; all zero Config fields take the documented
 // defaults.
 func New(cfg Config) *Server {
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = DefaultMaxBatch
-	}
-	if cfg.MaxDelay <= 0 {
-		cfg.MaxDelay = DefaultMaxDelay
-	}
-	if cfg.QueueLimit <= 0 {
-		cfg.QueueLimit = DefaultQueueLimit
-	}
-	if cfg.CacheCapacity <= 0 {
-		cfg.CacheCapacity = DefaultCacheCapacity
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = engine.DefaultEpsilon
-	}
-	if cfg.BodyLimit <= 0 {
-		cfg.BodyLimit = DefaultBodyLimit
-	}
-	if cfg.MaxShards <= 0 {
-		cfg.MaxShards = DefaultMaxShards
-	}
-	if cfg.Backend == "" {
-		cfg.Backend = exec.Native
-	}
-	if cfg.TCPIdleTimeout == 0 {
-		cfg.TCPIdleTimeout = DefaultTCPIdleTimeout
-	}
-	if cfg.TCPWriteTimeout <= 0 {
-		cfg.TCPWriteTimeout = DefaultTCPWriteTimeout
-	}
+	cfg = cfg.withDefaults()
 	opts := engine.Options{
 		Curve:       cfg.Curve,
-		Window:      cfg.MaxBatch,
+		Window:      cfg.Scheduler.MaxBatch,
 		Seed:        cfg.Seed,
-		Cache:       engine.NewLayoutCache(cfg.CacheCapacity),
-		FlushDelay:  cfg.MaxDelay,
+		Cache:       engine.NewLayoutCache(cfg.Limits.CacheCapacity),
+		FlushDelay:  cfg.Scheduler.MaxDelay,
 		Backend:     cfg.Backend,
 		ShadowMeter: cfg.ShadowMeter,
 	}
 	s := &Server{
 		cfg:      cfg,
-		pool:     engine.NewPool(cfg.Workers, opts),
+		pool:     engine.NewPool(cfg.Scheduler.Workers, opts),
 		engOpts:  opts,
-		sem:      make(chan struct{}, cfg.QueueLimit),
+		sem:      make(chan struct{}, cfg.Limits.QueueLimit),
 		trees:    make(map[string]*tree.Tree),
 		dyns:     make(map[string]*engine.DynEngine),
 		logs:     make(map[string]*persist.ShardLog),
@@ -242,6 +136,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/dyn", s.admitted(s.handleDynCreate))
 	s.mux.HandleFunc("POST /v1/dyn/{id}/mutate", s.admitted(s.handleDynMutate))
 	s.mux.HandleFunc("POST /v1/dyn/{id}/query", s.admitted(s.handleDynQuery))
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -312,12 +207,12 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "request queue full")
+			writeStatus(w, StatusTooMany, "request queue full")
 			return
 		}
 		if !s.enter() {
 			<-s.sem
-			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			writeStatus(w, StatusUnavailable, "server is draining")
 			return
 		}
 		s.accepted.Add(1)
@@ -325,7 +220,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			<-s.sem
 			s.exit()
 		}()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.BodyLimit)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.BodyLimit)
 		h(w, r)
 	}
 }
@@ -385,7 +280,7 @@ func (s *Server) registerTree(t *tree.Tree, save bool, backend string) (string, 
 		known = adhoc && backend == s.cfg.Backend
 	}
 	s.mu.Unlock()
-	if save && !known && s.pool.Size() >= s.cfg.MaxShards {
+	if save && !known && s.pool.Size() >= s.cfg.Limits.MaxShards {
 		return "", errShardLimit
 	}
 	eng, err := s.pool.EngineBackend(t, backend)
@@ -420,20 +315,20 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := tree.FromParents(req.Parents)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeStatus(w, StatusBadRequest, err.Error())
 		return
 	}
 	if req.Backend != "" && !exec.Valid(req.Backend) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want %q or %q)", req.Backend, exec.Native, exec.Sim))
+		writeStatus(w, StatusBadRequest, fmt.Sprintf("unknown backend %q (want %q or %q)", req.Backend, exec.Native, exec.Sim))
 		return
 	}
 	id, err := s.registerTree(t, true, req.Backend)
 	if errors.Is(err, errShardLimit) {
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeStatus(w, StatusTooMany, err.Error())
 		return
 	}
 	if err != nil {
-		writeError(w, errStatus(err), err.Error())
+		writeErr(w, err)
 		return
 	}
 	s.mu.Lock()
@@ -450,31 +345,6 @@ type submitter interface {
 	SubmitLCA([]lca.Query) *engine.Future
 	SubmitMinCut([]mincut.Edge) *engine.Future
 	SubmitExpr(*exprtree.Expr) *engine.Future
-}
-
-// errBadRequest classifies errors the client caused (malformed query,
-// unknown operator) as distinct from server-side failures; errStatus
-// maps it to 400. The wrapper keeps the original message.
-var errBadRequest = errors.New("server: bad request")
-
-type badRequestError struct{ error }
-
-func (badRequestError) Is(target error) bool { return target == errBadRequest }
-
-func badRequest(err error) error { return badRequestError{err} }
-
-// errStatus classifies a query-path error: faults in the request itself
-// (engine/mincut validation, unsupported operators, malformed bodies)
-// are the client's (400); everything else — backend dispatch, journal
-// repair, shard resolution — is the server's (500). The binary
-// protocol's wireStatus mirrors this mapping.
-func errStatus(err error) int {
-	if errors.Is(err, engine.ErrInvalid) || errors.Is(err, mincut.ErrInvalid) ||
-		errors.Is(err, treefix.ErrUnsupportedOp) || errors.Is(err, treefix.ErrInvalid) ||
-		errors.Is(err, errBadRequest) {
-		return http.StatusBadRequest
-	}
-	return http.StatusInternalServerError
 }
 
 // checkQuery validates the cheap, tree-independent parts of a query —
@@ -555,17 +425,17 @@ func submit(sh submitter, req *QueryRequest, getTree func() (*tree.Tree, error))
 
 // serveQuery runs the shared tail of both query endpoints: enqueue,
 // wait for the scheduler to dispatch the batch, translate the result.
-// Errors are classified by errStatus: the client's faults are 400s,
-// the server's 500s.
+// Errors render through Classify: the client's faults are 400s, the
+// server's 500s.
 func serveQuery(w http.ResponseWriter, sh submitter, req *QueryRequest, getTree func() (*tree.Tree, error)) {
 	fut, err := submit(sh, req, getTree)
 	if err != nil {
-		writeError(w, errStatus(err), err.Error())
+		writeErr(w, err)
 		return
 	}
 	res := fut.Wait()
 	if res.Err != nil {
-		writeError(w, errStatus(res.Err), res.Err.Error())
+		writeErr(w, res.Err)
 		return
 	}
 	resp := QueryResponse{
@@ -589,7 +459,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := checkQuery(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeStatus(w, StatusBadRequest, err.Error())
 		return
 	}
 	var t *tree.Tree
@@ -598,29 +468,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The API contract is "exactly one of tree_id / parents";
 		// silently preferring one would mask a client bug where the two
 		// disagree.
-		writeError(w, http.StatusBadRequest, "exactly one of tree_id and parents may be set")
+		writeStatus(w, StatusBadRequest, "exactly one of tree_id and parents may be set")
 		return
 	case req.TreeID != "":
 		s.mu.Lock()
 		t = s.trees[req.TreeID]
 		s.mu.Unlock()
 		if t == nil {
-			writeError(w, http.StatusNotFound, "unknown tree_id "+req.TreeID)
+			writeStatus(w, StatusNotFound, "unknown tree_id "+req.TreeID)
 			return
 		}
 	case len(req.Parents) > 0:
 		var err error
 		if t, err = tree.FromParents(req.Parents); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeStatus(w, StatusBadRequest, err.Error())
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, "tree_id or parents required")
+		writeStatus(w, StatusBadRequest, "tree_id or parents required")
 		return
 	}
 	eng, retire, err := s.engineFor(t)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeErr(w, err)
 		return
 	}
 	serveQuery(w, eng, &req, func() (*tree.Tree, error) { return t, nil })
@@ -658,7 +528,7 @@ func (s *Server) engineFor(t *tree.Tree) (*engine.Engine, func(), error) {
 		}
 	} else {
 		_, known = s.adhoc[fp]
-		if !known && len(s.adhoc) < s.cfg.MaxShards/2 && poolSize < s.cfg.MaxShards {
+		if !known && len(s.adhoc) < s.cfg.Limits.MaxShards/2 && poolSize < s.cfg.Limits.MaxShards {
 			s.adhoc[fp] = struct{}{}
 			known = true
 		}
@@ -695,122 +565,69 @@ func (s *Server) handleDynCreate(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	t, err := tree.FromParents(req.Parents)
+	res, err := s.dynCreate(req.Parents, req.Epsilon, req.Backend)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeErr(w, err)
 		return
 	}
-	if req.Backend != "" && !exec.Valid(req.Backend) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want %q or %q)", req.Backend, exec.Native, exec.Sim))
-		return
-	}
-	if s.pool.Size() >= s.cfg.MaxShards {
-		writeError(w, http.StatusTooManyRequests, errShardLimit.Error())
-		return
-	}
-	eps := req.Epsilon
-	if eps <= 0 {
-		eps = s.cfg.Epsilon
-	}
-	backend := req.Backend
-	if backend == "" {
-		backend = s.cfg.Backend
-	}
-	de, err := s.pool.NewDynShardBackend(t, eps, backend)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.mu.Lock()
-	s.nextDyn++
-	id := "d" + strconv.Itoa(s.nextDyn)
-	s.mu.Unlock()
-	// Durability before routability: the shard becomes addressable only
-	// once its initial snapshot and WAL exist, so no mutation can ever
-	// precede its log. On persistence failure the pool keeps an
-	// unroutable shard until restart — an acceptable leak on a path
-	// that only fails with the disk.
-	if err := s.persistDynCreate(id, de); err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.mu.Lock()
-	s.dyns[id] = de
-	s.backends[id] = de.Backend()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, DynCreateResponse{ID: id, N: t.N(), Backend: de.Backend()})
-}
-
-func (s *Server) dynShard(w http.ResponseWriter, r *http.Request) *engine.DynEngine {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	de := s.dyns[id]
-	s.mu.Unlock()
-	if de == nil {
-		writeError(w, http.StatusNotFound, "unknown shard_id "+id)
-	}
-	return de
+	writeJSON(w, http.StatusOK, DynCreateResponse{ID: res.ID, N: res.N, Backend: res.Backend})
 }
 
 func (s *Server) handleDynMutate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	de := s.dynShard(w, r)
-	if de == nil {
-		return
-	}
 	var req MutateRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	resp := MutateResponse{}
-	var err error
-	epochBefore := de.Epoch()
+	var op uint8
+	var arg int
 	switch req.Op {
 	case "insert":
-		resp.Vertex, err = de.InsertLeaf(req.Parent)
+		op, arg = wire.OpInsert, req.Parent
 	case "delete":
-		resp.Moved, err = de.DeleteLeaf(req.Leaf)
+		op, arg = wire.OpDelete, req.Leaf
 	default:
-		writeError(w, http.StatusBadRequest, "unknown op "+strconv.Quote(req.Op)+" (want insert or delete)")
+		writeStatus(w, StatusBadRequest, "unknown op "+strconv.Quote(req.Op)+" (want insert or delete)")
 		return
 	}
+	res, err := s.mutate(id, op, arg)
 	if err != nil {
-		// An error with the epoch bumped means the mutation applied but
-		// the layout's post-mutation rebuild failed — or its journal
-		// append did — server-side degradation, not a bad request.
-		// (Epoch comparison can misread under concurrent mutations on
-		// one shard; the worst case is a 500 for what was a 400, which
-		// errs on the honest side.) A journal failure leaves the log
-		// behind the engine; repairJournal re-snapshots to close the
-		// gap so one transient disk error cannot wedge durability for
-		// the rest of the process.
-		status := http.StatusBadRequest
-		if de.Epoch() != epochBefore {
-			status = http.StatusInternalServerError
-			s.repairJournal(id, de)
-		}
-		writeError(w, status, err.Error())
+		writeErr(w, err)
 		return
 	}
-	resp.Epoch, resp.N = de.Epoch(), de.N()
-	s.maybeCompact(id, de)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, MutateResponse{Vertex: res.Vertex, Moved: res.Moved, Epoch: res.Epoch, N: res.N})
 }
 
 func (s *Server) handleDynQuery(w http.ResponseWriter, r *http.Request) {
-	de := s.dynShard(w, r)
-	if de == nil {
-		return
-	}
+	id := r.PathValue("id")
 	var req QueryRequest
 	if !decode(w, r, &req) {
 		return
 	}
 	// Same pre-validation as /v1/query (a dyn shard has no budget to
 	// protect, but the two surfaces must agree on what a valid request
-	// is).
+	// is) — and it runs before routing, so a cluster never proxies a
+	// request its own surface would reject.
 	if err := checkQuery(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeStatus(w, StatusBadRequest, err.Error())
+		return
+	}
+	if h := s.clusterHooks(); h != nil {
+		resp, handled, err := h.ShardQuery(id, &req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if handled {
+			writeJSON(w, http.StatusOK, *resp)
+			return
+		}
+	}
+	s.mu.Lock()
+	de := s.dyns[id]
+	s.mu.Unlock()
+	if de == nil {
+		writeStatus(w, StatusNotFound, "unknown shard_id "+id)
 		return
 	}
 	serveQuery(w, de, &req, de.Tree)
@@ -845,7 +662,7 @@ func (s *Server) Metrics() MetricsResponse {
 	backendShards[s.cfg.Backend] += len(s.adhoc)
 	s.mu.Unlock()
 	var pm *PersistMetrics
-	if s.cfg.Store != nil {
+	if s.cfg.Durability.Store != nil {
 		pm = &PersistMetrics{
 			Enabled:         true,
 			JournalRecords:  s.journaled.Load(),
@@ -895,8 +712,8 @@ func (s *Server) Metrics() MetricsResponse {
 			DynShards: shards,
 		},
 		Scheduler: SchedulerMetrics{
-			MaxBatch:         s.cfg.MaxBatch,
-			MaxDelayMillis:   float64(s.cfg.MaxDelay) / float64(time.Millisecond),
+			MaxBatch:         s.cfg.Scheduler.MaxBatch,
+			MaxDelayMillis:   float64(s.cfg.Scheduler.MaxDelay) / float64(time.Millisecond),
 			Batches:          st.Batches,
 			Requests:         st.Requests,
 			SizeFlushes:      st.SizeFlushes,
@@ -951,14 +768,14 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			writeStatus(w, StatusTooLarge, err.Error())
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		writeStatus(w, StatusBadRequest, "invalid request body: "+err.Error())
 		return false
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, "trailing data after request body")
+		writeStatus(w, StatusBadRequest, "trailing data after request body")
 		return false
 	}
 	_, _ = io.Copy(io.Discard, r.Body)
@@ -969,8 +786,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg})
 }

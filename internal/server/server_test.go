@@ -69,7 +69,7 @@ func testParents(n int, seed uint64) []int {
 // served by the MaxDelay trigger, and /metrics must attribute the batch
 // to the deadline.
 func TestDeadlineFlush(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxBatch: 1 << 20, MaxDelay: 10 * time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 1 << 20, MaxDelay: 10 * time.Millisecond}})
 	parents := testParents(200, 1)
 	tr := tree.MustFromParents(parents)
 	vals := make([]int64, tr.N())
@@ -97,7 +97,7 @@ func TestDeadlineFlush(t *testing.T) {
 // out on its Wait otherwise) into one shared run.
 func TestSizeFlush(t *testing.T) {
 	const batch = 4
-	_, hs := newTestServer(t, Config{MaxBatch: batch, MaxDelay: time.Hour})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: batch, MaxDelay: time.Hour}})
 	parents := testParents(150, 2)
 	var wg sync.WaitGroup
 	errs := make([]error, batch)
@@ -136,7 +136,7 @@ func TestSizeFlush(t *testing.T) {
 // 429 instead of queueing without bound.
 func TestBackpressure429(t *testing.T) {
 	const limit = 2
-	_, hs := newTestServer(t, Config{MaxBatch: 1 << 20, MaxDelay: 300 * time.Millisecond, QueueLimit: limit})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 1 << 20, MaxDelay: 300 * time.Millisecond}, Limits: Limits{QueueLimit: limit}})
 	parents := testParents(100, 3)
 
 	const clients = 12
@@ -178,7 +178,7 @@ func TestBackpressure429(t *testing.T) {
 // visible to the next query — treefix sums answer for the grown tree,
 // and a delete renumbers back.
 func TestDynMutationThenQuery(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 8, MaxDelay: 5 * time.Millisecond}})
 	parents := testParents(80, 4)
 	var created DynCreateResponse
 	if err := postJSON(hs.URL, "/v1/dyn", DynCreateRequest{Parents: parents}, &created); err != nil {
@@ -233,7 +233,7 @@ func TestDynMutationThenQuery(t *testing.T) {
 // resolve (no dropped futures), and traffic after the drain must be
 // refused with 503.
 func TestGracefulDrain(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxBatch: 1 << 20, MaxDelay: 150 * time.Millisecond})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 1 << 20, MaxDelay: 150 * time.Millisecond}})
 	parents := testParents(120, 5)
 
 	const clients = 6
@@ -282,7 +282,7 @@ func TestGracefulDrain(t *testing.T) {
 // live. (Size flushes fire on the shards that fill MaxBatch; the
 // stragglers' partial batches go out on the deadline.)
 func TestConcurrentClientsCoalesce(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxBatch: 16, MaxDelay: 50 * time.Millisecond})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 16, MaxDelay: 50 * time.Millisecond}})
 
 	// The seeded forest: 4 registered trees, one shard each.
 	const forest = 4
@@ -354,7 +354,7 @@ func TestConcurrentClientsCoalesce(t *testing.T) {
 // registered trees stay servable, and ad-hoc query trees fall back to
 // ephemeral engines (served fine, nothing retained, still metered).
 func TestShardBudget(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond, MaxShards: 2})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 5 * time.Millisecond}, Limits: Limits{MaxShards: 2}})
 	var reg RegisterResponse
 	if err := postJSON(hs.URL, "/v1/trees", RegisterRequest{Parents: testParents(60, 20)}, &reg); err != nil {
 		t.Fatal(err)
@@ -397,7 +397,7 @@ func TestShardBudget(t *testing.T) {
 // half of MaxShards, so junk one-off traffic can never lock explicit
 // registration out of the shard budget.
 func TestAdHocBudgetSplit(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond, MaxShards: 4})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 5 * time.Millisecond}, Limits: Limits{MaxShards: 4}})
 	for seed := uint64(30); seed < 33; seed++ { // 3 distinct ad-hoc structures
 		if err := postJSON(hs.URL, "/v1/query", QueryRequest{
 			Parents: testParents(60, seed), Kind: "lca", Queries: []LCAQuery{{U: 0, V: 1}},
@@ -442,7 +442,7 @@ func TestAdHocBudgetSplit(t *testing.T) {
 
 // TestValidationErrors pins the HTTP error mapping.
 func TestValidationErrors(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 5 * time.Millisecond}})
 	parents := testParents(50, 6)
 	cases := []struct {
 		name string
@@ -458,7 +458,9 @@ func TestValidationErrors(t *testing.T) {
 		{"short treefix vals", "/v1/query", QueryRequest{Parents: parents, Kind: "treefix", Vals: []int64{1, 2}}, "400"},
 		{"bad op", "/v1/query", QueryRequest{Parents: parents, Kind: "treefix", Op: "mul"}, "400"},
 		{"unknown dyn shard", "/v1/dyn/d99/mutate", MutateRequest{Op: "insert"}, "404"},
-		{"bad mutate op", "/v1/dyn/d99/mutate", MutateRequest{Op: "swap"}, "404"}, // shard checked first
+		// Request faults report before shard routing: a cluster edge
+		// must reject an op it cannot route without knowing the shard.
+		{"bad mutate op", "/v1/dyn/d99/mutate", MutateRequest{Op: "swap"}, "400"},
 		{"bad register", "/v1/trees", RegisterRequest{Parents: []int{0, 0}}, "400"},
 	}
 	for _, tc := range cases {
@@ -482,7 +484,7 @@ func TestValidationErrors(t *testing.T) {
 // server runs on the sim backend: the closing assertion pins the model
 // cost attribution only the simulator produces.
 func TestMinCutAndTopDown(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: 5 * time.Millisecond, Backend: "sim"})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 5 * time.Millisecond}, Backend: "sim"})
 	// Path 0-1-2 with a heavy shortcut: the 1-respecting min cut is 6
 	// on either tree edge (see internal/mincut's known-graph test).
 	parents := []int{-1, 0, 1}

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"net/http"
 	"time"
 
 	"spatialtree/internal/engine"
@@ -98,7 +97,7 @@ type wireScratch struct {
 
 // serveConn runs one connection's frame loop.
 func (s *Server) serveConn(conn net.Conn) {
-	rd := wire.NewReader(bufio.NewReader(conn), int(s.cfg.BodyLimit))
+	rd := wire.NewReader(bufio.NewReader(conn), int(s.cfg.Limits.BodyLimit))
 	var (
 		q       wire.Query
 		res     wire.Result
@@ -112,15 +111,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	reuse := s.cfg.ShadowMeter <= 0
 
 	writeFrame := func(frame []byte) bool {
-		if t := s.cfg.TCPWriteTimeout; t > 0 {
+		if t := s.cfg.Timeouts.TCPWrite; t > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(t))
 		}
 		_, err := conn.Write(frame)
 		return err == nil
 	}
 
+	// badFrame answers a payload that failed decoding at the connection
+	// level — the stream is framed but the peer is speaking garbage, so
+	// the caller hangs up after it.
+	badFrame := func(err error) {
+		s.wireErrors.Add(1)
+		writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest, Msg: err.Error()}))
+	}
+
 	for {
-		if t := s.cfg.TCPIdleTimeout; t > 0 {
+		if t := s.cfg.Timeouts.TCPIdle; t > 0 {
 			// The deadline covers the whole frame read: it doubles as
 			// the slow-write guard HTTP gets from ReadTimeout, so a
 			// client trickling a frame byte-by-byte cannot hold the
@@ -160,11 +167,54 @@ func (s *Server) serveConn(conn net.Conn) {
 				wq, sc = new(wire.Query), new(wireScratch)
 			}
 			if err := wq.Decode(payload); err != nil {
-				s.wireErrors.Add(1)
-				writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest, Msg: err.Error()}))
+				badFrame(err)
 				return
 			}
 			out = s.serveWireQuery(out[:0], wq, &res, sc)
+			if !writeFrame(out) {
+				return
+			}
+		case wire.FrameDynCreate:
+			var dc wire.DynCreate
+			if err := dc.Decode(payload); err != nil {
+				badFrame(err)
+				return
+			}
+			out = s.serveWireDynCreate(out[:0], &dc)
+			if !writeFrame(out) {
+				return
+			}
+		case wire.FrameMutate:
+			var m wire.Mutate
+			if err := m.Decode(payload); err != nil {
+				badFrame(err)
+				return
+			}
+			out = s.serveWireMutate(out[:0], &m)
+			if !writeFrame(out) {
+				return
+			}
+		case wire.FrameRepSnapshot:
+			var rs wire.RepSnapshot
+			if err := rs.Decode(payload); err != nil {
+				badFrame(err)
+				return
+			}
+			out = s.serveWireRep(out[:0], rs.ID, rs.ShardID, func(h ClusterHooks) (uint64, uint8, string) {
+				return h.ApplySnapshot(rs.ShardID, rs.Blob)
+			})
+			if !writeFrame(out) {
+				return
+			}
+		case wire.FrameRepRecords:
+			var rr wire.RepRecords
+			if err := rr.Decode(payload); err != nil {
+				badFrame(err)
+				return
+			}
+			out = s.serveWireRep(out[:0], rr.ID, rr.ShardID, func(h ClusterHooks) (uint64, uint8, string) {
+				return h.ApplyRecords(rr.ShardID, rr.Recs)
+			})
 			if !writeFrame(out) {
 				return
 			}
@@ -177,68 +227,118 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// admitWire performs the bounded-queue admission shared by every
+// client-originated wire frame: the same QueueLimit backpressure, drain
+// tracking and counters as the HTTP layer, so /metrics reports one
+// serving truth. A nil release means the request was refused with the
+// returned status; otherwise the caller must defer release.
+func (s *Server) admitWire() (release func(), status wire.Status, msg string) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return nil, wire.StatusTooMany, "request queue full"
+	}
+	if !s.enter() {
+		<-s.sem
+		return nil, wire.StatusUnavailable, "server is draining"
+	}
+	s.accepted.Add(1)
+	return func() {
+		<-s.sem
+		s.exit()
+	}, 0, ""
+}
+
 // serveWireQuery admits, routes, executes and encodes one query,
 // appending the response frame (result or error) to out. It mirrors
 // the HTTP path stage for stage: the same bounded-queue admission and
-// counters, the same shard routing, the same error classification.
+// counters, the same shard routing (including the cluster hooks), the
+// same error classification.
 func (s *Server) serveWireQuery(out []byte, q *wire.Query, res *wire.Result, scratch *wireScratch) []byte {
 	s.wireQueries.Add(1)
 	fail := func(status wire.Status, msg string) []byte {
 		return wire.AppendError(out, &wire.Error{ID: q.ID, Status: status, Msg: msg})
 	}
 
-	// Admission: the bounded in-flight queue (QueueLimit → backpressure
-	// the client can see) and drain tracking, sharing the HTTP layer's
-	// counters so /metrics reports one serving truth.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.rejected.Add(1)
-		return fail(wire.StatusTooMany, "request queue full")
+	release, status, msg := s.admitWire()
+	if release == nil {
+		return fail(status, msg)
 	}
-	if !s.enter() {
-		<-s.sem
-		return fail(wire.StatusUnavailable, "server is draining")
-	}
-	s.accepted.Add(1)
-	defer func() {
-		<-s.sem
-		s.exit()
-	}()
+	defer release()
 
-	// Routing, as in handleQuery. The frame format routes by exactly one
-	// of tree id / parents by construction, so the HTTP both-set 400 has
-	// no binary counterpart.
-	var t *tree.Tree
+	// Routing, as in handleQuery/handleDynQuery. The frame format routes
+	// by exactly one of shard id / tree id / parents by construction, so
+	// the HTTP both-set 400 has no binary counterpart.
+	var (
+		sh      submitter
+		getTree func() (*tree.Tree, error)
+		retire  = func() {}
+	)
 	switch {
+	case q.ShardID != "":
+		s.mu.Lock()
+		de := s.dyns[q.ShardID]
+		s.mu.Unlock()
+		if de == nil {
+			if h := s.clusterHooks(); h != nil {
+				// Cluster slow path by design: proxied and redirected
+				// queries convert through the JSON request types; only
+				// locally served frames stay zero-alloc.
+				resp, handled, err := h.ShardQuery(q.ShardID, queryRequestFromWire(q))
+				if err != nil {
+					return fail(wireErr(err))
+				}
+				if handled {
+					*res = wireResultFromResponse(q.ID, q.Kind, resp)
+					return wire.AppendResult(out, res)
+				}
+				// handled == false: the hook decided the shard is local —
+				// possibly promoted from a replica just now — so look
+				// again before giving up.
+				s.mu.Lock()
+				de = s.dyns[q.ShardID]
+				s.mu.Unlock()
+			}
+			if de == nil {
+				return fail(wire.StatusNotFound, "unknown shard_id "+q.ShardID)
+			}
+		}
+		sh, getTree = de, de.Tree
 	case q.TreeID != "":
 		s.mu.Lock()
-		t = s.trees[q.TreeID]
+		t := s.trees[q.TreeID]
 		s.mu.Unlock()
 		if t == nil {
 			return fail(wire.StatusNotFound, "unknown tree_id "+q.TreeID)
 		}
+		eng, ret, err := s.engineFor(t)
+		if err != nil {
+			return fail(wireErr(err))
+		}
+		sh, getTree, retire = eng, func() (*tree.Tree, error) { return t, nil }, ret
 	case len(q.Parents) > 0:
-		var err error
-		if t, err = tree.FromParents(q.Parents); err != nil {
+		t, err := tree.FromParents(q.Parents)
+		if err != nil {
 			return fail(wire.StatusBadRequest, err.Error())
 		}
+		eng, ret, err := s.engineFor(t)
+		if err != nil {
+			return fail(wireErr(err))
+		}
+		sh, getTree, retire = eng, func() (*tree.Tree, error) { return t, nil }, ret
 	default:
-		return fail(wire.StatusBadRequest, "tree_id or parents required")
-	}
-	eng, retire, err := s.engineFor(t)
-	if err != nil {
-		return fail(wire.StatusInternal, err.Error())
+		return fail(wire.StatusBadRequest, "shard_id, tree_id or parents required")
 	}
 	defer retire()
 
-	fut, err := submitWire(eng, q, t, scratch)
+	fut, err := submitWire(sh, q, getTree, scratch)
 	if err != nil {
-		return fail(wireStatus(err), err.Error())
+		return fail(wireErr(err))
 	}
 	r := fut.Wait()
 	if r.Err != nil {
-		return fail(wireStatus(r.Err), r.Err.Error())
+		return fail(wireErr(r.Err))
 	}
 
 	*res = wire.Result{
@@ -259,22 +359,171 @@ func (s *Server) serveWireQuery(out []byte, q *wire.Query, res *wire.Result, scr
 	return wire.AppendResult(out, res)
 }
 
-// wireStatus is errStatus in the binary protocol's vocabulary — the
-// mirrored classification the HTTP layer documents.
-func wireStatus(err error) wire.Status {
-	if errStatus(err) == http.StatusBadRequest {
-		return wire.StatusBadRequest
+// serveWireDynCreate serves one FrameDynCreate: the binary twin of
+// POST /v1/dyn, routed through the cluster hooks exactly as the HTTP
+// handler is. A frame naming its shard id is the cluster owner path —
+// the proxying peer already routed the id here, so it must be created
+// locally (re-routing would bounce between skewed ring views).
+func (s *Server) serveWireDynCreate(out []byte, dc *wire.DynCreate) []byte {
+	s.wireQueries.Add(1)
+	fail := func(status wire.Status, msg string) []byte {
+		return wire.AppendError(out, &wire.Error{ID: dc.ID, Status: status, Msg: msg})
 	}
-	return wire.StatusInternal
+	release, status, msg := s.admitWire()
+	if release == nil {
+		return fail(status, msg)
+	}
+	defer release()
+	var res DynCreateResult
+	var err error
+	if dc.ShardID != "" {
+		res, err = s.DynCreateLocal(dc.ShardID, dc.Parents, dc.Epsilon, dc.Backend)
+	} else {
+		res, err = s.dynCreate(dc.Parents, dc.Epsilon, dc.Backend)
+	}
+	if err != nil {
+		return fail(wireErr(err))
+	}
+	return wire.AppendDynCreated(out, &wire.DynCreated{ID: dc.ID, ShardID: res.ID, N: res.N, Backend: res.Backend})
+}
+
+// serveWireMutate serves one FrameMutate: the binary twin of
+// POST /v1/dyn/{id}/mutate, routed through the cluster hooks.
+func (s *Server) serveWireMutate(out []byte, m *wire.Mutate) []byte {
+	s.wireQueries.Add(1)
+	fail := func(status wire.Status, msg string) []byte {
+		return wire.AppendError(out, &wire.Error{ID: m.ID, Status: status, Msg: msg})
+	}
+	release, status, msg := s.admitWire()
+	if release == nil {
+		return fail(status, msg)
+	}
+	defer release()
+	res, err := s.mutate(m.ShardID, m.Op, m.Arg)
+	if err != nil {
+		return fail(wireErr(err))
+	}
+	return wire.AppendMutated(out, &wire.Mutated{ID: m.ID, Vertex: res.Vertex, Moved: res.Moved, Epoch: res.Epoch, N: res.N})
+}
+
+// serveWireRep serves one replication frame (FrameRepSnapshot or
+// FrameRepRecords), answering with a RepAck. Replication deliberately
+// bypasses the admission queue: an owner's mutation holds an admission
+// slot while it waits for follower acks, so a follower whose apply had
+// to queue behind that same bounded queue could deadlock the cluster at
+// saturation. Replication traffic is peer-originated and bounded by the
+// peer count, not by untrusted clients.
+func (s *Server) serveWireRep(out []byte, id uint64, shardID string, apply func(ClusterHooks) (uint64, uint8, string)) []byte {
+	h := s.clusterHooks()
+	if h == nil {
+		return wire.AppendError(out, &wire.Error{ID: id, Status: wire.StatusBadRequest, Msg: "not a cluster node"})
+	}
+	cursor, code, msg := apply(h)
+	return wire.AppendRepAck(out, &wire.RepAck{ID: id, ShardID: shardID, Cursor: cursor, Code: code, Msg: msg})
+}
+
+// queryRequestFromWire converts a decoded binary query into its JSON
+// twin for the cluster proxy path. Scalar slices are borrowed, not
+// copied: the hook call consuming the request is synchronous, finishing
+// before the connection reuses its decode buffers.
+func queryRequestFromWire(q *wire.Query) *QueryRequest {
+	req := &QueryRequest{Kind: wire.KindName(q.Kind), Op: q.Op, Vals: q.Vals}
+	switch q.Kind {
+	case wire.KindLCA:
+		req.Queries = make([]LCAQuery, len(q.Queries))
+		for i, lq := range q.Queries {
+			req.Queries[i] = LCAQuery{U: lq.U, V: lq.V}
+		}
+	case wire.KindMinCut:
+		req.Edges = make([]GraphEdge, len(q.Edges))
+		for i, e := range q.Edges {
+			req.Edges[i] = GraphEdge{U: e.U, V: e.V, W: e.W}
+		}
+	case wire.KindExpr:
+		req.ExprKinds = make([]int, len(q.ExprKinds))
+		for i, k := range q.ExprKinds {
+			req.ExprKinds[i] = int(k)
+		}
+	}
+	return req
+}
+
+// wireResultFromResponse converts a proxied JSON response back into the
+// binary result answering frame id.
+func wireResultFromResponse(id uint64, kind uint8, resp *QueryResponse) wire.Result {
+	res := wire.Result{
+		ID:      id,
+		Kind:    kind,
+		Sums:    resp.Sums,
+		Answers: resp.Answers,
+		Cost:    wire.Cost{Energy: resp.Cost.Energy, Messages: resp.Cost.Messages, Depth: resp.Cost.Depth},
+	}
+	if resp.MinCut != nil {
+		res.MinWeight, res.ArgVertex = resp.MinCut.MinWeight, resp.MinCut.ArgVertex
+	}
+	if resp.Value != nil {
+		res.Value = *resp.Value
+	}
+	return res
+}
+
+// WireQueryFromRequest converts a JSON query request into the binary
+// query the cluster proxy forwards to a shard owner.
+func WireQueryFromRequest(id uint64, shardID string, req *QueryRequest) (*wire.Query, error) {
+	kind, ok := wire.KindByName(req.Kind)
+	if !ok {
+		return nil, statusErrf(StatusBadRequest, "unknown kind %q (want treefix, topdown, lca, mincut or expr)", req.Kind)
+	}
+	q := &wire.Query{ID: id, Kind: kind, ShardID: shardID, Op: req.Op, Vals: req.Vals}
+	switch kind {
+	case wire.KindLCA:
+		q.Queries = make([]wire.LCAQuery, len(req.Queries))
+		for i, lq := range req.Queries {
+			q.Queries[i] = wire.LCAQuery{U: lq.U, V: lq.V}
+		}
+	case wire.KindMinCut:
+		q.Edges = make([]wire.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			q.Edges[i] = wire.Edge{U: e.U, V: e.V, W: e.W}
+		}
+	case wire.KindExpr:
+		q.ExprKinds = make([]uint8, len(req.ExprKinds))
+		for i, k := range req.ExprKinds {
+			if k < 0 || k > 255 {
+				return nil, statusErrf(StatusBadRequest, "expr_kinds[%d] = %d (want 0=leaf, 1=add or 2=mul)", i, k)
+			}
+			q.ExprKinds[i] = uint8(k)
+		}
+	}
+	return q, nil
+}
+
+// QueryResponseFromWire converts a binary result received from a shard
+// owner into the JSON response the proxying node returns to its client.
+func QueryResponseFromWire(res *wire.Result) *QueryResponse {
+	resp := &QueryResponse{
+		Sums:    res.Sums,
+		Answers: res.Answers,
+		Cost:    Cost{Energy: res.Cost.Energy, Messages: res.Cost.Messages, Depth: res.Cost.Depth},
+	}
+	switch res.Kind {
+	case wire.KindMinCut:
+		resp.MinCut = &MinCutResult{MinWeight: res.MinWeight, ArgVertex: res.ArgVertex}
+	case wire.KindExpr:
+		v := res.Value
+		resp.Value = &v
+	}
+	return resp
 }
 
 // submitWire enqueues a decoded binary query on the shard, converting
 // its payload into the kernel types through the connection's reusable
-// scratch. Identical dispatch and validation to submit; t is the routed
-// tree (needed to build expr submissions).
+// scratch. Identical dispatch and validation to submit; getTree
+// supplies the routed tree (consulted only for expr submissions — for a
+// dyn shard it snapshots the current tree).
 //
 //spatialvet:errclass
-func submitWire(sh submitter, q *wire.Query, t *tree.Tree, scratch *wireScratch) (*engine.Future, error) {
+func submitWire(sh submitter, q *wire.Query, getTree func() (*tree.Tree, error), scratch *wireScratch) (*engine.Future, error) {
 	switch q.Kind {
 	case wire.KindTreefix, wire.KindTopDown:
 		opName := q.Op
@@ -304,6 +553,10 @@ func submitWire(sh submitter, q *wire.Query, t *tree.Tree, scratch *wireScratch)
 		scratch.edges = es
 		return sh.SubmitMinCut(es), nil
 	case wire.KindExpr:
+		t, err := getTree()
+		if err != nil {
+			return nil, err
+		}
 		ks := scratch.kinds[:0]
 		for _, k := range q.ExprKinds {
 			if k > uint8(exprtree.Mul) {

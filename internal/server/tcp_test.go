@@ -31,7 +31,7 @@ func newWireServer(t *testing.T, s *Server) *wire.Client {
 	}
 	go func() { _ = s.ServeBinary(ln) }()
 	t.Cleanup(s.CloseBinary)
-	cl, err := wire.Dial(ln.Addr().String(), 5*time.Second)
+	cl, err := wire.Dial(ln.Addr().String(), wire.DialOptions{DialTimeout: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func newWireServer(t *testing.T, s *Server) *wire.Client {
 // return identical results over the binary protocol and over HTTP/JSON
 // against the same shard.
 func TestWireDifferential(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxBatch: 8, MaxDelay: 2 * time.Millisecond})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 8, MaxDelay: 2 * time.Millisecond}})
 	cl := newWireServer(t, s)
 
 	// The shard under test is a full binary tree so kind "expr" works on
@@ -169,7 +169,7 @@ func TestWireDifferential(t *testing.T) {
 // unknown trees StatusNotFound, and the connection survives all of
 // them (application errors are answers, not protocol failures).
 func TestWireErrorClassification(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond})
+	s, _ := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}})
 	cl := newWireServer(t, s)
 	parents := testParents(50, 6)
 
@@ -210,7 +210,7 @@ func TestWireErrorClassification(t *testing.T) {
 // StatusTooMany — the binary counterpart of HTTP 429 — with the shared
 // rejection counter advancing.
 func TestWireBackpressure(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxBatch: 1 << 20, MaxDelay: 300 * time.Millisecond, QueueLimit: 2})
+	s, _ := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 1 << 20, MaxDelay: 300 * time.Millisecond}, Limits: Limits{QueueLimit: 2}})
 	parents := testParents(100, 3)
 
 	const clients = 12
@@ -250,7 +250,7 @@ func TestWireBackpressure(t *testing.T) {
 // StatusUnavailable — the 503 counterpart — and in-flight binary
 // requests resolve rather than drop.
 func TestWireDrain(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxBatch: 1 << 20, MaxDelay: 150 * time.Millisecond})
+	s, _ := newTestServer(t, Config{Scheduler: Scheduler{MaxBatch: 1 << 20, MaxDelay: 150 * time.Millisecond}})
 	parents := testParents(120, 5)
 
 	const clients = 4
@@ -290,7 +290,7 @@ func TestWireDrain(t *testing.T) {
 // is closed by the server — the binary counterpart of the HTTP
 // listener's slow-loris guards.
 func TestWireIdleTimeout(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond, TCPIdleTimeout: 50 * time.Millisecond})
+	s, _ := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}, Timeouts: Timeouts{TCPIdle: 50 * time.Millisecond}})
 	cl := newWireServer(t, s)
 	if err := cl.Ping(); err != nil {
 		t.Fatal(err)
@@ -310,7 +310,7 @@ func TestWireIdleTimeout(t *testing.T) {
 // TestWireMetrics: the /metrics wire section appears once the binary
 // listener serves and counts connections and queries.
 func TestWireMetrics(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}})
 	if got := getMetrics(t, hs.URL).Wire; got != nil {
 		t.Fatalf("wire metrics = %+v before any binary listener, want absent", got)
 	}
@@ -330,7 +330,7 @@ func TestWireMetrics(t *testing.T) {
 // StatusBadRequest error and hangs up, and the protocol error counter
 // advances.
 func TestWireCorruptFrame(t *testing.T) {
-	s, hs := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond})
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -375,7 +375,7 @@ func TestWireCorruptFrame(t *testing.T) {
 // parents contract: POST /v1/query with both fields populated must be
 // a 400, not silently route by one of them.
 func TestHTTPBothRoutesRejected(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}})
 	parents := testParents(30, 9)
 	var reg RegisterResponse
 	if err := postJSON(hs.URL, "/v1/trees", RegisterRequest{Parents: parents}, &reg); err != nil {
@@ -398,7 +398,7 @@ func TestHTTPBothRoutesRejected(t *testing.T) {
 // TestHTTPExpr: kind "expr" over HTTP evaluates the expression tree and
 // validates its inputs (bad node kinds and non-binary shapes are 400s).
 func TestHTTPExpr(t *testing.T) {
-	_, hs := newTestServer(t, Config{MaxDelay: 2 * time.Millisecond})
+	_, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: 2 * time.Millisecond}})
 	ex := exprtree.Random(32, rng.New(11))
 	parents := ex.Tree.Parents()
 	kinds := make([]int, len(ex.Kind))

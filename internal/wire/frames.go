@@ -1,0 +1,417 @@
+package wire
+
+// Mutation and replication frames (PR 8). DynCreate/Mutate are the
+// binary twins of POST /v1/dyn and /v1/dyn/{id}/mutate, added so
+// cluster nodes can proxy dyn traffic to shard owners over the same
+// protocol clients speak. RepSnapshot/RepRecords/RepAck are the
+// log-shipping replication conversation: the owner ships a full state
+// blob (internal/persist's snapshot codec, opaque here) or the WAL
+// records past the follower's apply cursor, and the follower acks with
+// the cursor it reached — or asks for a resync when it sees an epoch
+// gap. All server→client frames lead with the request ID, so one
+// pipelined connection multiplexes every conversation kind.
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Mutation opcodes (shared with the Mutated frame and, by value, with
+// internal/persist's record types).
+const (
+	// OpInsert inserts a leaf under Arg (the parent vertex).
+	OpInsert = 1
+	// OpDelete deletes leaf Arg.
+	OpDelete = 2
+)
+
+// Replication ack codes.
+const (
+	// AckOK: the follower applied everything shipped; Cursor is its new
+	// apply cursor.
+	AckOK = 0
+	// AckNeedSync: the shipped records leave an epoch gap (or address an
+	// unknown shard); the owner must ship a RepSnapshot first. Cursor is
+	// the follower's current cursor.
+	AckNeedSync = 1
+	// AckRefused: the follower rejected the shipment (apply divergence,
+	// storage failure); Msg says why. The owner treats the follower as
+	// failed.
+	AckRefused = 2
+)
+
+// DynCreate asks the server to create a mutable shard from Parents.
+// ShardID "" lets the server assign the id (the single-node behavior);
+// a cluster owner receives the id its proxy already routed on.
+type DynCreate struct {
+	ID      uint64
+	ShardID string
+	Parents []int
+	// Epsilon is the drift budget (0 means the server default).
+	Epsilon float64
+	// Backend overrides the serving backend ("" means the server
+	// default).
+	Backend string
+}
+
+// DynCreated answers a DynCreate.
+type DynCreated struct {
+	ID      uint64
+	ShardID string
+	N       int
+	Backend string
+}
+
+// Mutate inserts or deletes a leaf of a mutable shard: Op is OpInsert
+// (Arg = parent vertex) or OpDelete (Arg = leaf).
+type Mutate struct {
+	ID      uint64
+	ShardID string
+	Op      uint8
+	Arg     int
+}
+
+// Mutated answers a Mutate: Vertex is the inserted leaf (OpInsert),
+// Moved the vertex renamed into the hole (OpDelete), Epoch and N the
+// shard's state after the mutation.
+type Mutated struct {
+	ID     uint64
+	Vertex int
+	Moved  int
+	Epoch  uint64
+	N      int
+}
+
+// RepSnapshot resets a follower's replica of ShardID to Blob, a full
+// dyn shard state in internal/persist's snapshot encoding (opaque at
+// the wire layer).
+type RepSnapshot struct {
+	ID      uint64
+	ShardID string
+	Blob    []byte
+}
+
+// RepRecord is one shipped WAL mutation record: Type is OpInsert or
+// OpDelete, Epoch the shard epoch the mutation produced, Arg its
+// argument and Result its result (the inserted vertex / moved vertex) —
+// the follower verifies its replay reproduces Result exactly.
+type RepRecord struct {
+	Type   uint8
+	Epoch  uint64
+	Arg    int64
+	Result int64
+}
+
+// RepRecords ships the WAL records of ShardID past the follower's
+// cursor, in epoch order.
+type RepRecords struct {
+	ID      uint64
+	ShardID string
+	Recs    []RepRecord
+}
+
+// RepAck answers a RepSnapshot or RepRecords with the follower's apply
+// cursor (the last epoch it holds) and an ack code.
+type RepAck struct {
+	ID      uint64
+	ShardID string
+	Cursor  uint64
+	Code    uint8
+	Msg     string
+}
+
+// AppendDynCreate appends c as one frame to dst.
+func AppendDynCreate(dst []byte, c *DynCreate) []byte {
+	return appendFrame(dst, FrameDynCreate, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, c.ID)
+		b = appendStr(b, c.ShardID)
+		b = binary.AppendUvarint(b, uint64(len(c.Parents)))
+		for _, p := range c.Parents {
+			b = binary.AppendVarint(b, int64(p))
+		}
+		b = binary.AppendUvarint(b, math.Float64bits(c.Epsilon))
+		b = appendStr(b, c.Backend)
+		return b
+	})
+}
+
+// Decode decodes the payload of a dyn-create frame into c.
+//
+//spatialvet:errclass
+func (c *DynCreate) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if c.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if c.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	n, err := d.count("vertex")
+	if err != nil {
+		return err
+	}
+	c.Parents = growInts(c.Parents[:0], n)
+	for i := range c.Parents {
+		p, err := d.varint()
+		if err != nil {
+			return err
+		}
+		c.Parents[i] = int(p)
+	}
+	bits, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	c.Epsilon = math.Float64frombits(bits)
+	if c.Backend, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	return d.drained()
+}
+
+// AppendDynCreated appends c as one frame to dst.
+func AppendDynCreated(dst []byte, c *DynCreated) []byte {
+	return appendFrame(dst, FrameDynCreated, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, c.ID)
+		b = appendStr(b, c.ShardID)
+		b = binary.AppendUvarint(b, uint64(c.N))
+		b = appendStr(b, c.Backend)
+		return b
+	})
+}
+
+// Decode decodes the payload of a dyn-created frame into c.
+//
+//spatialvet:errclass
+func (c *DynCreated) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if c.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if c.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	c.N = int(n)
+	if c.Backend, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	return d.drained()
+}
+
+// AppendMutate appends m as one frame to dst.
+func AppendMutate(dst []byte, m *Mutate) []byte {
+	return appendFrame(dst, FrameMutate, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, m.ID)
+		b = appendStr(b, m.ShardID)
+		b = append(b, m.Op)
+		b = binary.AppendVarint(b, int64(m.Arg))
+		return b
+	})
+}
+
+// Decode decodes the payload of a mutate frame into m.
+//
+//spatialvet:errclass
+func (m *Mutate) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if m.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if m.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	if m.Op, err = d.byte(); err != nil {
+		return err
+	}
+	if m.Op != OpInsert && m.Op != OpDelete {
+		return corruptf("unknown mutation op %d", m.Op)
+	}
+	arg, err := d.varint()
+	if err != nil {
+		return err
+	}
+	m.Arg = int(arg)
+	return d.drained()
+}
+
+// AppendMutated appends m as one frame to dst.
+func AppendMutated(dst []byte, m *Mutated) []byte {
+	return appendFrame(dst, FrameMutated, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, m.ID)
+		b = binary.AppendVarint(b, int64(m.Vertex))
+		b = binary.AppendVarint(b, int64(m.Moved))
+		b = binary.AppendUvarint(b, m.Epoch)
+		b = binary.AppendUvarint(b, uint64(m.N))
+		return b
+	})
+}
+
+// Decode decodes the payload of a mutated frame into m.
+//
+//spatialvet:errclass
+func (m *Mutated) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if m.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	v, err := d.varint()
+	if err != nil {
+		return err
+	}
+	m.Vertex = int(v)
+	if v, err = d.varint(); err != nil {
+		return err
+	}
+	m.Moved = int(v)
+	if m.Epoch, err = d.uvarint(); err != nil {
+		return err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	m.N = int(n)
+	return d.drained()
+}
+
+// AppendRepSnapshot appends s as one frame to dst.
+func AppendRepSnapshot(dst []byte, s *RepSnapshot) []byte {
+	return appendFrame(dst, FrameRepSnapshot, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, s.ID)
+		b = appendStr(b, s.ShardID)
+		b = binary.AppendUvarint(b, uint64(len(s.Blob)))
+		b = append(b, s.Blob...)
+		return b
+	})
+}
+
+// Decode decodes the payload of a rep-snapshot frame into s. The blob
+// is freshly allocated: it outlives the reader's frame buffer.
+//
+//spatialvet:errclass
+func (s *RepSnapshot) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if s.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if s.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	n, err := d.count("blob byte")
+	if err != nil {
+		return err
+	}
+	s.Blob = append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return d.drained()
+}
+
+// AppendRepRecords appends r as one frame to dst.
+func AppendRepRecords(dst []byte, r *RepRecords) []byte {
+	return appendFrame(dst, FrameRepRecords, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, r.ID)
+		b = appendStr(b, r.ShardID)
+		b = binary.AppendUvarint(b, uint64(len(r.Recs)))
+		for _, rec := range r.Recs {
+			b = append(b, rec.Type)
+			b = binary.AppendUvarint(b, rec.Epoch)
+			b = binary.AppendVarint(b, rec.Arg)
+			b = binary.AppendVarint(b, rec.Result)
+		}
+		return b
+	})
+}
+
+// Decode decodes the payload of a rep-records frame into r, reusing
+// r.Recs when its capacity suffices.
+//
+//spatialvet:errclass
+func (r *RepRecords) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if r.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if r.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	n, err := d.count("record")
+	if err != nil {
+		return err
+	}
+	if cap(r.Recs) < n {
+		r.Recs = make([]RepRecord, n)
+	}
+	r.Recs = r.Recs[:n]
+	for i := range r.Recs {
+		rec := &r.Recs[i]
+		if rec.Type, err = d.byte(); err != nil {
+			return err
+		}
+		if rec.Type != OpInsert && rec.Type != OpDelete {
+			return corruptf("unknown record type %d", rec.Type)
+		}
+		if rec.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		if rec.Arg, err = d.varint(); err != nil {
+			return err
+		}
+		if rec.Result, err = d.varint(); err != nil {
+			return err
+		}
+	}
+	return d.drained()
+}
+
+// AppendRepAck appends a as one frame to dst.
+func AppendRepAck(dst []byte, a *RepAck) []byte {
+	return appendFrame(dst, FrameRepAck, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, a.ID)
+		b = appendStr(b, a.ShardID)
+		b = binary.AppendUvarint(b, a.Cursor)
+		b = append(b, a.Code)
+		msg := a.Msg
+		if len(msg) > maxErrLen {
+			msg = msg[:maxErrLen]
+		}
+		b = appendStr(b, msg)
+		return b
+	})
+}
+
+// Decode decodes the payload of a rep-ack frame into a.
+//
+//spatialvet:errclass
+func (a *RepAck) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if a.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if a.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	if a.Cursor, err = d.uvarint(); err != nil {
+		return err
+	}
+	if a.Code, err = d.byte(); err != nil {
+		return err
+	}
+	if a.Code > AckRefused {
+		return corruptf("unknown ack code %d", a.Code)
+	}
+	if a.Msg, err = d.str(maxErrLen); err != nil {
+		return err
+	}
+	return d.drained()
+}

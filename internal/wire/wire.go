@@ -93,6 +93,26 @@ const (
 	FramePing = 4
 	// FramePong answers a ping (server → client).
 	FramePong = 5
+	// FrameDynCreate carries a DynCreate (client → server): create a
+	// mutable shard.
+	FrameDynCreate = 6
+	// FrameDynCreated carries a DynCreated (server → client).
+	FrameDynCreated = 7
+	// FrameMutate carries a Mutate (client → server): insert/delete a
+	// leaf of a mutable shard.
+	FrameMutate = 8
+	// FrameMutated carries a Mutated (server → client).
+	FrameMutated = 9
+	// FrameRepSnapshot carries a RepSnapshot (owner → follower): a full
+	// dyn shard state the follower resets its replica to. The blob is
+	// opaque to this package (internal/persist's snapshot codec).
+	FrameRepSnapshot = 10
+	// FrameRepRecords carries a RepRecords (owner → follower): WAL
+	// mutation records past the follower's apply cursor.
+	FrameRepRecords = 11
+	// FrameRepAck carries a RepAck (follower → owner): the follower's
+	// apply cursor after a RepSnapshot/RepRecords, or a resync request.
+	FrameRepAck = 12
 )
 
 // Magic is the frame magic, first on the wire.
@@ -127,6 +147,24 @@ func KindName(k uint8) string {
 	return ""
 }
 
+// KindByName maps an HTTP API kind string to the binary query kind;
+// ok is false for an unknown name.
+func KindByName(name string) (kind uint8, ok bool) {
+	switch name {
+	case "treefix":
+		return KindTreefix, true
+	case "topdown":
+		return KindTopDown, true
+	case "lca":
+		return KindLCA, true
+	case "mincut":
+		return KindMinCut, true
+	case "expr":
+		return KindExpr, true
+	}
+	return 0, false
+}
+
 // Status is the binary protocol's response status, mirroring the HTTP
 // layer's classification: client-fault statuses correspond to 4xx,
 // StatusInternal to 500.
@@ -141,6 +179,11 @@ const (
 	StatusUnavailable Status = 4 // server draining (HTTP 503)
 	StatusTooLarge    Status = 5 // frame beyond the size limit (HTTP 413)
 	StatusInternal    Status = 6 // server-side failure (HTTP 500)
+	// StatusRedirect reports that another cluster node owns the shard
+	// the request addressed; the error message carries the owner's
+	// binary-protocol address. Smart clients re-issue the request there
+	// (HTTP 421).
+	StatusRedirect Status = 7
 )
 
 // HTTPStatus returns the HTTP status code the same condition maps to on
@@ -159,6 +202,8 @@ func (s Status) HTTPStatus() int {
 		return 503
 	case StatusTooLarge:
 		return 413
+	case StatusRedirect:
+		return 421
 	}
 	return 500
 }
@@ -179,6 +224,8 @@ func (s Status) String() string {
 		return "frame too large"
 	case StatusInternal:
 		return "internal error"
+	case StatusRedirect:
+		return "redirect"
 	}
 	return fmt.Sprintf("status %d", uint8(s))
 }
@@ -187,6 +234,7 @@ func (s Status) String() string {
 const (
 	routeTreeID  = 1
 	routeParents = 2
+	routeShard   = 3
 )
 
 // ErrCorrupt reports a frame that failed structural validation: bad
@@ -222,14 +270,17 @@ type Edge struct {
 type Cost struct{ Energy, Messages, Depth int64 }
 
 // Query is one request, the binary twin of the HTTP API's QueryRequest.
-// Exactly one of TreeID / Parents routes it (the frame format makes
-// the choice explicit, so "both set" is unrepresentable). Vals carries
+// Exactly one of ShardID / TreeID / Parents routes it (the frame format
+// makes the choice explicit, so "both set" is unrepresentable): ShardID
+// addresses a mutable shard (the binary twin of /v1/dyn/{id}/query),
+// TreeID a registered tree, Parents an ad-hoc tree. Vals carries
 // treefix/topdown inputs and expr leaf constants; ExprKinds labels
 // expr vertices (0 = leaf, 1 = add, 2 = mul).
 type Query struct {
 	// ID correlates the response; the client assigns it (never 0).
 	ID        uint64
 	Kind      uint8
+	ShardID   string
 	TreeID    string
 	Parents   []int
 	Op        string
@@ -308,7 +359,10 @@ func AppendQuery(dst []byte, q *Query) []byte {
 	return appendFrame(dst, FrameQuery, func(b []byte) []byte {
 		b = binary.AppendUvarint(b, q.ID)
 		b = append(b, q.Kind)
-		if q.TreeID != "" {
+		if q.ShardID != "" {
+			b = append(b, routeShard)
+			b = appendStr(b, q.ShardID)
+		} else if q.TreeID != "" {
 			b = append(b, routeTreeID)
 			b = appendStr(b, q.TreeID)
 		} else {
@@ -418,8 +472,12 @@ func (q *Query) Decode(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	q.TreeID, q.Parents = "", q.Parents[:0]
+	q.ShardID, q.TreeID, q.Parents = "", "", q.Parents[:0]
 	switch route {
+	case routeShard:
+		if q.ShardID, err = d.str(maxNameLen); err != nil {
+			return err
+		}
 	case routeTreeID:
 		if q.TreeID, err = d.str(maxNameLen); err != nil {
 			return err

@@ -320,7 +320,7 @@ func TestClientAgainstEchoServer(t *testing.T) {
 		}
 	}()
 
-	c, err := Dial(ln.Addr().String(), time.Second)
+	c, err := Dial(ln.Addr().String(), DialOptions{DialTimeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestClientConnectionError(t *testing.T) {
 		conn.Read(buf)
 		conn.Close()
 	}()
-	c, err := Dial(ln.Addr().String(), time.Second)
+	c, err := Dial(ln.Addr().String(), DialOptions{DialTimeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
