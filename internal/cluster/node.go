@@ -49,10 +49,16 @@ type Node struct {
 
 	peers map[string]*peer // fixed at New; the *peer values self-lock
 
-	mu    sync.Mutex //spatialvet:lockclass routing
-	reps  map[string]*replica
-	owned map[string]*ownedShard
-	seq   uint64
+	stop     chan struct{} // closed by Close; unblocks workers and waiters
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex //spatialvet:lockclass routing
+	reps      map[string]*replica
+	owned     map[string]*ownedShard
+	pending   map[string]*handback         // shards mid-rejoin-handback
+	conflicts map[string]map[string]string // shard → follower → refusal (terminal ship suspensions)
+	seq       uint64
 }
 
 // peer tracks one remote member: its client connection and its
@@ -63,6 +69,18 @@ type peer struct {
 	mu        sync.Mutex //spatialvet:lockclass routing
 	c         *wire.Client
 	downUntil time.Time
+	// probeStart is when the current half-open probe was granted: after
+	// downUntil expires, exactly one alive() caller per DownFor window
+	// reports the peer live (and so dials it); everyone else keeps
+	// routing around until the probe resolves. Zero means no probe out.
+	probeStart time.Time
+	// gen counts liveness transitions (markDown). A dial that started
+	// before a markDown must not register its connection and erase the
+	// fresher quarantine.
+	gen uint64
+	// closed refuses further client registrations after Close, so a
+	// dial racing shutdown cannot strand an open connection in c.
+	closed bool
 }
 
 // ownedShard serializes one owned shard's mutate→ship→ack pipeline.
@@ -94,13 +112,16 @@ func New(srv *server.Server, opts Options) (*Node, error) {
 		opts.DownFor = DefaultDownFor
 	}
 	n := &Node{
-		srv:   srv,
-		cfg:   cfg,
-		ring:  NewRing(cfg.Peers, cfg.VirtualNodes),
-		opts:  opts,
-		peers: make(map[string]*peer),
-		reps:  make(map[string]*replica),
-		owned: make(map[string]*ownedShard),
+		srv:       srv,
+		cfg:       cfg,
+		ring:      NewRing(cfg.Peers, cfg.VirtualNodes),
+		opts:      opts,
+		peers:     make(map[string]*peer),
+		stop:      make(chan struct{}),
+		reps:      make(map[string]*replica),
+		owned:     make(map[string]*ownedShard),
+		pending:   make(map[string]*handback),
+		conflicts: make(map[string]map[string]string),
 	}
 	for _, addr := range n.ring.Nodes() {
 		if addr != cfg.Self {
@@ -123,23 +144,36 @@ func New(srv *server.Server, opts Options) (*Node, error) {
 	for _, id := range srv.DynShardIDs() {
 		n.bumpSeq(id)
 	}
+	// Recovered shards this node owns by ring enter handback instead of
+	// serving: a successor may have moved their history on while this
+	// node was down (see handback.go).
+	n.detectRejoins()
 	srv.SetCluster(n)
+	if len(n.pending) > 0 {
+		n.wg.Add(1)
+		go n.runHandbacks()
+	}
 	return n, nil
 }
 
 // Close tears down peer connections and the replica store. The node
 // stays installed in the server (hooks have no un-install); Close is
-// for process shutdown.
+// for process shutdown. Clients close before the workers are awaited,
+// so a handback round blocked in a call fails over to the stop signal
+// instead of running out its read timeout.
 func (n *Node) Close() error {
 	for _, p := range n.peers {
 		p.mu.Lock()
 		c := p.c
 		p.c = nil
+		p.closed = true
 		p.mu.Unlock()
 		if c != nil {
 			_ = c.Close()
 		}
 	}
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
 	if n.store != nil {
 		return n.store.Close()
 	}
@@ -150,9 +184,44 @@ func (n *Node) Close() error {
 func (n *Node) Self() string { return n.cfg.Self }
 
 // alive reports the routing view of addr: self is always live, a
-// remote peer is live when connected or out of quarantine (untried
-// peers are assumed live and probed by use).
+// remote peer is live when connected or never quarantined. An expired
+// quarantine does not flip the peer live for everyone at once — that
+// would stampede every routing loop into dialing a possibly-still-dead
+// peer in the same instant. Instead the first caller per DownFor window
+// takes a half-open probe token (its dial revalidates the peer: success
+// clears the quarantine, failure re-quarantines) and the rest keep
+// routing around until the probe resolves.
 func (n *Node) alive(addr string) bool {
+	if addr == n.cfg.Self {
+		return true
+	}
+	p := n.peers[addr]
+	if p == nil {
+		return false
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.c != nil {
+		return true
+	}
+	if p.downUntil.IsZero() {
+		return true
+	}
+	if now.Before(p.downUntil) {
+		return false
+	}
+	if !p.probeStart.IsZero() && now.Sub(p.probeStart) < n.opts.DownFor {
+		return false // another caller holds the half-open probe
+	}
+	p.probeStart = now
+	return true
+}
+
+// aliveObserved is alive without the probe-token side effect — the
+// status view, which reports liveness but must not consume half-open
+// probe slots routing would otherwise use.
+func (n *Node) aliveObserved(addr string) bool {
 	if addr == n.cfg.Self {
 		return true
 	}
@@ -169,7 +238,12 @@ func (n *Node) alive(addr string) bool {
 }
 
 // client returns a connected client for addr, dialing if needed. A
-// failed dial quarantines the peer and reports it unavailable.
+// failed dial quarantines the peer and reports it unavailable. The
+// registration re-checks the peer's state after the (unlocked) dial:
+// a markDown or Close that landed while the dial was in flight is
+// fresher than the new connection, which is closed instead of
+// registered — otherwise a slow dial could erase a newer quarantine,
+// or strand an open client in a peer the node already tore down.
 func (n *Node) client(addr string) (*wire.Client, error) {
 	p := n.peers[addr]
 	if p == nil {
@@ -178,6 +252,7 @@ func (n *Node) client(addr string) (*wire.Client, error) {
 	p.mu.Lock()
 	c := p.c
 	down := !p.downUntil.IsZero() && time.Now().Before(p.downUntil)
+	gen := p.gen
 	p.mu.Unlock()
 	if c != nil {
 		return c, nil
@@ -191,20 +266,32 @@ func (n *Node) client(addr string) (*wire.Client, error) {
 		return nil, server.Err(server.StatusUnavailable, fmt.Errorf("cluster: dial %s: %w", addr, err))
 	}
 	p.mu.Lock()
-	if p.c != nil {
+	switch {
+	case p.closed:
+		p.mu.Unlock()
+		_ = cc.Close()
+		return nil, server.Errf(server.StatusUnavailable, "cluster: node is shut down")
+	case p.c != nil:
 		prior := p.c
 		p.mu.Unlock()
 		_ = cc.Close() // lost a dial race; keep the registered client
 		return prior, nil
+	case p.gen != gen:
+		p.mu.Unlock()
+		_ = cc.Close() // a markDown outran this dial; honor its quarantine
+		return nil, server.Errf(server.StatusUnavailable, "cluster: peer %s is down", addr)
 	}
 	p.c = cc
-	p.downUntil = time.Time{}
+	p.downUntil, p.probeStart = time.Time{}, time.Time{}
 	p.mu.Unlock()
 	return cc, nil
 }
 
 // markDown quarantines addr for DownFor and drops its client, failing
-// that client's in-flight calls.
+// that client's in-flight calls. A liveness transition also voids any
+// terminal conflict classifications for the peer — a restart is exactly
+// what resolves conflicting ownership views, so the next successful
+// ship re-evaluates from scratch.
 func (n *Node) markDown(addr string) {
 	p := n.peers[addr]
 	if p == nil {
@@ -214,10 +301,64 @@ func (n *Node) markDown(addr string) {
 	c := p.c
 	p.c = nil
 	p.downUntil = time.Now().Add(n.opts.DownFor)
+	p.probeStart = time.Time{}
+	p.gen++
 	p.mu.Unlock()
 	if c != nil {
 		_ = c.Close()
 	}
+	n.clearPeerConflicts(addr)
+}
+
+// markLive clears addr's quarantine on direct evidence the peer is up —
+// an inbound handback claim from it — which is fresher than whatever
+// failed dial quarantined it.
+func (n *Node) markLive(addr string) {
+	p := n.peers[addr]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.downUntil, p.probeStart = time.Time{}, time.Time{}
+	p.mu.Unlock()
+}
+
+// markConflict records a terminal replication suspension: follower addr
+// refuses applies for shard id and re-shipping cannot fix it (it serves
+// the shard itself — conflicting ownership views). The owner's ship
+// loop skips the pair until a handback or liveness transition clears
+// it, and /v1/cluster/status surfaces it.
+func (n *Node) markConflict(id, addr, msg string) {
+	if msg == "" {
+		msg = "refused"
+	}
+	n.mu.Lock()
+	m := n.conflicts[id]
+	if m == nil {
+		m = make(map[string]string)
+		n.conflicts[id] = m
+	}
+	m[addr] = msg
+	n.mu.Unlock()
+}
+
+// conflicted reports whether shipping id to addr is suspended.
+func (n *Node) conflicted(id, addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conflicts[id][addr] != ""
+}
+
+// clearPeerConflicts voids every suspension involving addr.
+func (n *Node) clearPeerConflicts(addr string) {
+	n.mu.Lock()
+	for id, m := range n.conflicts {
+		delete(m, addr)
+		if len(m) == 0 {
+			delete(n.conflicts, id)
+		}
+	}
+	n.mu.Unlock()
 }
 
 func (n *Node) dialOpts() wire.DialOptions {
@@ -334,7 +475,7 @@ func (n *Node) Status() server.ClusterStatus {
 	for _, addr := range n.ring.Nodes() {
 		st.Peers = append(st.Peers, server.ClusterPeer{
 			Addr:  addr,
-			Alive: n.alive(addr),
+			Alive: n.aliveObserved(addr), // observation only: status must not consume probe tokens
 			Self:  addr == n.cfg.Self,
 		})
 	}
@@ -348,7 +489,23 @@ func (n *Node) Status() server.ClusterStatus {
 	for id, rep := range n.reps {
 		reps[id] = rep
 	}
+	for id := range n.pending {
+		st.Handbacks = append(st.Handbacks, id)
+	}
+	for id, m := range n.conflicts {
+		for addr, msg := range m {
+			st.Conflicts = append(st.Conflicts, server.ClusterConflict{Shard: id, Peer: addr, Msg: msg})
+		}
+	}
 	n.mu.Unlock()
+	sort.Strings(st.Handbacks)
+	sort.Slice(st.Conflicts, func(i, j int) bool {
+		a, b := st.Conflicts[i], st.Conflicts[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Peer < b.Peer
+	})
 	if len(reps) > 0 {
 		st.ReplicaCursors = make(map[string]uint64, len(reps))
 		for id, rep := range reps {

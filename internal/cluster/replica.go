@@ -74,6 +74,12 @@ func (n *Node) ApplySnapshot(id string, blob []byte) (uint64, uint8, string) {
 	rep := n.replicaEntry(id)
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
+	// A replica demoted at boot (rejoin handback) journals into the
+	// server store; once the snapshot supersedes it, that copy is stale
+	// on both counts — drop it so a later restart cannot resurrect it.
+	// For ordinary followers the server store holds nothing and this is
+	// a no-op.
+	_ = n.srv.DropDynState(id)
 	var log *persist.ShardLog
 	if n.store != nil {
 		// Reset the durable copy to match: the old log (if any) is
@@ -141,13 +147,15 @@ func (n *Node) ApplyRecords(id string, recs []wire.RepRecord) (uint64, uint8, st
 }
 
 // discardReplicaLocked abandons a replica (caller holds rep.mu): the
-// engine and the durable copy are dropped, and the next shipment gets
-// AckNeedSync, prompting the owner to rebuild from a snapshot.
+// engine and the durable copy are dropped — from the server store too,
+// for a copy demoted at boot by the rejoin path — and the next shipment
+// gets AckNeedSync, prompting the owner to rebuild from a snapshot.
 func (n *Node) discardReplicaLocked(id string, rep *replica) {
 	rep.de, rep.log = nil, nil
 	if n.store != nil {
 		_ = n.store.DropShard(id)
 	}
+	_ = n.srv.DropDynState(id)
 }
 
 // recoverReplicas rebuilds the replica table from the replica store at

@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"spatialtree/internal/engine"
-	"spatialtree/internal/persist"
 	"spatialtree/internal/server"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/wire"
@@ -83,6 +82,19 @@ func (n *Node) Mutate(id string, op uint8, arg int) (server.MutateResult, error)
 		// operation. Served where it lives, never routed.
 		return n.srv.DynMutate(id, op, arg)
 	}
+	if hb := n.handbackFor(id); hb != nil {
+		// Mid-rejoin: the local copy is not authoritative yet. Proxy to
+		// the serving successor or park until the handback completes.
+		return n.handbackMutate(hb, id, key, op, arg)
+	}
+	if _, served := n.srv.DynShard(id); served {
+		// Served here — as ring owner, or as the surrogate successor
+		// still covering a shard whose restarted ring owner has not
+		// claimed it back. Serving locally keeps the surrogate
+		// authoritative (and keeps the rejoiner's proxied requests from
+		// bouncing) until a handback moves ownership explicitly.
+		return n.ownerMutate(id, key, op, arg)
+	}
 	for attempt := 0; attempt <= len(n.peers); attempt++ {
 		owner, ok := n.ring.Owner(key, n.alive)
 		if !ok {
@@ -118,10 +130,18 @@ func (n *Node) Mutate(id string, op uint8, arg int) (server.MutateResult, error)
 // ownerMutate applies one mutation locally and ships it. The per-shard
 // cluster lock is held across apply and ship, so records reach each
 // follower in epoch order and the ack gate covers exactly this record.
+// It is also the handback fence: a grant releases the shard under this
+// same lock, so the served re-check below refuses any mutation that
+// routed here before the fence but acquired the lock after it — no
+// apply ever lands past the fence epoch stamped into the grant.
 func (n *Node) ownerMutate(id string, key uint64, op uint8, arg int) (server.MutateResult, error) {
 	sh := n.ownedShardState(id, key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if _, served := n.srv.DynShard(id); !served {
+		return server.MutateResult{}, server.Errf(server.StatusUnavailable,
+			"cluster: shard %s ownership was handed back mid-request", id)
+	}
 	res, err := n.srv.DynMutate(id, op, arg)
 	if err != nil {
 		return res, err
@@ -155,7 +175,9 @@ func (n *Node) replicate(id string, key uint64, recs []wire.RepRecord) int {
 		if acked >= need {
 			break
 		}
-		if cand == n.cfg.Self {
+		if cand == n.cfg.Self || n.conflicted(id, cand) {
+			// Conflicted pairs are terminal until a handback or liveness
+			// transition clears them; re-shipping would refuse forever.
 			continue
 		}
 		var err error
@@ -177,7 +199,11 @@ func (n *Node) replicate(id string, key uint64, recs []wire.RepRecord) int {
 // tail it is missing — the cheap resync, straight out of the owner's
 // shard log. A follower with no usable replica (cursor 0, AckRefused,
 // or a tail the log already compacted away) is rebuilt with a full
-// snapshot, captured now so it covers every record being shipped.
+// snapshot, captured now so it covers every record being shipped. A
+// refused snapshot is terminal (see shipSnapshot); a refused record
+// ship still gets the one snapshot attempt first, because refusal is
+// also how a follower reports a diverged replica it just discarded —
+// the case a rebuild genuinely fixes.
 func (n *Node) shipRecords(addr, id string, recs []wire.RepRecord) error {
 	c, err := n.client(addr)
 	if err != nil {
@@ -217,14 +243,7 @@ func (n *Node) shipTail(addr, id string, cursor uint64) error {
 		}
 		return err
 	}
-	wrecs := make([]wire.RepRecord, len(recs))
-	for i, r := range recs {
-		op := uint8(wire.OpInsert)
-		if r.Type == persist.RecDelete {
-			op = wire.OpDelete
-		}
-		wrecs[i] = wire.RepRecord{Type: op, Epoch: r.Epoch, Arg: int64(r.Arg), Result: int64(r.Result)}
-	}
+	wrecs := wireRecords(recs)
 	c, err := n.client(addr)
 	if err != nil {
 		return err
@@ -243,7 +262,15 @@ func (n *Node) shipTail(addr, id string, cursor uint64) error {
 	return nil
 }
 
-// shipSnapshot ships the shard's current snapshot to one follower.
+// shipSnapshot ships the shard's current snapshot to one follower. A
+// refusal here is terminal for the (shard, follower) pair: the snapshot
+// is the replication ladder's last rung, and the canonical refusal —
+// the follower serves the shard itself (conflicting ownership views) —
+// cannot resolve by shipping the same thing again. The pair is recorded
+// as a conflict (surfaced in /v1/cluster/status) and skipped by the
+// ship loop until a handback or a liveness transition of the follower
+// clears it; previously this was treated as transient and re-shipped on
+// every mutation, forever.
 func (n *Node) shipSnapshot(addr, id string) error {
 	blob, epoch, err := n.srv.SnapshotDyn(id)
 	if err != nil {
@@ -262,6 +289,7 @@ func (n *Node) shipSnapshot(addr, id string) error {
 		return err
 	}
 	if ack.Code != wire.AckOK {
+		n.markConflict(id, addr, ack.Msg)
 		return fmt.Errorf("cluster: follower %s refused snapshot of %s at epoch %d: %s",
 			addr, id, epoch, ack.Msg)
 	}
@@ -276,6 +304,12 @@ func (n *Node) ShardQuery(id string, req *server.QueryRequest) (*server.QueryRes
 	key, ok := shardKey(id)
 	if !ok {
 		return nil, false, nil
+	}
+	if hb := n.handbackFor(id); hb != nil {
+		return n.handbackQuery(hb, id, req)
+	}
+	if _, served := n.srv.DynShard(id); served {
+		return nil, false, nil // served here (owner or surrogate): local fast path
 	}
 	for attempt := 0; attempt <= len(n.peers); attempt++ {
 		owner, ok := n.ring.Owner(key, n.alive)

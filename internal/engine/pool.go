@@ -176,6 +176,22 @@ func (p *Pool) AdoptDynShard(de *DynEngine) {
 	p.mu.Unlock()
 }
 
+// ReleaseDynShard unregisters a mutable engine previously registered by
+// NewDynShard, RestoreDynShard or AdoptDynShard, so FlushAll and Stats
+// stop covering it — the cluster tier's ownership-handback step, where
+// a served shard demotes back into a followed replica. Unregistered
+// engines are a no-op.
+func (p *Pool) ReleaseDynShard(de *DynEngine) {
+	p.mu.Lock()
+	for i, d := range p.dyns {
+		if d == de {
+			p.dyns = append(p.dyns[:i], p.dyns[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
 // Options returns the pool's resolved engine options (shared cache
 // included), so callers can build engines that serve identically to the
 // pool's own without registering them — replica engines, which only

@@ -147,6 +147,17 @@ type ClusterPeer struct {
 	Self  bool   `json:"self,omitempty"`
 }
 
+// ClusterConflict reports one terminally suspended replication pair:
+// follower Peer refuses applies for Shard because it serves the shard
+// itself (conflicting ownership views), so the owner stopped shipping
+// to it instead of retrying forever. Handback completion or a liveness
+// transition of the peer clears the entry.
+type ClusterConflict struct {
+	Shard string `json:"shard"`
+	Peer  string `json:"peer"`
+	Msg   string `json:"msg,omitempty"`
+}
+
 // ClusterStatus is the /v1/cluster/status body: this node's view of the
 // ring, the dyn shards it currently owns, and the apply cursors of the
 // replicas it follows for other owners.
@@ -158,6 +169,13 @@ type ClusterStatus struct {
 	Redirect       bool              `json:"redirect"`
 	Owned          []string          `json:"owned_shards"`
 	ReplicaCursors map[string]uint64 `json:"replica_cursors,omitempty"`
+	// Handbacks lists shards this node owns by ring but is still
+	// reconciling after a restart: requests proxy to the covering
+	// successor (or wait briefly) until each handback completes.
+	Handbacks []string `json:"handbacks,omitempty"`
+	// Conflicts lists replication pairs this node has suspended as
+	// terminal rather than retrying forever.
+	Conflicts []ClusterConflict `json:"conflicts,omitempty"`
 }
 
 // ServerMetrics reports the HTTP layer's counters.

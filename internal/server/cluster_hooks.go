@@ -72,6 +72,13 @@ type ClusterHooks interface {
 	ApplySnapshot(shardID string, blob []byte) (cursor uint64, code uint8, msg string)
 	ApplyRecords(shardID string, recs []wire.RepRecord) (cursor uint64, code uint8, msg string)
 
+	// Handback serves the successor half of rejoin reconciliation
+	// (FrameHandbackOffer): diff cursors against the offer, and on a
+	// claim fence the shard, release it from serving, and describe how
+	// the rejoiner reaches the fence. The grant's ID and ShardID are the
+	// transport's to fill.
+	Handback(offer *wire.HandbackOffer) *wire.HandbackGrant
+
 	// Status snapshots this node's view of the ring for
 	// GET /v1/cluster/status.
 	Status() ClusterStatus
@@ -262,6 +269,50 @@ func (s *Server) AdoptDynShard(id string, de *engine.DynEngine, log *persist.Sha
 	// locks do not nest.
 	s.pool.AdoptDynShard(de)
 	return nil
+}
+
+// ReleaseDynShard removes a served dyn shard from the serving table and
+// returns its engine and journal log — the inverse of AdoptDynShard,
+// used by the cluster tier's ownership handback: a shard granted back
+// to its rejoined ring owner demotes into a followed replica here. The
+// id stops resolving locally the moment this returns; the engine keeps
+// whatever journal it had, so mutations applied through the replica
+// path retain the same durability.
+func (s *Server) ReleaseDynShard(id string) (*engine.DynEngine, *persist.ShardLog, bool) {
+	s.mu.Lock()
+	de := s.dyns[id]
+	if de == nil {
+		s.mu.Unlock()
+		return nil, nil, false
+	}
+	delete(s.dyns, id)
+	log := s.logs[id]
+	delete(s.logs, id)
+	delete(s.backends, id)
+	s.mu.Unlock()
+	// Outside s.mu, like AdoptDynShard: the pool's mutex is
+	// routing-class too, and routing locks do not nest.
+	s.pool.ReleaseDynShard(de)
+	return de, log, true
+}
+
+// DropDynState deletes the server store's durable copy of a dyn shard
+// that is not currently served. The cluster tier calls it when a
+// shard's authoritative durable copy moves to the replica store during
+// handback, so a later boot cannot resurrect the stale server-store
+// copy as an owned shard. Serving shards are refused; without a store,
+// or for ids the store does not know, it is a no-op.
+func (s *Server) DropDynState(id string) error {
+	s.mu.Lock()
+	_, served := s.dyns[id]
+	s.mu.Unlock()
+	if served {
+		return fmt.Errorf("server: shard %s is served; refusing to drop its durable state", id)
+	}
+	if s.cfg.Durability.Store == nil {
+		return nil
+	}
+	return s.cfg.Durability.Store.DropShard(id)
 }
 
 // EngineOptions returns the serving pool's resolved engine options. The

@@ -218,6 +218,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			if !writeFrame(out) {
 				return
 			}
+		case wire.FrameHandbackOffer:
+			var ho wire.HandbackOffer
+			if err := ho.Decode(payload); err != nil {
+				badFrame(err)
+				return
+			}
+			out = s.serveWireHandback(out[:0], &ho)
+			if !writeFrame(out) {
+				return
+			}
 		default:
 			s.wireErrors.Add(1)
 			writeFrame(wire.AppendError(out[:0], &wire.Error{Status: wire.StatusBadRequest,
@@ -420,6 +430,21 @@ func (s *Server) serveWireRep(out []byte, id uint64, shardID string, apply func(
 	}
 	cursor, code, msg := apply(h)
 	return wire.AppendRepAck(out, &wire.RepAck{ID: id, ShardID: shardID, Cursor: cursor, Code: code, Msg: msg})
+}
+
+// serveWireHandback serves one FrameHandbackOffer, answering with a
+// HandbackGrant. Like replication, handback bypasses the admission
+// queue: it is peer-originated, bounded by the peer count, and must
+// make progress while client traffic saturates the bounded queue — a
+// rejoiner proxying its clients' requests here depends on it.
+func (s *Server) serveWireHandback(out []byte, ho *wire.HandbackOffer) []byte {
+	h := s.clusterHooks()
+	if h == nil {
+		return wire.AppendError(out, &wire.Error{ID: ho.ID, Status: wire.StatusBadRequest, Msg: "not a cluster node"})
+	}
+	g := h.Handback(ho)
+	g.ID, g.ShardID = ho.ID, ho.ShardID
+	return wire.AppendHandbackGrant(out, g)
 }
 
 // queryRequestFromWire converts a decoded binary query into its JSON

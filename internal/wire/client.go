@@ -81,7 +81,7 @@ type Client struct {
 }
 
 type response struct {
-	msg any // *Result, *DynCreated, *Mutated, *RepAck; nil for pong
+	msg any // *Result, *DynCreated, *Mutated, *RepAck, *HandbackGrant; nil for pong
 	err error
 }
 
@@ -338,6 +338,20 @@ func (c *Client) ShipRecords(r *RepRecords) (*RepAck, error) {
 	return msg.(*RepAck), nil
 }
 
+// Handback offers a shard back to the peer currently covering it — the
+// rejoin reconciliation conversation (cluster tier; not redirected, the
+// rejoiner chose the successor deliberately, like ShipSnapshot).
+func (c *Client) Handback(o *HandbackOffer) (*HandbackGrant, error) {
+	msg, err := c.call(func(dst []byte, id uint64) []byte {
+		o.ID = id
+		return AppendHandbackOffer(dst, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msg.(*HandbackGrant), nil
+}
+
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
 	ch := make(chan response, 1)
@@ -423,6 +437,13 @@ func (c *Client) readLoop() {
 				return
 			}
 			id, msg = a.ID, a
+		case FrameHandbackGrant:
+			g := new(HandbackGrant)
+			if err := g.Decode(payload); err != nil {
+				c.fail(err)
+				return
+			}
+			id, msg = g.ID, g
 		case FrameError:
 			e := new(Error)
 			if err := e.Decode(payload); err != nil {

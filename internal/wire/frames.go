@@ -8,8 +8,12 @@ package wire
 // blob (internal/persist's snapshot codec, opaque here) or the WAL
 // records past the follower's apply cursor, and the follower acks with
 // the cursor it reached — or asks for a resync when it sees an epoch
-// gap. All server→client frames lead with the request ID, so one
-// pipelined connection multiplexes every conversation kind.
+// gap. HandbackOffer/HandbackGrant are the rejoin reconciliation
+// conversation: a restarted ring owner claims a shard back from the
+// successor that absorbed it, and the successor answers with a fence
+// epoch plus the diff (tail or snapshot) that reaches it. All
+// server→client frames lead with the request ID, so one pipelined
+// connection multiplexes every conversation kind.
 
 import (
 	"encoding/binary"
@@ -117,6 +121,67 @@ type RepAck struct {
 	ShardID string
 	Cursor  uint64
 	Code    uint8
+	Msg     string
+}
+
+// Handback offer phases. A rejoined owner first probes the successor
+// (no state changes anywhere), then claims: the claim is the fencing
+// step, after which the successor stops serving the shard.
+const (
+	// HandbackProbe asks whether the peer currently serves the shard and
+	// at what cursor. Carries no records; changes no state.
+	HandbackProbe = 1
+	// HandbackClaim takes ownership: the successor quiesces the shard,
+	// stamps the fence epoch, releases the shard from serving, and
+	// grants the diff that brings the rejoiner's cursor to the fence.
+	HandbackClaim = 2
+)
+
+// Handback grant modes.
+const (
+	// GrantRetry: the claim cannot be honored right now; Msg says why.
+	// The rejoiner backs off and re-offers.
+	GrantRetry = 0
+	// GrantOwn: the peer neither serves the shard nor holds state past
+	// the offered cursor — the rejoiner's own copy is the best there is.
+	GrantOwn = 1
+	// GrantServing (probe answer only): the peer serves the shard;
+	// Fence reports its current epoch. The rejoiner proxies to it until
+	// its claim is granted.
+	GrantServing = 2
+	// GrantTail (claim answer): Recs carry the records from the offered
+	// cursor up to Fence; the peer has fenced and released the shard.
+	GrantTail = 3
+	// GrantSnapshot (claim answer): Blob is a full state snapshot at
+	// Fence (the offered copy diverged or the tail was compacted away);
+	// the peer has fenced and released the shard.
+	GrantSnapshot = 4
+)
+
+// HandbackOffer is a restarted ring owner's request to take a shard
+// back from the successor that absorbed it (rejoin reconciliation).
+// Cursor is the rejoiner's apply cursor; a claim also ships the
+// rejoiner's recent WAL records so the successor can check the two
+// histories agree below the fence before granting a cheap tail.
+type HandbackOffer struct {
+	ID      uint64
+	ShardID string
+	Phase   uint8
+	Cursor  uint64
+	Recs    []RepRecord
+}
+
+// HandbackGrant answers a HandbackOffer. Fence is the epoch the
+// successor stopped at (no applies past it are accepted once granted);
+// Mode says how the rejoiner reaches the fence — see the Grant*
+// constants.
+type HandbackGrant struct {
+	ID      uint64
+	ShardID string
+	Mode    uint8
+	Fence   uint64
+	Recs    []RepRecord
+	Blob    []byte
 	Msg     string
 }
 
@@ -411,6 +476,144 @@ func (a *RepAck) Decode(payload []byte) error {
 		return corruptf("unknown ack code %d", a.Code)
 	}
 	if a.Msg, err = d.str(maxErrLen); err != nil {
+		return err
+	}
+	return d.drained()
+}
+
+// appendRecs appends a counted record list (the RepRecords layout,
+// shared by the handback frames).
+func appendRecs(b []byte, recs []RepRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	for _, rec := range recs {
+		b = append(b, rec.Type)
+		b = binary.AppendUvarint(b, rec.Epoch)
+		b = binary.AppendVarint(b, rec.Arg)
+		b = binary.AppendVarint(b, rec.Result)
+	}
+	return b
+}
+
+// recs decodes a counted record list into dst (reusing its capacity).
+func (d *decoder) recs(dst []RepRecord) ([]RepRecord, error) {
+	n, err := d.count("record")
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < n {
+		dst = make([]RepRecord, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		rec := &dst[i]
+		if rec.Type, err = d.byte(); err != nil {
+			return nil, err
+		}
+		if rec.Type != OpInsert && rec.Type != OpDelete {
+			return nil, corruptf("unknown record type %d", rec.Type)
+		}
+		if rec.Epoch, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if rec.Arg, err = d.varint(); err != nil {
+			return nil, err
+		}
+		if rec.Result, err = d.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// AppendHandbackOffer appends o as one frame to dst.
+func AppendHandbackOffer(dst []byte, o *HandbackOffer) []byte {
+	return appendFrame(dst, FrameHandbackOffer, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, o.ID)
+		b = appendStr(b, o.ShardID)
+		b = append(b, o.Phase)
+		b = binary.AppendUvarint(b, o.Cursor)
+		return appendRecs(b, o.Recs)
+	})
+}
+
+// Decode decodes the payload of a handback-offer frame into o, reusing
+// o.Recs when its capacity suffices.
+//
+//spatialvet:errclass
+func (o *HandbackOffer) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if o.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if o.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	if o.Phase, err = d.byte(); err != nil {
+		return err
+	}
+	if o.Phase != HandbackProbe && o.Phase != HandbackClaim {
+		return corruptf("unknown handback phase %d", o.Phase)
+	}
+	if o.Cursor, err = d.uvarint(); err != nil {
+		return err
+	}
+	if o.Recs, err = d.recs(o.Recs); err != nil {
+		return err
+	}
+	return d.drained()
+}
+
+// AppendHandbackGrant appends g as one frame to dst.
+func AppendHandbackGrant(dst []byte, g *HandbackGrant) []byte {
+	return appendFrame(dst, FrameHandbackGrant, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, g.ID)
+		b = appendStr(b, g.ShardID)
+		b = append(b, g.Mode)
+		b = binary.AppendUvarint(b, g.Fence)
+		b = appendRecs(b, g.Recs)
+		b = binary.AppendUvarint(b, uint64(len(g.Blob)))
+		b = append(b, g.Blob...)
+		msg := g.Msg
+		if len(msg) > maxErrLen {
+			msg = msg[:maxErrLen]
+		}
+		return appendStr(b, msg)
+	})
+}
+
+// Decode decodes the payload of a handback-grant frame into g. The
+// blob is freshly allocated: it outlives the reader's frame buffer.
+//
+//spatialvet:errclass
+func (g *HandbackGrant) Decode(payload []byte) error {
+	d := decoder{buf: payload}
+	var err error
+	if g.ID, err = d.uvarint(); err != nil {
+		return err
+	}
+	if g.ShardID, err = d.str(maxNameLen); err != nil {
+		return err
+	}
+	if g.Mode, err = d.byte(); err != nil {
+		return err
+	}
+	if g.Mode > GrantSnapshot {
+		return corruptf("unknown handback grant mode %d", g.Mode)
+	}
+	if g.Fence, err = d.uvarint(); err != nil {
+		return err
+	}
+	if g.Recs, err = d.recs(g.Recs); err != nil {
+		return err
+	}
+	n, err := d.count("blob byte")
+	if err != nil {
+		return err
+	}
+	g.Blob = append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	if g.Msg, err = d.str(maxErrLen); err != nil {
 		return err
 	}
 	return d.drained()

@@ -97,6 +97,44 @@ var goldenFrames = []struct {
 		decode: func(p []byte) (any, error) { var v RepAck; err := v.Decode(p); return &v, err },
 		want:   &RepAck{ID: 10, ShardID: "c00000000000002a-3", Cursor: 13, Code: AckNeedSync, Msg: "gap"},
 	},
+	{
+		name: "handbackoffer",
+		kind: FrameHandbackOffer,
+		encode: func(dst []byte) []byte {
+			return AppendHandbackOffer(dst, &HandbackOffer{
+				ID: 11, ShardID: "c00000000000002a-3", Phase: HandbackClaim, Cursor: 13,
+				Recs: []RepRecord{
+					{Type: OpInsert, Epoch: 12, Arg: 2, Result: 5},
+					{Type: OpDelete, Epoch: 13, Arg: 5, Result: 4},
+				},
+			})
+		},
+		decode: func(p []byte) (any, error) { var v HandbackOffer; err := v.Decode(p); return &v, err },
+		want: &HandbackOffer{ID: 11, ShardID: "c00000000000002a-3", Phase: HandbackClaim, Cursor: 13,
+			Recs: []RepRecord{
+				{Type: OpInsert, Epoch: 12, Arg: 2, Result: 5},
+				{Type: OpDelete, Epoch: 13, Arg: 5, Result: 4},
+			}},
+	},
+	{
+		name: "handbackgrant",
+		kind: FrameHandbackGrant,
+		encode: func(dst []byte) []byte {
+			return AppendHandbackGrant(dst, &HandbackGrant{
+				ID: 11, ShardID: "c00000000000002a-3", Mode: GrantTail, Fence: 15,
+				Recs: []RepRecord{
+					{Type: OpInsert, Epoch: 14, Arg: 1, Result: 6},
+					{Type: OpInsert, Epoch: 15, Arg: 6, Result: 7},
+				},
+			})
+		},
+		decode: func(p []byte) (any, error) { var v HandbackGrant; err := v.Decode(p); return &v, err },
+		want: &HandbackGrant{ID: 11, ShardID: "c00000000000002a-3", Mode: GrantTail, Fence: 15,
+			Recs: []RepRecord{
+				{Type: OpInsert, Epoch: 14, Arg: 1, Result: 6},
+				{Type: OpInsert, Epoch: 15, Arg: 6, Result: 7},
+			}},
+	},
 }
 
 // TestClusterFrameRoundTrip: encode → frame-read → decode must

@@ -113,6 +113,14 @@ const (
 	// FrameRepAck carries a RepAck (follower → owner): the follower's
 	// apply cursor after a RepSnapshot/RepRecords, or a resync request.
 	FrameRepAck = 12
+	// FrameHandbackOffer carries a HandbackOffer (rejoiner → successor):
+	// a restarted ring owner asking for its shard back — a cursor probe,
+	// or a claim shipping the rejoiner's stale WAL tail.
+	FrameHandbackOffer = 13
+	// FrameHandbackGrant carries a HandbackGrant (successor → rejoiner):
+	// the fence epoch plus whatever brings the rejoiner to it — a record
+	// tail, a full snapshot, or nothing (the rejoiner's copy suffices).
+	FrameHandbackGrant = 14
 )
 
 // Magic is the frame magic, first on the wire.
