@@ -1,9 +1,10 @@
 // Command benchgate is the CI benchmark-regression gate: it runs the
 // serving benchmarks (E13 engine throughput, E14 dyn churn, E15
-// recovery, E16 native-vs-sim backends) several times, emits a
-// machine-readable artifact (BENCH_9.json — see docs/bench.md for the
-// schema), and fails when wall-clock ns/op regresses beyond a tolerance
-// against a checked-in baseline.
+// recovery, E16 native-vs-sim backends, E17 wire throughput, E18
+// self-tuning) several times, emits a machine-readable artifact
+// (BENCH_10.json — see docs/bench.md for the schema), and fails when
+// wall-clock ns/op regresses beyond a tolerance against a checked-in
+// baseline.
 //
 // The gate compares the MINIMUM ns/op across -count runs: the minimum
 // is the least noisy estimator of a benchmark's true cost on a shared
@@ -12,7 +13,7 @@
 //
 // Usage:
 //
-//	benchgate                                  # run, write BENCH_9.json, gate
+//	benchgate                                  # run, write BENCH_10.json, gate
 //	benchgate -count 5 -tolerance 0.25
 //	benchgate -write-baseline                  # refresh testdata/bench_baseline.json
 //
@@ -66,11 +67,11 @@ var (
 
 func main() {
 	var (
-		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery|E16NativeBackend|E17WireThroughput", "benchmark regexp passed to go test -bench")
+		benchRE   = flag.String("bench", "E13EngineThroughput|E14DynChurn|E15Recovery|E16NativeBackend|E17WireThroughput|E18SelfTune", "benchmark regexp passed to go test -bench")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		count     = flag.Int("count", 5, "runs per benchmark (minimum is kept)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime")
-		out       = flag.String("out", "BENCH_9.json", "artifact path ('' = skip)")
+		out       = flag.String("out", "BENCH_10.json", "artifact path ('' = skip)")
 		baseline  = flag.String("baseline", "testdata/bench_baseline.json", "checked-in baseline path")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed ns/op regression fraction over baseline")
 		calibrate = flag.String("calibrate", "", "benchmark op whose measured/baseline ratio rescales the whole baseline to this machine's speed before gating ('' = gate absolute ns/op)")

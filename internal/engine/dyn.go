@@ -74,6 +74,8 @@ type DynEngine struct {
 	refreshes uint64
 	retired   Stats       // folded counters of previous epochs' inner engines
 	journal   JournalFunc // durability hook; nil = no journaling
+	profile   ProfileFunc // batch observer, re-installed on every epoch's inner engine
+	retunes   uint64      // successful Retune republishes
 }
 
 // MutationOp discriminates the two DynEngine mutations in a
@@ -119,6 +121,19 @@ func (de *DynEngine) SetJournal(fn JournalFunc) {
 	de.mu.Unlock()
 }
 
+// SetProfile installs (or, with nil, removes) the per-batch profile
+// observer on the shard. The observer survives epoch refreshes: every
+// future inner engine gets it re-installed, so the tuning layer sees an
+// unbroken stream of batches across mutations and retunes.
+func (de *DynEngine) SetProfile(fn ProfileFunc) {
+	de.mu.Lock()
+	de.profile = fn
+	if de.inner != nil {
+		de.inner.SetProfile(fn)
+	}
+	de.mu.Unlock()
+}
+
 // dynEngineIDs hands every DynEngine a process-unique id for its cache
 // keys, so shards on structurally identical trees never collide.
 var dynEngineIDs atomic.Uint64
@@ -154,6 +169,9 @@ type DynStats struct {
 	// the dynamic layout and republished (at most one per epoch, only
 	// when a submission actually follows a mutation).
 	Refreshes uint64
+	// Retunes counts successful Retune republishes (layout
+	// reconfigurations by the tuning layer).
+	Retunes uint64
 	// ParkEnergy and MigrateEnergy are the dynamic layout's maintenance
 	// costs (see dynlayout.Dyn).
 	ParkEnergy, MigrateEnergy int64
@@ -214,6 +232,12 @@ func (de *DynEngine) refreshLocked() error {
 	// the static placements it exists to reuse.
 	inner.orderRankFn = func() []int {
 		return order.LightFirst(p.Tree).Rank
+	}
+	// The profile observer is a per-shard installation, not per-epoch:
+	// every refresh re-installs it so the tuning layer keeps seeing
+	// batches across mutations and retunes.
+	if de.profile != nil {
+		inner.SetProfile(de.profile)
 	}
 	if de.inner != nil {
 		st := de.inner.Stats()
@@ -343,6 +367,87 @@ func (de *DynEngine) DeleteLeaf(v int) (moved int, err error) {
 		return 0, err
 	}
 	return moved, nil
+}
+
+// RetuneSpec names a shard layout configuration for Retune. A zero
+// field keeps the shard's current value, so partial retunes compose.
+type RetuneSpec struct {
+	// Curve names the space-filling curve ("" = keep).
+	Curve string
+	// Epsilon is the dynamic layout's rebuild threshold (<= 0 = keep).
+	Epsilon float64
+	// Backend names the execution backend ("" = keep).
+	Backend string
+}
+
+// Retune republishes the shard on a new layout configuration: it drains
+// in-flight batches through the same Quiesce barrier as a mutation,
+// migrates every vertex to its light-first slot on the new curve's grid
+// (a full dynlayout rebuild, charged to MigrateEnergy), and refreshes
+// the serving state — the rebuild bumps dynlayout's rebuild counter, so
+// the refresh republishes the placement in the layout cache exactly as
+// any rebuild boundary does. The serving epoch is NOT advanced: epochs
+// count applied mutations and must stay consecutive for WAL replay and
+// record shipping, and a retune changes geometry, never the tree. The
+// tuned curve and epsilon are part of DynState, so the next snapshot
+// makes the choice durable; the backend remains non-durable
+// configuration, as everywhere else. A spec that changes nothing
+// returns immediately without draining.
+//
+// Retune holds only the shard's own mutation lock; callers driving it
+// from a tuning loop must not hold any lock of their own across the
+// call — the drain blocks until every in-flight batch resolves.
+func (de *DynEngine) Retune(spec RetuneSpec) error {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	c := de.curve
+	if spec.Curve != "" && spec.Curve != de.curve.Name() {
+		nc, err := sfc.ByName(spec.Curve)
+		if err != nil {
+			return err
+		}
+		c = nc
+	}
+	eps := de.dyn.Epsilon()
+	if spec.Epsilon > 0 {
+		eps = spec.Epsilon
+	}
+	backend := exec.Normalize(de.opts.Backend)
+	if spec.Backend != "" {
+		if !exec.Valid(spec.Backend) {
+			return fmt.Errorf("engine: unknown backend %q", spec.Backend)
+		}
+		backend = exec.Normalize(spec.Backend)
+	}
+	if c.Name() == de.curve.Name() && eps == de.dyn.Epsilon() && backend == exec.Normalize(de.opts.Backend) {
+		return nil
+	}
+	//spatialvet:ignore waitunderlock -- the republish barrier IS the design: in-flight batches must drain before the layout migrates, and Quiesce never takes de.mu
+	de.drainLocked()
+	if err := de.dyn.Retune(c, eps); err != nil {
+		return err
+	}
+	de.curve = c
+	de.opts.Curve = c.Name()
+	de.opts.Backend = backend
+	de.dirty = true
+	if err := de.refreshLocked(); err != nil {
+		return err
+	}
+	de.retunes++
+	return nil
+}
+
+// LayoutConfig reports the shard's current layout configuration as a
+// RetuneSpec — the identity spec: passing it back to Retune is a no-op.
+func (de *DynEngine) LayoutConfig() RetuneSpec {
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	return RetuneSpec{
+		Curve:   de.curve.Name(),
+		Epsilon: de.dyn.Epsilon(),
+		Backend: exec.Normalize(de.opts.Backend),
+	}
 }
 
 // ErrReplicaGap reports a shipped record whose epoch does not follow
@@ -626,6 +731,7 @@ func (de *DynEngine) Stats() DynStats {
 		Deletes:       uint64(de.dyn.Deletes),
 		Rebuilds:      uint64(de.dyn.Rebuilds),
 		Refreshes:     de.refreshes,
+		Retunes:       de.retunes,
 		ParkEnergy:    de.dyn.ParkEnergy,
 		MigrateEnergy: de.dyn.MigrateEnergy,
 		Engine:        eng,

@@ -200,6 +200,38 @@ func (s *Stats) Add(o Stats) {
 	s.Cost = s.Cost.Plus(o.Cost)
 }
 
+// BatchProfile describes one dispatched batch to an installed profile
+// observer: the request mix, the serving run's wall-clock, and — when
+// the batch was model-metered (every batch on a sim engine, the sampled
+// batches on a shadow-metered native one) — the exact spatial-model
+// cost. The tuning layer (internal/tune) folds these into per-shard
+// workload profiles; the engine itself never interprets them.
+type BatchProfile struct {
+	// Requests is the batch size; the per-kind counts below sum to it.
+	Requests int
+	// BottomUp, TopDown, LCA, MinCut and Expr count requests by kind.
+	BottomUp, TopDown, LCA, MinCut, Expr int
+	// LCAQueries counts individual queries inside the batch's coalesced
+	// LCA run.
+	LCAQueries int
+	// Elapsed is the serving run's wall-clock (excluding any shadow run).
+	Elapsed time.Duration
+	// Metered reports that Cost holds a real model-cost sample.
+	Metered bool
+	// Cost is the spatial-model cost of the metered run: the serving
+	// run's own cost on a sim engine, the shadow run's on a sampled
+	// native batch, zero otherwise.
+	Cost machine.Cost
+	// Mismatches counts shadow-validation failures in this batch.
+	Mismatches uint64
+}
+
+// ProfileFunc observes dispatched batches. It is invoked after the
+// batch's futures have resolved and its stats are recorded, outside any
+// engine lock, from the goroutine that ran the batch — implementations
+// must be safe for concurrent calls and should return quickly.
+type ProfileFunc func(BatchProfile)
+
 // Result is the outcome of one submitted request. Exactly the fields
 // relevant to the request kind are populated.
 type Result struct {
@@ -303,7 +335,10 @@ type request struct {
 // is recycled only at the very end of runBatch — after its future has
 // resolved AND any shadow run has re-read its inputs — so no live
 // reference survives the Put. The caller-owned payload slices (vals,
-// queries, edges) are only unreferenced, never reused.
+// queries, edges) are only unreferenced, never reused; on
+// shadow-sampled batches they are swapped for engine-owned copies
+// before any future resolves (copyShadowInputs), so a caller may reuse
+// its buffers the moment its future resolves.
 var requestPool = sync.Pool{New: func() any { return new(request) }}
 
 func newRequest() *request { return requestPool.Get().(*request) }
@@ -351,6 +386,10 @@ type Engine struct {
 	// one is shadow-sampled. A dedicated counter, not batchSeq: empty
 	// flushes burn sequence numbers, which would skew the sampling rate.
 	shadowTick atomic.Uint64
+
+	// profileFn, when non-nil, observes every dispatched batch (see
+	// ProfileFunc). Atomic so SetProfile never races runBatch.
+	profileFn atomic.Pointer[ProfileFunc]
 
 	// Order-dependent kernels (batched LCA and min-cut) require a dense
 	// light-first rank — their correctness depends on subtrees being
@@ -443,6 +482,16 @@ func (e *Engine) initBackend(opts Options) error {
 
 // Backend returns the engine's resolved execution-backend name.
 func (e *Engine) Backend() string { return e.backendName }
+
+// SetProfile installs (or, with nil, removes) the batch profile
+// observer. Safe to call concurrently with serving.
+func (e *Engine) SetProfile(fn ProfileFunc) {
+	if fn == nil {
+		e.profileFn.Store(nil)
+		return
+	}
+	e.profileFn.Store(&fn)
+}
 
 // newWithPlacement builds an engine serving t on an explicit placement
 // (p.Tree must be t) instead of a cached light-first one. This is the
@@ -765,12 +814,42 @@ func (e *Engine) batchSeed(seq uint64) uint64 {
 	return e.seed ^ (seq+1)*0x9e3779b97f4a7c15
 }
 
+// copyShadowInputs replaces the batch's caller-owned payload slices with
+// engine-owned copies. It runs before any future resolves, while the
+// submission contract still guarantees the inputs are stable, so that
+// the shadow run's later re-read never touches caller memory: callers
+// (notably the wire path's connection-local decode scratch) may reuse
+// their buffers the moment their futures resolve, even on sampled
+// batches.
+func copyShadowInputs(batch []*request) {
+	for _, req := range batch {
+		req.vals = slices.Clone(req.vals)
+		req.queries = slices.Clone(req.queries)
+		req.edges = slices.Clone(req.edges)
+		if req.expr != nil {
+			cp := *req.expr
+			cp.Kind = slices.Clone(cp.Kind)
+			cp.Val = slices.Clone(cp.Val)
+			req.expr = &cp
+		}
+	}
+}
+
 // runBatch executes one detached batch on a fresh backend run. It is
 // called without e.mu held; distinct batches may run concurrently on
 // independent runs.
 func (e *Engine) runBatch(batch []*request, seq uint64) {
+	// The shadow-sampling decision is taken before serving so a sampled
+	// batch's inputs can be copied out while they are still stable.
+	sampled := e.shadow != nil && (e.shadowTick.Add(1)-1)%uint64(e.shadowN) == 0
+	if sampled {
+		copyShadowInputs(batch)
+	}
+	pf := e.profileFn.Load()
+	start := time.Now()
 	run := e.backend.Run(e.batchSeed(seq))
 
+	var prof BatchProfile
 	var lcaReqs []*request
 	var lcaRuns uint64
 	var lcaQueries uint64
@@ -778,18 +857,23 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		mark := run.Cost()
 		switch req.kind {
 		case kindBottomUp:
+			prof.BottomUp++
 			sums, err := run.BottomUp(req.vals, req.op)
 			req.fut.resolve(Result{Sums: sums, Cost: run.Cost().Minus(mark), Err: err})
 		case kindTopDown:
+			prof.TopDown++
 			sums, err := run.TopDown(req.vals, req.op)
 			req.fut.resolve(Result{Sums: sums, Cost: run.Cost().Minus(mark), Err: err})
 		case kindMinCut:
+			prof.MinCut++
 			res, err := run.MinCut(req.edges)
 			req.fut.resolve(Result{MinCut: res, Cost: run.Cost().Minus(mark), Err: err})
 		case kindExpr:
+			prof.Expr++
 			v, err := run.Expr(req.expr)
 			req.fut.resolve(Result{Value: v, Cost: run.Cost().Minus(mark), Err: err})
 		case kindLCA:
+			prof.LCA++
 			lcaReqs = append(lcaReqs, req) // coalesced below
 		}
 	}
@@ -810,6 +894,9 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		lcaRuns = 1
 		lcaQueries = uint64(len(all))
 	}
+	prof.Requests = len(batch)
+	prof.LCAQueries = int(lcaQueries)
+	prof.Elapsed = time.Since(start)
 
 	st := Stats{
 		Batches:    1,
@@ -818,11 +905,16 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 		LCARuns:    lcaRuns,
 		Cost:       run.Cost(),
 	}
-	if e.shadow != nil && (e.shadowTick.Add(1)-1)%uint64(e.shadowN) == 0 {
+	if e.backendName == exec.Sim {
+		// A sim engine meters every batch exactly.
+		prof.Metered, prof.Cost = true, run.Cost()
+	}
+	if sampled {
 		sb, mismatches, cost := e.runShadow(batch, seq)
 		st.ShadowBatches = sb
 		st.ShadowMismatches = mismatches
 		st.Cost = st.Cost.Plus(cost)
+		prof.Metered, prof.Cost, prof.Mismatches = true, cost, mismatches
 	}
 
 	e.mu.Lock()
@@ -833,8 +925,12 @@ func (e *Engine) runBatch(batch []*request, seq uint64) {
 	}
 	e.mu.Unlock()
 
-	// Every future is resolved and the shadow run (if any) has re-read
-	// its inputs, so the batch can be recycled.
+	if pf != nil {
+		(*pf)(prof)
+	}
+
+	// Every future is resolved and the shadow run (if any) re-read only
+	// the engine-owned input copies, so the batch can be recycled.
 	recycleBatch(batch)
 }
 

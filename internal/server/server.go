@@ -12,6 +12,7 @@
 //	POST /v1/trees          register an immutable tree → tree_id
 //	POST /v1/query          run treefix|topdown|lca|mincut on a tree
 //	POST /v1/dyn            create a mutable shard → shard_id
+//	GET  /v1/dyn/{id}       shard status: layout config + tuner state
 //	POST /v1/dyn/{id}/mutate  insert/delete a leaf
 //	POST /v1/dyn/{id}/query   query the mutable shard's current tree
 //	GET  /metrics           server + scheduler + engine + cache stats
@@ -47,6 +48,7 @@ import (
 	"spatialtree/internal/persist"
 	"spatialtree/internal/tree"
 	"spatialtree/internal/treefix"
+	"spatialtree/internal/tune"
 	"spatialtree/internal/wire"
 )
 
@@ -82,6 +84,11 @@ type Server struct {
 	// cluster holds the installed ClusterHooks (see cluster_hooks.go);
 	// nil means single-node serving.
 	cluster atomic.Pointer[ClusterHooks]
+
+	// tuner is the online layout tuner (nil unless Tuning.Enabled). It
+	// adopts every locally served dyn shard and republishes layouts
+	// through the engine's Retune path; see internal/tune.
+	tuner *tune.Tuner
 
 	// Binary-protocol listener state (tcp.go). wireEnabled flips once
 	// ServeBinary runs, making the Wire block appear in /metrics.
@@ -130,10 +137,19 @@ func New(cfg Config) *Server {
 		wireConns:     make(map[net.Conn]struct{}),
 		wireListeners: make(map[net.Listener]struct{}),
 	}
+	if cfg.Tuning.Enabled {
+		s.tuner = tune.New(tune.Config{
+			Threshold:   cfg.Tuning.Threshold,
+			Backends:    cfg.Tuning.Backends,
+			OnRepublish: s.persistRetune,
+		})
+		s.tuner.Start(cfg.Tuning.Interval)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/trees", s.admitted(s.handleRegister))
 	s.mux.HandleFunc("POST /v1/query", s.admitted(s.handleQuery))
 	s.mux.HandleFunc("POST /v1/dyn", s.admitted(s.handleDynCreate))
+	s.mux.HandleFunc("GET /v1/dyn/{id}", s.handleDynStatus)
 	s.mux.HandleFunc("POST /v1/dyn/{id}/mutate", s.admitted(s.handleDynMutate))
 	s.mux.HandleFunc("POST /v1/dyn/{id}/query", s.admitted(s.handleDynQuery))
 	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
@@ -148,6 +164,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool returns the underlying engine pool (exposed for the daemon's
 // preloading and for tests).
 func (s *Server) Pool() *engine.Pool { return s.pool }
+
+// Tuner returns the online layout tuner, or nil when Tuning is off
+// (exposed so tests can drive Tick deterministically).
+func (s *Server) Tuner() *tune.Tuner { return s.tuner }
 
 // Drain performs a graceful shutdown of the serving layer: new requests
 // are rejected with 503, in-flight requests are waited for (bounded by
@@ -169,6 +189,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-ctx.Done():
 			return errors.New("server: drain interrupted with requests in flight")
 		}
+	}
+	// Stop the tuner before flushing: a retune in flight quiesces its
+	// shard and finishes; no new republish can start mid-shutdown.
+	if s.tuner != nil {
+		s.tuner.Stop()
 	}
 	s.pool.FlushAll()
 	return nil
@@ -633,6 +658,56 @@ func (s *Server) handleDynQuery(w http.ResponseWriter, r *http.Request) {
 	serveQuery(w, de, &req, de.Tree)
 }
 
+// handleDynStatus reports a locally served shard's current layout
+// configuration and, when tuning is on, its tuner state (profile,
+// cooldown, last projected-vs-realized win). It is a local view: in
+// cluster mode non-owners answer 404 rather than proxy — status is an
+// operator surface, not a routed data path.
+func (s *Server) handleDynStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	de := s.dyns[id]
+	s.mu.Unlock()
+	if de == nil {
+		writeStatus(w, StatusNotFound, "unknown shard_id "+id)
+		return
+	}
+	spec := de.LayoutConfig()
+	ds := de.Stats()
+	resp := DynStatusResponse{
+		ID:      id,
+		N:       de.N(),
+		Epoch:   ds.Epoch,
+		Backend: spec.Backend,
+		Curve:   spec.Curve,
+		Epsilon: spec.Epsilon,
+		Retunes: ds.Retunes,
+	}
+	if s.tuner != nil {
+		if st, ok := s.tuner.Status(id); ok {
+			resp.Tuner = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// persistRetune is the tuner's OnRepublish hook: the tuned curve and ε
+// are already part of the shard's durable state (engine.DynState), so a
+// compaction right after the republish folds them into the snapshot and
+// the next boot warm-starts on the tuned layout instead of replaying to
+// the untuned one. Best-effort like maybeCompact; the backend stays a
+// serving-time knob and is not persisted.
+func (s *Server) persistRetune(id string, _ engine.RetuneSpec) {
+	s.mu.Lock()
+	de := s.dyns[id]
+	log := s.logs[id]
+	s.mu.Unlock()
+	if de == nil || log == nil {
+		return
+	}
+	_ = log.Compact(dynSnapFromState(de.State()))
+}
+
 // Metrics snapshots every layer's counters (also served as /metrics).
 func (s *Server) Metrics() MetricsResponse {
 	st := s.pool.Stats()
@@ -690,6 +765,11 @@ func (s *Server) Metrics() MetricsResponse {
 	if batches > 0 {
 		perBatch = float64(st.Requests) / float64(batches)
 	}
+	var tm *TunerMetrics
+	if s.tuner != nil {
+		m := s.tuner.Metrics()
+		tm = &m
+	}
 	var wm *WireMetrics
 	if s.wireEnabled.Load() {
 		s.wireMu.Lock()
@@ -743,6 +823,7 @@ func (s *Server) Metrics() MetricsResponse {
 			ShadowMismatches: st.ShadowMismatches,
 		},
 		Dyn:     dyn,
+		Tuner:   tm,
 		Wire:    wm,
 		Persist: pm,
 	}

@@ -104,12 +104,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		scratch wireScratch
 		out     []byte
 	)
-	// Shadow metering re-reads a request's input slices after its future
-	// resolves (to validate served results against the simulator), so
-	// reusing the decoded query's buffers across frames would race with
-	// it; a shadow-metered server decodes fresh per frame instead.
-	reuse := s.cfg.ShadowMeter <= 0
-
 	writeFrame := func(frame []byte) bool {
 		if t := s.cfg.Timeouts.TCPWrite; t > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(t))
@@ -162,15 +156,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		case wire.FrameQuery:
-			wq, sc := &q, &scratch
-			if !reuse {
-				wq, sc = new(wire.Query), new(wireScratch)
-			}
-			if err := wq.Decode(payload); err != nil {
+			// The decode scratch is reused frame to frame even under
+			// shadow metering: the engine copies a sampled batch's inputs
+			// out before any future resolves (engine.copyShadowInputs),
+			// so no engine-side read of these buffers survives the reply.
+			if err := q.Decode(payload); err != nil {
 				badFrame(err)
 				return
 			}
-			out = s.serveWireQuery(out[:0], wq, &res, sc)
+			out = s.serveWireQuery(out[:0], &q, &res, &scratch)
 			if !writeFrame(out) {
 				return
 			}

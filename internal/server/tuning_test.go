@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"spatialtree/internal/persist"
+	"spatialtree/internal/treefix"
+)
+
+func getJSON(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// TestTuningEndToEnd drives the whole self-tuning loop through the
+// serving stack: a sim-backend shard seeded on the known-bad scatter
+// curve is profiled by real HTTP traffic, a manual tuner tick
+// republishes it onto a distance-bound curve, the /metrics tuner block
+// and GET /v1/dyn/{id} report the retune, the shard keeps answering
+// correctly — and a restart on the same data dir warm-starts on the
+// tuned layout because the republish compacted the snapshot.
+func TestTuningEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store := openTestStore(t, dir, persist.Options{})
+	cfg := Config{
+		Durability: Durability{Store: store},
+		Scheduler:  Scheduler{MaxDelay: time.Millisecond},
+		Tuning:     Tuning{Enabled: true, Interval: time.Hour}, // ticks are manual below
+		Curve:      "scatter",
+		Backend:    "sim",
+	}
+	s, hs := newTestServer(t, cfg)
+	if s.Tuner() == nil {
+		t.Fatal("Tuning.Enabled built no tuner")
+	}
+
+	var dc DynCreateResponse
+	if err := postJSON(hs.URL, "/v1/dyn", DynCreateRequest{Parents: testParents(80, 3)}, &dc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any traffic: status shows the seed config, no tuner action.
+	var st0 DynStatusResponse
+	if err := getJSON(hs.URL, "/v1/dyn/"+dc.ID, &st0); err != nil {
+		t.Fatal(err)
+	}
+	if st0.Curve != "scatter" || st0.Retunes != 0 || st0.Tuner == nil {
+		t.Fatalf("fresh status = %+v", st0)
+	}
+
+	// Profile enough batches for the tuner to act (default MinSamples).
+	vals := make([]int64, 80)
+	for i := range vals {
+		vals[i] = 1
+	}
+	query := QueryRequest{Kind: "treefix", Vals: vals}
+	var want QueryResponse
+	if err := postJSON(hs.URL, "/v1/dyn/"+dc.ID+"/query", query, &want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := postJSON(hs.URL, "/v1/dyn/"+dc.ID+"/query", query, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.Tuner().Tick()
+
+	var st1 DynStatusResponse
+	if err := getJSON(hs.URL, "/v1/dyn/"+dc.ID, &st1); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Retunes != 1 {
+		t.Fatalf("Retunes = %d after tick on a scatter-seeded sim shard, want 1 (status %+v)", st1.Retunes, st1)
+	}
+	if st1.Curve == "scatter" {
+		t.Fatal("tick left the shard on the known-bad scatter curve")
+	}
+	if st1.Tuner == nil || st1.Tuner.Republishes != 1 || st1.Tuner.Profile.Batches == 0 {
+		t.Fatalf("per-shard tuner state = %+v", st1.Tuner)
+	}
+
+	m := getMetrics(t, hs.URL)
+	if m.Tuner == nil {
+		t.Fatal("/metrics has no tuner block with Tuning.Enabled")
+	}
+	if m.Tuner.Shards != 1 || m.Tuner.Republishes != 1 || m.Tuner.CandidatesScored == 0 || m.Tuner.Ticks != 1 {
+		t.Fatalf("tuner metrics = %+v", m.Tuner)
+	}
+
+	// The retuned shard still answers exactly as before.
+	var got QueryResponse
+	if err := postJSON(hs.URL, "/v1/dyn/"+dc.ID+"/query", query, &got); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Sums {
+		if got.Sums[v] != want.Sums[v] {
+			t.Fatalf("sum[%d] = %d after retune, want %d", v, got.Sums[v], want.Sums[v])
+		}
+	}
+
+	// Restart: the tuned choice must survive (the republish compacted
+	// the snapshot; curve and ε are durable DynState).
+	tunedCurve := st1.Curve
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	store.Close()
+	store2 := openTestStore(t, dir, persist.Options{})
+	cfg.Durability.Store = store2
+	s2, hs2 := newTestServer(t, cfg)
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var st2 DynStatusResponse
+	if err := getJSON(hs2.URL, "/v1/dyn/"+dc.ID, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Curve != tunedCurve {
+		t.Fatalf("recovered shard on curve %q, want warm-started tuned curve %q", st2.Curve, tunedCurve)
+	}
+	if st2.Tuner == nil {
+		t.Fatal("recovered shard not re-adopted by the tuner")
+	}
+}
+
+// TestTunerFollowsShardHandoff pins the cluster-facing lifecycle the
+// tuner must track: a shard released from a tuning server (the PR 9
+// handback path) stops being tuned there and carries no profile
+// callback into its old server, and adopting it into another tuning
+// server (the failover-promotion path) puts it under that server's
+// tuner, which can then retune it from its own traffic.
+func TestTunerFollowsShardHandoff(t *testing.T) {
+	cfg := Config{
+		Scheduler: Scheduler{MaxDelay: time.Millisecond},
+		Tuning:    Tuning{Enabled: true, Interval: time.Hour},
+		Curve:     "scatter",
+		Backend:   "sim",
+	}
+	s1, _ := newTestServer(t, cfg)
+	created, err := s1.DynCreateLocal("", testParents(60, 4), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster tier's read surface sees the served shard.
+	if ids := s1.DynShardIDs(); len(ids) != 1 || ids[0] != created.ID {
+		t.Fatalf("DynShardIDs = %v", ids)
+	}
+	if _, ok := s1.DynShard(created.ID); !ok {
+		t.Fatal("DynShard missed a served shard")
+	}
+	if blob, epoch, err := s1.SnapshotDyn(created.ID); err != nil || len(blob) == 0 || epoch != 0 {
+		t.Fatalf("SnapshotDyn = %d bytes, epoch %d, err %v", len(blob), epoch, err)
+	}
+	if _, ok := s1.Tuner().Status(created.ID); !ok {
+		t.Fatal("created shard not adopted by the tuner")
+	}
+
+	de, log, ok := s1.ReleaseDynShard(created.ID)
+	if !ok || de == nil {
+		t.Fatal("ReleaseDynShard lost the shard")
+	}
+	if _, ok := s1.Tuner().Status(created.ID); ok {
+		t.Fatal("released shard still tracked by the old server's tuner")
+	}
+
+	s2, _ := newTestServer(t, cfg)
+	if opts := s2.EngineOptions(); opts.Backend != "sim" {
+		t.Fatalf("EngineOptions backend = %q, want the configured sim", opts.Backend)
+	}
+	if err := s2.AdoptDynShard(created.ID, de, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AdoptDynShard(created.ID, de, nil); err == nil {
+		t.Fatal("double adoption not refused")
+	}
+	if _, ok := s2.Tuner().Status(created.ID); !ok {
+		t.Fatal("adopted shard not tracked by the adopter's tuner")
+	}
+	// The adopter's own traffic profiles the shard, and its tuner — not
+	// the releaser's — republishes the scatter seed.
+	vals := make([]int64, de.N())
+	for i := 0; i < 13; i++ {
+		if res := de.SubmitTreefix(vals, treefix.Add).Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	s2.Tuner().Tick()
+	if de.Stats().Retunes == 0 {
+		t.Fatal("adopter's tuner never retuned the handed-off shard")
+	}
+	if s1.Tuner().Metrics().Republishes != 0 {
+		t.Fatal("releaser's tuner acted on a shard it no longer owns")
+	}
+}
+
+// TestTuningDisabledSurface pins the off state: no tuner block in
+// /metrics, no tuner sub-object in shard status, and GET /v1/dyn/{id}
+// still works as a plain layout-config probe.
+func TestTuningDisabledSurface(t *testing.T) {
+	s, hs := newTestServer(t, Config{Scheduler: Scheduler{MaxDelay: time.Millisecond}})
+	if s.Tuner() != nil {
+		t.Fatal("tuner built without Tuning.Enabled")
+	}
+	var dc DynCreateResponse
+	if err := postJSON(hs.URL, "/v1/dyn", DynCreateRequest{Parents: testParents(20, 5)}, &dc); err != nil {
+		t.Fatal(err)
+	}
+	var st DynStatusResponse
+	if err := getJSON(hs.URL, "/v1/dyn/"+dc.ID, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Curve != "hilbert" || st.Epsilon <= 0 || st.Tuner != nil {
+		t.Fatalf("status = %+v", st)
+	}
+	if err := getJSON(hs.URL, "/v1/dyn/nope", &st); err == nil {
+		t.Fatal("status for unknown shard succeeded")
+	}
+	if m := getMetrics(t, hs.URL); m.Tuner != nil {
+		t.Fatal("tuner metrics block present with tuning off")
+	}
+}
